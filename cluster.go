@@ -1,0 +1,36 @@
+package geodabs
+
+import (
+	"geodabs/internal/cluster"
+	"geodabs/internal/core"
+	"geodabs/internal/index"
+	"geodabs/internal/shard"
+)
+
+// ShardNode is a network server owning a slice of the geodab term space.
+// Start nodes with StartShardNode, then front them with NewCluster.
+type ShardNode = cluster.Node
+
+// StartShardNode listens on addr (e.g. "127.0.0.1:0") and serves shard
+// requests until Close.
+var StartShardNode = cluster.StartNode
+
+// ShardStrategy maps geodabs to shards along the Z-order space-filling
+// curve (locality-preserving) and shards to nodes modulo the cluster size
+// (locality-breaking, for balance) — the paper's two-step distribution.
+type ShardStrategy = shard.Strategy
+
+// Cluster is a distributed geodab index: a coordinator that routes
+// postings to shard nodes and scatter-gathers Jaccard-ranked queries.
+// Results are identical to a local Index over the same data.
+type Cluster = cluster.Coordinator
+
+// NewCluster connects to the shard nodes at addrs. The strategy's Nodes
+// must equal len(addrs); strategy.PrefixBits must match cfg.PrefixBits.
+func NewCluster(cfg Config, strategy ShardStrategy, addrs []string) (*Cluster, error) {
+	f, err := core.NewFingerprinter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewCoordinator(index.GeodabExtractor{Fingerprinter: f}, strategy, addrs)
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"geodabs/internal/core"
+	"geodabs/internal/eval"
+	"geodabs/internal/index"
+	"geodabs/internal/shard"
+)
+
+// Ablations quantify the design choices DESIGN.md §5 calls out. They are
+// not paper figures but document where this reproduction's knobs sit.
+
+// runAblNorm quantifies the two normalization steps this reproduction
+// adds on top of the paper's grid snapping (moving-average smoothing and
+// cell debouncing): PR curves with each combination on the standard
+// workload. See EXPERIMENTS.md "Known deviations".
+func runAblNorm(o options) error {
+	out, err := retrievalWorkload(o)
+	if err != nil {
+		return err
+	}
+	variants := []struct {
+		name           string
+		smooth, minPts int
+	}{
+		{"paper-raw", 1, 1},       // the paper's bare grid snapping
+		{"smooth-only", 5, 1},     // + moving average
+		{"debounce-only", 1, 2},   // + jitter-cell debouncing
+		{"smooth+debounce", 5, 2}, // this repository's default
+	}
+	row("variant", "recall", "precision")
+	for _, v := range variants {
+		cfg := core.DefaultConfig()
+		cfg.SmoothWindow = v.smooth
+		cfg.MinCellPoints = v.minPts
+		f, err := core.NewFingerprinter(cfg)
+		if err != nil {
+			return err
+		}
+		ix, err := buildIndex(index.GeodabExtractor{Fingerprinter: f}, out.Dataset)
+		if err != nil {
+			return err
+		}
+		for _, p := range eval.InterpolatedPR(runsOf(ix, out)) {
+			row(v.name, p.Recall, p.Precision)
+		}
+	}
+	return nil
+}
+
+// runAblPrefix sweeps the geodab prefix width P: retrieval quality
+// (suffix discrimination shrinks as P grows) against shard fan-out
+// (locality improves as P grows). The paper fixes P = 16.
+func runAblPrefix(o options) error {
+	out, err := retrievalWorkload(o)
+	if err != nil {
+		return err
+	}
+	row("prefix_bits", "recall", "precision", "mean_shards_touched")
+	for _, bits := range []uint8{8, 16, 24} {
+		cfg := core.DefaultConfig()
+		cfg.PrefixBits = bits
+		f, err := core.NewFingerprinter(cfg)
+		if err != nil {
+			return err
+		}
+		ix, err := buildIndex(index.GeodabExtractor{Fingerprinter: f}, out.Dataset)
+		if err != nil {
+			return err
+		}
+		// Fan-out over a world-scale shard layout.
+		s := shard.Strategy{PrefixBits: bits, Shards: 10000, Nodes: 10}
+		totalShards := 0
+		for _, q := range out.Queries {
+			fp := f.Fingerprint(q.Points)
+			totalShards += len(s.ShardsOf(fp.Geodabs))
+		}
+		meanShards := float64(totalShards) / float64(len(out.Queries))
+		for _, p := range eval.InterpolatedPR(runsOf(ix, out)) {
+			row(int(bits), p.Recall, p.Precision, meanShards)
+		}
+	}
+	return nil
+}
+
+// runAblWindow sweeps the winnowing guarantee threshold t: smaller
+// windows keep more fingerprints (better recall, bigger index).
+func runAblWindow(o options) error {
+	out, err := retrievalWorkload(o)
+	if err != nil {
+		return err
+	}
+	row("t", "recall", "precision", "postings")
+	for _, tval := range []int{8, 12, 20} {
+		cfg := core.DefaultConfig()
+		cfg.T = tval
+		f, err := core.NewFingerprinter(cfg)
+		if err != nil {
+			return err
+		}
+		ix, err := buildIndex(index.GeodabExtractor{Fingerprinter: f}, out.Dataset)
+		if err != nil {
+			return err
+		}
+		postings := ix.Stats().Postings
+		for _, p := range eval.InterpolatedPR(runsOf(ix, out)) {
+			row(tval, p.Recall, p.Precision, postings)
+		}
+	}
+	return nil
+}

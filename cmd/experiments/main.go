@@ -1,0 +1,106 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// (§VI, Figures 8-16) on the synthetic substrates of this repository and
+// prints the series each figure plots as CSV-style rows.
+//
+// Usage:
+//
+//	experiments [flags] fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|all
+//
+// The default workload is laptop-scale (hundreds of routes, ten thousand
+// trajectories for the density experiments); -routes and -samples scale it
+// up toward the paper's 5'000 routes and full world model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// options collects the shared experiment flags.
+type options struct {
+	routes  int   // routes for retrieval experiments
+	queries int   // queries per retrieval experiment
+	samples int   // world samples for Figs 15-16
+	seed    int64 // master seed
+}
+
+// experiment is one figure reproduction.
+type experiment struct {
+	name  string
+	about string
+	run   func(o options) error
+}
+
+var experiments = []experiment{
+	{"fig8", "PR curves across normalization grid depths (32-40 bits)", runFig8},
+	{"fig9", "query cost vs number of candidates: DFD/DTW vs geodabs", runFig9},
+	{"fig10", "query cost vs trajectory length: DFD/DTW vs geodabs", runFig10},
+	{"fig11", "motif discovery cost: BTM vs geodabs", runFig11},
+	{"fig12", "PR curves: geodab vs geohash index", runFig12},
+	{"fig13", "ROC curves and AUC: geodab vs geohash index", runFig13},
+	{"fig14", "100-query latency vs dataset density", runFig14},
+	{"fig15", "trajectories per depth-16 geohash cell (world model)", runFig15},
+	{"fig16", "per-node load: 100 vs 10'000 shards on 10 nodes", runFig16},
+	{"abl-norm", "ablation: smoothing/debouncing vs the paper's raw grid snapping", runAblNorm},
+	{"abl-prefix", "ablation: geodab prefix width vs quality and shard fan-out", runAblPrefix},
+	{"abl-window", "ablation: winnowing threshold t vs quality and index size", runAblWindow},
+}
+
+func main() {
+	o := options{}
+	flag.IntVar(&o.routes, "routes", 200, "routes in the synthetic dataset (paper: 5000)")
+	flag.IntVar(&o.queries, "queries", 100, "queries per retrieval experiment")
+	flag.IntVar(&o.samples, "samples", 500000, "world samples for fig15/fig16")
+	flag.Int64Var(&o.seed, "seed", 1, "master seed")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	target := strings.ToLower(flag.Arg(0))
+	ran := false
+	for _, e := range experiments {
+		if target == "all" || target == e.name {
+			fmt.Printf("# %s — %s\n", e.name, e.about)
+			start := time.Now()
+			if err := e.run(o); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("# %s done in %v\n\n", e.name, time.Since(start).Round(time.Millisecond))
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", target)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: experiments [flags] <figure|all>\n\nfigures:\n")
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-6s %s\n", e.name, e.about)
+	}
+	fmt.Fprintf(os.Stderr, "\nflags:\n")
+	flag.PrintDefaults()
+}
+
+// row prints one CSV row.
+func row(values ...any) {
+	parts := make([]string, len(values))
+	for i, v := range values {
+		switch v := v.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf("%.6g", v)
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	fmt.Println(strings.Join(parts, ","))
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// TestEveryExperimentRuns executes each figure reproduction and ablation
+// at a tiny scale, as an integration test of the whole pipeline: road
+// network → generator → fingerprinting → indexes → evaluation.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	tiny := options{routes: 8, queries: 6, samples: 20000, seed: 42}
+	for _, e := range experiments {
+		t.Run(e.name, func(t *testing.T) {
+			if err := e.run(tiny); err != nil {
+				t.Fatalf("%s: %v", e.name, err)
+			}
+		})
+	}
+}
+
+func TestExperimentNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.name] {
+			t.Errorf("duplicate experiment name %q", e.name)
+		}
+		seen[e.name] = true
+		if e.about == "" || e.run == nil {
+			t.Errorf("experiment %q incomplete", e.name)
+		}
+	}
+}

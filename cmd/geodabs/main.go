@@ -1,0 +1,238 @@
+// Command geodabs is the command-line interface to the library: generate
+// synthetic datasets, inspect and query indexes, and run shard-node
+// servers.
+//
+// Usage:
+//
+//	geodabs gen   -out DIR [-routes N] [-seed N]     generate a dataset
+//	geodabs stats -data FILE                         index a dataset, print stats
+//	geodabs query -data FILE -queries FILE [-q N]    run a ranked query
+//	geodabs serve -addr HOST:PORT                    run a shard node
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"geodabs"
+	"geodabs/internal/trajectory"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "geodabs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:])
+	case "stats":
+		return cmdStats(args[1:])
+	case "query":
+		return cmdQuery(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: geodabs <gen|stats|query|serve> [flags]")
+}
+
+// cmdGen generates a synthetic dataset with held-out queries and ground
+// truth, mirroring the paper's evaluation data (§VI-A1).
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	out := fs.String("out", "data", "output directory")
+	routes := fs.Int("routes", 100, "number of routes (paper: 5000)")
+	perDir := fs.Int("per-direction", 10, "trajectories per direction")
+	seed := fs.Int64("seed", 1, "random seed")
+	geojson := fs.Bool("geojson", false, "also write dataset.geojson for GIS tools")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	city, err := geodabs.GenerateCity(geodabs.CityConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	cfg := geodabs.DefaultDatasetConfig()
+	cfg.Routes = *routes
+	cfg.TrajectoriesPerDirection = *perDir
+	cfg.Seed = *seed
+	data, err := geodabs.GenerateDataset(city, cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	if err := writeDataset(filepath.Join(*out, "dataset.bin"), data.Dataset); err != nil {
+		return err
+	}
+	queries := &geodabs.Dataset{Trajectories: data.Queries}
+	if err := writeDataset(filepath.Join(*out, "queries.bin"), queries); err != nil {
+		return err
+	}
+	if err := writeTruth(filepath.Join(*out, "truth.csv"), data); err != nil {
+		return err
+	}
+	if *geojson {
+		f, err := os.Create(filepath.Join(*out, "dataset.geojson"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := geodabs.WriteGeoJSON(f, data.Dataset); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d trajectories, %d queries to %s\n",
+		data.Dataset.Len(), len(data.Queries), *out)
+	return nil
+}
+
+func writeDataset(path string, d *geodabs.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trajectory.WriteDataset(f, d); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func readDataset(path string) (*geodabs.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trajectory.ReadDataset(f)
+}
+
+func writeTruth(path string, data *geodabs.DatasetOutput) error {
+	var sb strings.Builder
+	sb.WriteString("query_id,relevant_ids\n")
+	for _, q := range data.Queries {
+		ids := data.Relevant[q.ID]
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = strconv.FormatUint(uint64(id), 10)
+		}
+		fmt.Fprintf(&sb, "%d,%s\n", q.ID, strings.Join(parts, " "))
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// cmdStats indexes a dataset and prints the index composition.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	dataPath := fs.String("data", "data/dataset.bin", "dataset file")
+	workers := fs.Int("workers", 8, "parallel fingerprinting workers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := readDataset(*dataPath)
+	if err != nil {
+		return err
+	}
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := idx.AddAll(d, *workers); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	s := idx.Stats()
+	fmt.Printf("trajectories: %d\n", s.Trajectories)
+	fmt.Printf("points:       %d\n", d.TotalPoints())
+	fmt.Printf("terms:        %d\n", s.Terms)
+	fmt.Printf("postings:     %d\n", s.Postings)
+	fmt.Printf("bitmap bytes: %d\n", s.BitmapBytes)
+	fmt.Printf("build time:   %v (%d workers)\n", elapsed.Round(time.Millisecond), *workers)
+	return nil
+}
+
+// cmdQuery runs one held-out query against a dataset and prints the
+// ranked results.
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	dataPath := fs.String("data", "data/dataset.bin", "dataset file")
+	queryPath := fs.String("queries", "data/queries.bin", "queries file")
+	qn := fs.Int("q", 0, "query number within the queries file")
+	limit := fs.Int("limit", 10, "maximum results")
+	maxDist := fs.Float64("max-distance", 0.99, "Jaccard distance cutoff Δmax")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := readDataset(*dataPath)
+	if err != nil {
+		return err
+	}
+	queries, err := readDataset(*queryPath)
+	if err != nil {
+		return err
+	}
+	if *qn < 0 || *qn >= queries.Len() {
+		return fmt.Errorf("query %d out of range [0, %d)", *qn, queries.Len())
+	}
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	if err := idx.AddAll(d, 8); err != nil {
+		return err
+	}
+	q := queries.Trajectories[*qn]
+	start := time.Now()
+	results := idx.Query(q, *maxDist, *limit)
+	elapsed := time.Since(start)
+	fmt.Printf("query %d: route %d (%s), %d points — %d results in %v\n",
+		q.ID, q.Route, q.Dir, q.Len(), len(results), elapsed.Round(time.Microsecond))
+	for i, r := range results {
+		tr := d.ByID(r.ID)
+		fmt.Printf("%2d. trajectory %5d  dJ=%.3f  shared=%3d  route %d (%s)\n",
+			i+1, r.ID, r.Distance, r.Shared, tr.Route, tr.Dir)
+	}
+	return nil
+}
+
+// cmdServe runs a shard node until interrupted.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	node, err := geodabs.StartShardNode(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard node listening on %s (ctrl-c to stop)\n", node.Addr())
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("shutting down")
+	return node.Close()
+}

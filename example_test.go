@@ -1,0 +1,91 @@
+package geodabs_test
+
+import (
+	"fmt"
+
+	"geodabs"
+)
+
+// ExampleIndex demonstrates the core workflow: index a dataset, run a
+// ranked similarity query.
+func ExampleIndex() {
+	city, err := geodabs.GenerateCity(geodabs.CityConfig{RadiusMeters: 3000, Seed: 5})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cfg := geodabs.DefaultDatasetConfig()
+	cfg.Routes = 5
+	cfg.TrajectoriesPerDirection = 3
+	cfg.MinRouteMeters = 2000
+	data, err := geodabs.GenerateDataset(city, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := idx.AddAll(data.Dataset, 4); err != nil {
+		fmt.Println(err)
+		return
+	}
+	q := data.Queries[0]
+	results := idx.Query(q, 0.95, 3)
+	top := data.Dataset.ByID(results[0].ID)
+	fmt.Println("top result shares the query's route:", top.Route == q.Route && top.Dir == q.Dir)
+	// Output:
+	// top result shares the query's route: true
+}
+
+// ExampleFingerprintTrajectory shows fingerprint extraction and the
+// Jaccard distance between two fingerprint sets.
+func ExampleFingerprintTrajectory() {
+	// A short straight drive, two noisy-free recordings.
+	var a, b []geodabs.Point
+	start := geodabs.Point{Lat: 51.5074, Lon: -0.1278}
+	for i := 0; i < 600; i++ {
+		p := offsetNE(start, float64(i)*10, float64(i)*10)
+		a = append(a, p)
+		b = append(b, p)
+	}
+	cfg := geodabs.DefaultConfig()
+	fa, err := geodabs.FingerprintTrajectory(cfg, a)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fb, err := geodabs.FingerprintTrajectory(cfg, b)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("distance between identical recordings: %.1f\n", geodabs.JaccardDistance(fa, fb))
+	// Output:
+	// distance between identical recordings: 0.0
+}
+
+// offsetNE displaces a point north and east in meters (flat-earth
+// approximation good enough for an example).
+func offsetNE(p geodabs.Point, north, east float64) geodabs.Point {
+	const mPerDegLat = 111_195.0
+	return geodabs.Point{
+		Lat: p.Lat + north/mPerDegLat,
+		Lon: p.Lon + east/(mPerDegLat*0.6225), // cos(51.5°)
+	}
+}
+
+// ExampleSimplify reduces a dense polyline with Douglas-Peucker.
+func ExampleSimplify() {
+	var line []geodabs.Point
+	start := geodabs.Point{Lat: 51.5, Lon: -0.12}
+	for i := 0; i < 100; i++ {
+		line = append(line, offsetNE(start, 0, float64(i)*10))
+	}
+	simplified := geodabs.Simplify(line, 5)
+	fmt.Println("points:", len(line), "->", len(simplified))
+	// Output:
+	// points: 100 -> 2
+}

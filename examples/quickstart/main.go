@@ -1,0 +1,72 @@
+// Quickstart: generate a small synthetic city and trajectory dataset,
+// build a geodab index, and run a ranked similarity query.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geodabs"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A synthetic city road network (stand-in for an OSM extract).
+	city, err := geodabs.GenerateCity(geodabs.CityConfig{RadiusMeters: 4000, Seed: 1})
+	if err != nil {
+		log.Fatalf("generate city: %v", err)
+	}
+	fmt.Printf("city: %d junctions, %d road segments\n", city.NumNodes(), city.NumEdges())
+
+	// A dense trajectory dataset: 30 routes × 10 trajectories per
+	// direction, sampled at 1 Hz with 20 m GPS noise, plus one held-out
+	// query per route.
+	dcfg := geodabs.DefaultDatasetConfig()
+	dcfg.Routes = 30
+	dcfg.TrajectoriesPerDirection = 5
+	data, err := geodabs.GenerateDataset(city, dcfg)
+	if err != nil {
+		log.Fatalf("generate dataset: %v", err)
+	}
+	fmt.Printf("dataset: %d trajectories, %d points total\n",
+		data.Dataset.Len(), data.Dataset.TotalPoints())
+
+	// Build the index: trajectories are normalized onto a 36-bit geohash
+	// grid, fingerprinted by winnowing, and inserted into an inverted
+	// index backed by roaring bitmaps.
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+	if err != nil {
+		log.Fatalf("new index: %v", err)
+	}
+	if err := idx.AddAll(data.Dataset, 8); err != nil {
+		log.Fatalf("index dataset: %v", err)
+	}
+	stats := idx.Stats()
+	fmt.Printf("index: %d trajectories, %d terms, %d postings, %.1f KiB of bitmaps\n",
+		stats.Trajectories, stats.Terms, stats.Postings, float64(stats.BitmapBytes)/1024)
+
+	// Query with a held-out trajectory. Results are ranked by Jaccard
+	// distance between fingerprint sets; the ground truth is every
+	// trajectory of the same route and direction.
+	q := data.Queries[0]
+	fmt.Printf("\nquery: route %d (%s), %d points\n", q.Route, q.Dir, q.Len())
+	relevant := make(map[geodabs.ID]bool)
+	for _, id := range data.Relevant[q.ID] {
+		relevant[id] = true
+	}
+	for rank, r := range idx.Query(q, 0.95, 10) {
+		tr := data.Dataset.ByID(r.ID)
+		marker := " "
+		if relevant[r.ID] {
+			marker = "*"
+		}
+		fmt.Printf("%2d. %s trajectory %4d  dJ=%.3f  shared=%2d  route %d (%s)\n",
+			rank+1, marker, r.ID, r.Distance, r.Shared, tr.Route, tr.Dir)
+	}
+	fmt.Println("\n(* = ground-truth relevant: same route and direction)")
+}

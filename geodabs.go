@@ -1,0 +1,222 @@
+// Package geodabs implements trajectory indexing by fingerprinting, a Go
+// reproduction of Chapuis & Garbinato, "Geodabs: Trajectory Indexing Meets
+// Fingerprinting at Scale" (ICDCS 2018).
+//
+// A geodab is a 32-bit fingerprint of a k-gram of trajectory points whose
+// prefix is a geohash (spatial locality: sharding, few shards per query)
+// and whose suffix is an order-sensitive hash (discrimination: path and
+// direction). Trajectories are normalized onto a geohash grid, fingerprinted
+// with the winnowing algorithm, and indexed in an inverted index whose
+// posting lists are roaring bitmaps; queries are ranked by Jaccard
+// distance.
+//
+// # Quick start
+//
+//	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+//	if err != nil { ... }
+//	idx.Add(&geodabs.Trajectory{ID: 1, Points: points})
+//	results := idx.Query(&geodabs.Trajectory{Points: query}, 0.9, 10)
+//
+// The subpackages under internal implement the substrates (geohash,
+// roaring bitmaps, road networks, map matching, the synthetic dataset
+// generator, the distributed index); this package is the stable public
+// surface.
+package geodabs
+
+import (
+	"geodabs/internal/bitmap"
+	"geodabs/internal/core"
+	"geodabs/internal/distance"
+	"geodabs/internal/gen"
+	"geodabs/internal/geo"
+	"geodabs/internal/index"
+	"geodabs/internal/motif"
+	"geodabs/internal/normalize"
+	"geodabs/internal/roadnet"
+	"geodabs/internal/trajectory"
+)
+
+// Core model types, aliased from the internal packages so their methods
+// are available on the public names.
+type (
+	// Point is a latitude/longitude position in degrees.
+	Point = geo.Point
+	// Trajectory is a sequence of points with its identifiers.
+	Trajectory = trajectory.Trajectory
+	// ID identifies a trajectory within a dataset.
+	ID = trajectory.ID
+	// Dataset is an ordered collection of trajectories.
+	Dataset = trajectory.Dataset
+	// Direction tells which way a trajectory travels along its route.
+	Direction = trajectory.Direction
+	// Config parameterizes fingerprinting (k, t, grid depth, prefix bits).
+	Config = core.Config
+	// Fingerprint is the winnowed geodab sequence and set of a trajectory.
+	Fingerprint = core.Fingerprint
+	// Result is one ranked retrieval hit.
+	Result = index.Result
+	// MotifMatch is a discovered pair of similar sub-trajectories.
+	MotifMatch = motif.Match
+	// RoadNetwork is a routable road graph (the map-matching substrate).
+	RoadNetwork = roadnet.Graph
+)
+
+// Directions of travel along a route.
+const (
+	Forward = trajectory.Forward
+	Reverse = trajectory.Reverse
+)
+
+// DefaultConfig returns the configuration the paper's evaluation settled
+// on: 36-bit normalization grid, k = 6, t = 12, 16-bit shard prefixes.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Index is an inverted trajectory index with Jaccard-ranked retrieval.
+// Create one with NewIndex (geodab fingerprints, the paper's method) or
+// NewGeohashIndex (bare geohash cells, the baseline of Figs 12-14).
+// Index is safe for concurrent use.
+type Index struct {
+	inv *index.Inverted
+}
+
+// NewIndex returns an empty geodab index.
+func NewIndex(cfg Config) (*Index, error) {
+	f, err := core.NewFingerprinter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inv: index.NewInverted(index.GeodabExtractor{Fingerprinter: f})}, nil
+}
+
+// NewGeohashIndex returns an empty baseline index whose terms are the
+// geohash cells a trajectory traverses, with no ordering information.
+func NewGeohashIndex(cfg Config) (*Index, error) {
+	ex, err := index.NewCellExtractor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inv: index.NewInverted(ex)}, nil
+}
+
+// Add fingerprints and indexes a trajectory. IDs must be unique.
+func (ix *Index) Add(t *Trajectory) error { return ix.inv.Add(t) }
+
+// AddAll indexes a whole dataset, fingerprinting on the given number of
+// parallel workers.
+func (ix *Index) AddAll(d *Dataset, workers int) error { return ix.inv.AddAll(d, workers) }
+
+// Query returns the indexed trajectories within Jaccard distance
+// maxDistance of q, most similar first, truncated to limit (≤ 0 for no
+// limit).
+func (ix *Index) Query(q *Trajectory, maxDistance float64, limit int) []Result {
+	return ix.inv.Query(q, maxDistance, limit)
+}
+
+// Len returns the number of indexed trajectories.
+func (ix *Index) Len() int { return ix.inv.Len() }
+
+// Stats summarizes the index composition.
+func (ix *Index) Stats() index.Stats { return ix.inv.Stats() }
+
+// FingerprintTrajectory runs the geodab pipeline on a point sequence:
+// normalization, k-grams, geodab construction and winnowing.
+func FingerprintTrajectory(cfg Config, points []Point) (*Fingerprint, error) {
+	f, err := core.NewFingerprinter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.Fingerprint(points), nil
+}
+
+// Distances between trajectories (paper §VI-B). DTW and DFD are the
+// polynomial-cost measures geodabs replace; JaccardDistance is the
+// fingerprint-set distance used for ranking. LCSS and EDR are the classic
+// edit-style measures, provided for completeness.
+var (
+	// DTW is the dynamic time-warping distance in meters.
+	DTW = distance.DTW
+	// DFD is the discrete Fréchet distance in meters.
+	DFD = distance.DFD
+	// LCSSDistance is the normalized longest-common-subsequence distance
+	// with a matching radius in meters.
+	LCSSDistance = distance.LCSSDistance
+	// EDR is the edit distance on real sequences with a matching radius
+	// in meters.
+	EDR = distance.EDR
+	// Haversine is the great-circle ground distance in meters.
+	Haversine = geo.Haversine
+	// Simplify reduces a polyline with Douglas-Peucker at a tolerance in
+	// meters.
+	Simplify = geo.Simplify
+)
+
+// JaccardDistance returns dJ = 1 − |F∩G| / |F∪G| between two fingerprint
+// sets.
+func JaccardDistance(a, b *Fingerprint) float64 {
+	return bitmap.JaccardDistance(a.Set, b.Set)
+}
+
+// FindMotif discovers the most similar pair of sub-trajectories of the
+// given ground length (meters) between a and b using geodab fingerprints
+// (approximate, near-linear cost).
+func FindMotif(cfg Config, a, b []Point, lengthMeters float64) (MotifMatch, error) {
+	f, err := core.NewFingerprinter(cfg)
+	if err != nil {
+		return MotifMatch{}, err
+	}
+	return motif.FindGeodab(f, a, b, lengthMeters)
+}
+
+// FindMotifExact discovers the minimum discrete-Fréchet pair of length-l
+// (points) sub-trajectories, the BTM-style exact baseline with O(n²·l²)
+// worst-case cost.
+func FindMotifExact(a, b []Point, l int) (MotifMatch, error) {
+	return motif.FindBTM(a, b, l)
+}
+
+// GenerateCity builds a synthetic city road network comparable to the
+// paper's London extract. See roadnet.CityConfig for parameters.
+var GenerateCity = roadnet.GenerateCity
+
+// CityConfig parameterizes GenerateCity.
+type CityConfig = roadnet.CityConfig
+
+// GenerateDataset builds the paper's synthetic dense trajectory dataset on
+// a road network: routes × trajectories per direction, 1 Hz samples,
+// Gaussian noise, held-out queries with ground truth.
+var GenerateDataset = gen.Generate
+
+// DatasetConfig parameterizes GenerateDataset.
+type DatasetConfig = gen.Config
+
+// DatasetOutput is what GenerateDataset returns: the dataset, the held-out
+// queries and the ground truth relevance sets.
+type DatasetOutput = gen.Output
+
+// DefaultDatasetConfig is a laptop-scale dataset: 500 routes × 20
+// trajectories.
+func DefaultDatasetConfig() DatasetConfig { return gen.DefaultConfig() }
+
+// Resample re-samples a trajectory's path at a constant spacing in meters,
+// normalizing away differing recorder rates before fingerprinting.
+var Resample = trajectory.Resample
+
+// WriteGeoJSON and ReadGeoJSON convert datasets to/from a GeoJSON
+// FeatureCollection of LineStrings (RFC 7946), for GIS interop.
+var (
+	WriteGeoJSON = trajectory.WriteGeoJSON
+	ReadGeoJSON  = trajectory.ReadGeoJSON
+)
+
+// MapMatch normalizes a trajectory onto a road network with an HMM decoded
+// by Viterbi (Newson & Krumm), the paper's §V-B normalization. It returns
+// the matched node positions.
+func MapMatch(g *RoadNetwork, points []Point) ([]Point, error) {
+	return normalize.NewMapMatcher(g).Normalize(points)
+}
+
+// GridNormalize snaps a trajectory to geohash cell centers at the given
+// depth, the paper's §V-A normalization (0 uses the default 36 bits).
+func GridNormalize(depth uint8, points []Point) ([]Point, error) {
+	return normalize.Grid{Depth: depth}.Normalize(points)
+}

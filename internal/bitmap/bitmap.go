@@ -1,0 +1,297 @@
+// Package bitmap implements roaring bitmaps (Lemire et al.,
+// arXiv:1709.07821): compressed sets of uint32 values partitioned into
+// 64 Ki-value chunks by their high 16 bits, with each chunk stored as a
+// sorted array, a bitset, or run-length intervals depending on density.
+//
+// The paper stores every trajectory's fingerprint set as a roaring bitmap
+// so that the Jaccard coefficient between a query and a candidate reduces
+// to cheap bitwise intersections (§IV-A). JaccardDistance below is exactly
+// the δ used to rank retrieval results.
+package bitmap
+
+import "sort"
+
+// Bitmap is a compressed set of uint32 values. The zero value is an empty
+// set ready for use. Bitmap is not safe for concurrent mutation; concurrent
+// readers are safe once the bitmap is no longer being modified.
+type Bitmap struct {
+	keys       []uint16 // sorted high-16-bit chunk keys
+	containers []container
+}
+
+// New returns an empty bitmap.
+func New() *Bitmap { return &Bitmap{} }
+
+// FromSlice returns a bitmap containing the given values.
+func FromSlice(values []uint32) *Bitmap {
+	b := New()
+	b.AddMany(values)
+	return b
+}
+
+func highLow(v uint32) (uint16, uint16) { return uint16(v >> 16), uint16(v) }
+
+// chunkIndex returns the position of key among the bitmap's chunks and
+// whether it is present.
+func (b *Bitmap) chunkIndex(key uint16) (int, bool) {
+	i := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= key })
+	return i, i < len(b.keys) && b.keys[i] == key
+}
+
+// Add inserts v into the set.
+func (b *Bitmap) Add(v uint32) {
+	key, low := highLow(v)
+	i, ok := b.chunkIndex(key)
+	if ok {
+		b.containers[i] = b.containers[i].add(low)
+		return
+	}
+	b.keys = append(b.keys, 0)
+	copy(b.keys[i+1:], b.keys[i:])
+	b.keys[i] = key
+	b.containers = append(b.containers, nil)
+	copy(b.containers[i+1:], b.containers[i:])
+	b.containers[i] = &arrayContainer{values: []uint16{low}}
+}
+
+// AddMany inserts all values; it is equivalent to calling Add repeatedly.
+func (b *Bitmap) AddMany(values []uint32) {
+	for _, v := range values {
+		b.Add(v)
+	}
+}
+
+// Remove deletes v from the set if present.
+func (b *Bitmap) Remove(v uint32) {
+	key, low := highLow(v)
+	i, ok := b.chunkIndex(key)
+	if !ok {
+		return
+	}
+	c := b.containers[i].remove(low)
+	if c.cardinality() == 0 {
+		b.keys = append(b.keys[:i], b.keys[i+1:]...)
+		b.containers = append(b.containers[:i], b.containers[i+1:]...)
+		return
+	}
+	b.containers[i] = c
+}
+
+// Contains reports whether v is in the set.
+func (b *Bitmap) Contains(v uint32) bool {
+	key, low := highLow(v)
+	if i, ok := b.chunkIndex(key); ok {
+		return b.containers[i].contains(low)
+	}
+	return false
+}
+
+// Cardinality returns the number of values in the set.
+func (b *Bitmap) Cardinality() int {
+	n := 0
+	for _, c := range b.containers {
+		n += c.cardinality()
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no values.
+func (b *Bitmap) IsEmpty() bool { return len(b.keys) == 0 }
+
+// Clear removes all values.
+func (b *Bitmap) Clear() {
+	b.keys = nil
+	b.containers = nil
+}
+
+// Clone returns a deep copy of the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	out := &Bitmap{
+		keys:       append([]uint16(nil), b.keys...),
+		containers: make([]container, len(b.containers)),
+	}
+	for i, c := range b.containers {
+		out.containers[i] = c.clone()
+	}
+	return out
+}
+
+// Iterate calls f on each value in ascending order until f returns false.
+func (b *Bitmap) Iterate(f func(uint32) bool) {
+	for i, key := range b.keys {
+		base := uint32(key) << 16
+		if !b.containers[i].iterate(func(low uint16) bool {
+			return f(base | uint32(low))
+		}) {
+			return
+		}
+	}
+}
+
+// ToSlice returns all values in ascending order.
+func (b *Bitmap) ToSlice() []uint32 {
+	out := make([]uint32, 0, b.Cardinality())
+	b.Iterate(func(v uint32) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Equals reports whether the two bitmaps contain the same values.
+func (b *Bitmap) Equals(o *Bitmap) bool {
+	if len(b.keys) != len(o.keys) {
+		return false
+	}
+	for i, key := range b.keys {
+		if key != o.keys[i] {
+			return false
+		}
+		bc, oc := b.containers[i], o.containers[i]
+		if bc.cardinality() != oc.cardinality() {
+			return false
+		}
+		equal := true
+		bc.iterate(func(v uint16) bool {
+			if !oc.contains(v) {
+				equal = false
+				return false
+			}
+			return true
+		})
+		if !equal {
+			return false
+		}
+	}
+	return true
+}
+
+// binaryOp merges two bitmaps chunk-by-chunk. onlyA/onlyB control whether
+// chunks present in a single operand survive (clone) or are dropped; both
+// combines chunks present in both operands.
+func binaryOp(a, b *Bitmap, onlyA, onlyB bool, both func(container, container) container) *Bitmap {
+	out := New()
+	i, j := 0, 0
+	appendChunk := func(key uint16, c container) {
+		if c != nil && c.cardinality() > 0 {
+			out.keys = append(out.keys, key)
+			out.containers = append(out.containers, c)
+		}
+	}
+	for i < len(a.keys) && j < len(b.keys) {
+		switch {
+		case a.keys[i] < b.keys[j]:
+			if onlyA {
+				appendChunk(a.keys[i], a.containers[i].clone())
+			}
+			i++
+		case a.keys[i] > b.keys[j]:
+			if onlyB {
+				appendChunk(b.keys[j], b.containers[j].clone())
+			}
+			j++
+		default:
+			appendChunk(a.keys[i], both(a.containers[i], b.containers[j]))
+			i++
+			j++
+		}
+	}
+	if onlyA {
+		for ; i < len(a.keys); i++ {
+			appendChunk(a.keys[i], a.containers[i].clone())
+		}
+	}
+	if onlyB {
+		for ; j < len(b.keys); j++ {
+			appendChunk(b.keys[j], b.containers[j].clone())
+		}
+	}
+	return out
+}
+
+// And returns the intersection of a and b as a new bitmap.
+func And(a, b *Bitmap) *Bitmap {
+	return binaryOp(a, b, false, false, container.and)
+}
+
+// Or returns the union of a and b as a new bitmap.
+func Or(a, b *Bitmap) *Bitmap {
+	return binaryOp(a, b, true, true, container.or)
+}
+
+// AndNot returns the difference a − b as a new bitmap.
+func AndNot(a, b *Bitmap) *Bitmap {
+	return binaryOp(a, b, true, false, container.andNot)
+}
+
+// Xor returns the symmetric difference of a and b as a new bitmap.
+func Xor(a, b *Bitmap) *Bitmap {
+	return binaryOp(a, b, true, true, container.xor)
+}
+
+// AndCardinality returns |a ∩ b| without materializing the intersection.
+// This is the hot operation when ranking retrieval candidates.
+func AndCardinality(a, b *Bitmap) int {
+	n, i, j := 0, 0, 0
+	for i < len(a.keys) && j < len(b.keys) {
+		switch {
+		case a.keys[i] < b.keys[j]:
+			i++
+		case a.keys[i] > b.keys[j]:
+			j++
+		default:
+			n += a.containers[i].andCardinality(b.containers[j])
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// OrCardinality returns |a ∪ b| without materializing the union, via
+// the inclusion-exclusion identity.
+func OrCardinality(a, b *Bitmap) int {
+	return a.Cardinality() + b.Cardinality() - AndCardinality(a, b)
+}
+
+// Jaccard returns the Jaccard coefficient J(a, b) = |a∩b| / |a∪b|.
+// The coefficient of two empty sets is defined as 1 (identical sets).
+func Jaccard(a, b *Bitmap) float64 {
+	inter := AndCardinality(a, b)
+	union := a.Cardinality() + b.Cardinality() - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// JaccardDistance returns dJ(a, b) = 1 − J(a, b), the distance the paper
+// uses as δ to rank trajectories (Eq. 1). It obeys the triangle inequality.
+func JaccardDistance(a, b *Bitmap) float64 {
+	return 1 - Jaccard(a, b)
+}
+
+// RunOptimize converts chunks to their most compact representation. Call it
+// after a bitmap stops being modified (e.g. when a posting list is sealed).
+func (b *Bitmap) RunOptimize() {
+	for i, c := range b.containers {
+		b.containers[i] = c.runOptimize()
+	}
+}
+
+// SizeInBytes returns an estimate of the in-memory footprint of the bitmap
+// payload, used by index statistics.
+func (b *Bitmap) SizeInBytes() int {
+	n := 2 * len(b.keys)
+	for _, c := range b.containers {
+		switch c := c.(type) {
+		case *arrayContainer:
+			n += 2 * len(c.values)
+		case *bitmapContainer:
+			n += 8 * bitmapWords
+		case *runContainer:
+			n += c.sizeInBytes()
+		}
+	}
+	return n
+}

@@ -1,0 +1,388 @@
+package bitmap
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	b := New()
+	if !b.IsEmpty() {
+		t.Fatal("new bitmap should be empty")
+	}
+	values := []uint32{0, 1, 65535, 65536, 1 << 20, 0xffffffff, 42}
+	for _, v := range values {
+		b.Add(v)
+	}
+	b.Add(42) // duplicate
+	if got := b.Cardinality(); got != len(values) {
+		t.Fatalf("Cardinality = %d, want %d", got, len(values))
+	}
+	for _, v := range values {
+		if !b.Contains(v) {
+			t.Errorf("missing %d", v)
+		}
+	}
+	for _, v := range []uint32{2, 65537, 1<<20 + 1} {
+		if b.Contains(v) {
+			t.Errorf("unexpected %d", v)
+		}
+	}
+	b.Remove(65536)
+	b.Remove(65536) // double remove is a no-op
+	if b.Contains(65536) {
+		t.Error("65536 should be gone")
+	}
+	if got := b.Cardinality(); got != len(values)-1 {
+		t.Errorf("Cardinality after remove = %d", got)
+	}
+	b.Clear()
+	if !b.IsEmpty() || b.Cardinality() != 0 {
+		t.Error("Clear should empty the bitmap")
+	}
+}
+
+func TestToSliceSorted(t *testing.T) {
+	b := FromSlice([]uint32{5, 1, 99999, 3, 70000, 1})
+	got := b.ToSlice()
+	want := []uint32{1, 3, 5, 70000, 99999}
+	if len(got) != len(want) {
+		t.Fatalf("ToSlice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ToSlice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	b := FromSlice([]uint32{1, 2, 3, 100000, 100001})
+	var seen []uint32
+	b.Iterate(func(v uint32) bool {
+		seen = append(seen, v)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Errorf("early stop saw %v", seen)
+	}
+}
+
+func TestArrayToBitmapConversion(t *testing.T) {
+	b := New()
+	// Fill one chunk beyond arrayMaxSize to force conversion.
+	for i := 0; i <= arrayMaxSize; i++ {
+		b.Add(uint32(i * 3)) // stride keeps everything in chunk 0 (≤ 49152)
+	}
+	if _, ok := b.containers[0].(*bitmapContainer); !ok {
+		t.Fatalf("container should have converted to bitmap, is %T", b.containers[0])
+	}
+	if got := b.Cardinality(); got != arrayMaxSize+1 {
+		t.Fatalf("Cardinality = %d", got)
+	}
+	for i := 0; i <= arrayMaxSize; i++ {
+		if !b.Contains(uint32(i * 3)) {
+			t.Fatalf("missing %d after conversion", i*3)
+		}
+	}
+	// Removing below the threshold converts back to an array.
+	for i := 0; i <= arrayMaxSize/2; i++ {
+		b.Remove(uint32(i * 3))
+	}
+	if _, ok := b.containers[0].(*arrayContainer); !ok {
+		t.Fatalf("container should have shrunk to array, is %T", b.containers[0])
+	}
+}
+
+func TestChunkRemovalOnEmpty(t *testing.T) {
+	b := FromSlice([]uint32{1, 70000})
+	b.Remove(70000)
+	if len(b.keys) != 1 {
+		t.Fatalf("empty chunk should be dropped, have %d chunks", len(b.keys))
+	}
+	if !b.Contains(1) || b.Contains(70000) {
+		t.Error("wrong contents after chunk removal")
+	}
+}
+
+// refSet is the reference implementation the property tests compare
+// against.
+type refSet map[uint32]bool
+
+func (r refSet) slice() []uint32 {
+	out := make([]uint32, 0, len(r))
+	for v := range r {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// randomSets builds a bitmap/reference pair with values drawn from a
+// distribution that exercises all three container types: dense runs,
+// mid-density chunks and sparse outliers.
+func randomSets(rng *rand.Rand, n int) (*Bitmap, refSet) {
+	b, ref := New(), refSet{}
+	add := func(v uint32) {
+		b.Add(v)
+		ref[v] = true
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0: // dense run in chunk 0
+			add(uint32(rng.Intn(9000)))
+		case 1: // mid-density chunk 1
+			add(65536 + uint32(rng.Intn(30000)))
+		default: // sparse high values
+			add(rng.Uint32())
+		}
+	}
+	return b, ref
+}
+
+func TestPropertyOpsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 25; round++ {
+		a, refA := randomSets(rng, 3000)
+		b, refB := randomSets(rng, 3000)
+
+		checkEqual(t, "And", And(a, b), func(v uint32) bool { return refA[v] && refB[v] }, refA, refB)
+		checkEqual(t, "Or", Or(a, b), func(v uint32) bool { return refA[v] || refB[v] }, refA, refB)
+		checkEqual(t, "AndNot", AndNot(a, b), func(v uint32) bool { return refA[v] && !refB[v] }, refA, refB)
+		checkEqual(t, "Xor", Xor(a, b), func(v uint32) bool { return refA[v] != refB[v] }, refA, refB)
+
+		wantInter := 0
+		for v := range refA {
+			if refB[v] {
+				wantInter++
+			}
+		}
+		if got := AndCardinality(a, b); got != wantInter {
+			t.Fatalf("AndCardinality = %d, want %d", got, wantInter)
+		}
+		wantUnion := len(refA) + len(refB) - wantInter
+		if got := OrCardinality(a, b); got != wantUnion {
+			t.Fatalf("OrCardinality = %d, want %d", got, wantUnion)
+		}
+		if got, want := And(a, b).Cardinality(), wantInter; got != want {
+			t.Fatalf("And().Cardinality = %d, want %d", got, want)
+		}
+	}
+}
+
+// checkEqual verifies that got contains exactly the values of the union of
+// the references that satisfy pred.
+func checkEqual(t *testing.T, op string, got *Bitmap, pred func(uint32) bool, refs ...refSet) {
+	t.Helper()
+	want := refSet{}
+	for _, ref := range refs {
+		for v := range ref {
+			if pred(v) {
+				want[v] = true
+			}
+		}
+	}
+	if got.Cardinality() != len(want) {
+		t.Fatalf("%s: cardinality %d, want %d", op, got.Cardinality(), len(want))
+	}
+	ok := true
+	got.Iterate(func(v uint32) bool {
+		if !want[v] {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		t.Fatalf("%s: contains values outside reference", op)
+	}
+}
+
+func TestPropertyAddRemoveMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b, ref := New(), refSet{}
+	for i := 0; i < 30000; i++ {
+		v := uint32(rng.Intn(200000))
+		if rng.Intn(3) == 0 {
+			b.Remove(v)
+			delete(ref, v)
+		} else {
+			b.Add(v)
+			ref[v] = true
+		}
+	}
+	if b.Cardinality() != len(ref) {
+		t.Fatalf("cardinality %d, want %d", b.Cardinality(), len(ref))
+	}
+	for _, v := range ref.slice() {
+		if !b.Contains(v) {
+			t.Fatalf("missing %d", v)
+		}
+	}
+	got := b.ToSlice()
+	want := ref.slice()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]uint32{1, 2, 3, 100000})
+	c := a.Clone()
+	c.Add(4)
+	c.Remove(1)
+	if !a.Contains(1) || a.Contains(4) {
+		t.Error("mutating clone affected original")
+	}
+	if !c.Contains(4) || c.Contains(1) {
+		t.Error("clone mutations lost")
+	}
+}
+
+func TestEquals(t *testing.T) {
+	a := FromSlice([]uint32{1, 2, 70000})
+	b := FromSlice([]uint32{1, 2, 70000})
+	if !a.Equals(b) {
+		t.Error("equal bitmaps reported unequal")
+	}
+	b.Add(5)
+	if a.Equals(b) {
+		t.Error("different bitmaps reported equal")
+	}
+	b.Remove(5)
+	b.Remove(70000)
+	b.Add(70001)
+	if a.Equals(b) {
+		t.Error("bitmaps with same cardinality but different values reported equal")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := FromSlice([]uint32{1, 2, 3, 4})
+	b := FromSlice([]uint32{3, 4, 5, 6})
+	if got := Jaccard(a, b); math.Abs(got-2.0/6.0) > 1e-15 {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	if got := JaccardDistance(a, b); math.Abs(got-(1-2.0/6.0)) > 1e-15 {
+		t.Errorf("JaccardDistance = %v", got)
+	}
+	if got := Jaccard(a, a); got != 1 {
+		t.Errorf("self Jaccard = %v, want 1", got)
+	}
+	empty := New()
+	if got := Jaccard(empty, empty); got != 1 {
+		t.Errorf("empty Jaccard = %v, want 1 by convention", got)
+	}
+	if got := JaccardDistance(a, empty); got != 1 {
+		t.Errorf("distance to empty = %v, want 1", got)
+	}
+}
+
+// TestJaccardTriangleInequality checks the metric property (Kosub, 2016)
+// that lets the paper prune candidates with precomputed distances.
+func TestJaccardTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		a, _ := randomSets(rng, 500)
+		b, _ := randomSets(rng, 500)
+		c, _ := randomSets(rng, 500)
+		dab, dbc, dac := JaccardDistance(a, b), JaccardDistance(b, c), JaccardDistance(a, c)
+		if dac > dab+dbc+1e-12 {
+			t.Fatalf("triangle inequality violated: %v > %v + %v", dac, dab, dbc)
+		}
+	}
+}
+
+func TestRunOptimize(t *testing.T) {
+	b := New()
+	for i := 0; i < 10000; i++ {
+		b.Add(uint32(i))
+	}
+	sizeBefore := b.SizeInBytes()
+	b.RunOptimize()
+	if _, ok := b.containers[0].(*runContainer); !ok {
+		t.Fatalf("contiguous chunk should become a run container, is %T", b.containers[0])
+	}
+	if b.SizeInBytes() >= sizeBefore {
+		t.Errorf("run optimization did not shrink: %d → %d bytes", sizeBefore, b.SizeInBytes())
+	}
+	if b.Cardinality() != 10000 {
+		t.Fatalf("cardinality changed by optimization: %d", b.Cardinality())
+	}
+	for _, v := range []uint32{0, 9999, 5000} {
+		if !b.Contains(v) {
+			t.Errorf("missing %d after optimization", v)
+		}
+	}
+	if b.Contains(10000) {
+		t.Error("contains value never added")
+	}
+	// Ops on run containers still work (via expansion or direct runs).
+	other := FromSlice([]uint32{5000, 5001, 20000})
+	if got := AndCardinality(b, other); got != 2 {
+		t.Errorf("AndCardinality with run container = %d, want 2", got)
+	}
+	other.RunOptimize()
+	if got := AndCardinality(b, other); got != 2 {
+		t.Errorf("AndCardinality run∩run = %d, want 2", got)
+	}
+	b.Add(20000) // mutating a run container converts it back
+	if !b.Contains(20000) || b.Cardinality() != 10001 {
+		t.Error("add after RunOptimize failed")
+	}
+}
+
+func TestRunOptimizeSparseStaysArray(t *testing.T) {
+	b := FromSlice([]uint32{1, 100, 5000, 40000})
+	b.RunOptimize()
+	if _, ok := b.containers[0].(*arrayContainer); !ok {
+		t.Errorf("sparse chunk should stay an array, is %T", b.containers[0])
+	}
+}
+
+func TestCountRuns(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []uint32
+		want   int
+	}{
+		{"empty", nil, 0},
+		{"single", []uint32{5}, 1},
+		{"one-run", []uint32{5, 6, 7}, 1},
+		{"two-runs", []uint32{5, 6, 8}, 2},
+		{"word-boundary", []uint32{63, 64}, 1},
+		{"word-boundary-split", []uint32{63, 65}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			bc := newBitmapContainer()
+			for _, v := range tt.values {
+				bc.set(uint16(v))
+			}
+			if got := bc.countRuns(); got != tt.want {
+				t.Errorf("countRuns = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBitmapEdgeValues(t *testing.T) {
+	b := New()
+	edges := []uint32{0, 63, 64, 65535, 65536, 0xfffffffe, 0xffffffff}
+	for _, v := range edges {
+		b.Add(v)
+	}
+	for _, v := range edges {
+		if !b.Contains(v) {
+			t.Errorf("missing edge value %d", v)
+		}
+	}
+	got := b.ToSlice()
+	if len(got) != len(edges) {
+		t.Fatalf("ToSlice length %d, want %d", len(got), len(edges))
+	}
+}

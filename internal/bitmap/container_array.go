@@ -1,0 +1,225 @@
+package bitmap
+
+import "sort"
+
+// arrayContainer stores values as a sorted slice of uint16. It is the
+// representation of choice for sparse chunks (≤ arrayMaxSize values).
+type arrayContainer struct {
+	values []uint16
+}
+
+var _ container = (*arrayContainer)(nil)
+
+// search returns the position of v in the slice and whether it is present.
+func (a *arrayContainer) search(v uint16) (int, bool) {
+	i := sort.Search(len(a.values), func(i int) bool { return a.values[i] >= v })
+	return i, i < len(a.values) && a.values[i] == v
+}
+
+func (a *arrayContainer) contains(v uint16) bool {
+	_, ok := a.search(v)
+	return ok
+}
+
+func (a *arrayContainer) cardinality() int { return len(a.values) }
+
+func (a *arrayContainer) add(v uint16) container {
+	i, ok := a.search(v)
+	if ok {
+		return a
+	}
+	if len(a.values) >= arrayMaxSize {
+		b := asBitmap(a)
+		b.set(v)
+		return b
+	}
+	a.values = append(a.values, 0)
+	copy(a.values[i+1:], a.values[i:])
+	a.values[i] = v
+	return a
+}
+
+func (a *arrayContainer) remove(v uint16) container {
+	if i, ok := a.search(v); ok {
+		a.values = append(a.values[:i], a.values[i+1:]...)
+	}
+	return a
+}
+
+func (a *arrayContainer) iterate(f func(uint16) bool) bool {
+	for _, v := range a.values {
+		if !f(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *arrayContainer) clone() container {
+	return &arrayContainer{values: append([]uint16(nil), a.values...)}
+}
+
+func (a *arrayContainer) and(o container) container {
+	switch other := o.(type) {
+	case *arrayContainer:
+		return &arrayContainer{values: intersectSorted(a.values, other.values)}
+	default:
+		out := &arrayContainer{values: make([]uint16, 0, min(len(a.values), o.cardinality()))}
+		for _, v := range a.values {
+			if o.contains(v) {
+				out.values = append(out.values, v)
+			}
+		}
+		return out
+	}
+}
+
+func (a *arrayContainer) andCardinality(o container) int {
+	switch other := o.(type) {
+	case *arrayContainer:
+		return countIntersectSorted(a.values, other.values)
+	default:
+		n := 0
+		for _, v := range a.values {
+			if o.contains(v) {
+				n++
+			}
+		}
+		return n
+	}
+}
+
+func (a *arrayContainer) or(o container) container {
+	switch other := o.(type) {
+	case *arrayContainer:
+		merged := unionSorted(a.values, other.values)
+		if len(merged) > arrayMaxSize {
+			return asBitmap(&arrayContainer{values: merged})
+		}
+		return &arrayContainer{values: merged}
+	default:
+		b := asBitmap(o).clone().(*bitmapContainer)
+		for _, v := range a.values {
+			b.set(v)
+		}
+		return shrink(b)
+	}
+}
+
+func (a *arrayContainer) andNot(o container) container {
+	out := &arrayContainer{values: make([]uint16, 0, len(a.values))}
+	for _, v := range a.values {
+		if !o.contains(v) {
+			out.values = append(out.values, v)
+		}
+	}
+	return out
+}
+
+func (a *arrayContainer) xor(o container) container {
+	switch other := o.(type) {
+	case *arrayContainer:
+		sym := symmetricDiffSorted(a.values, other.values)
+		if len(sym) > arrayMaxSize {
+			return asBitmap(&arrayContainer{values: sym})
+		}
+		return &arrayContainer{values: sym}
+	default:
+		b := asBitmap(o).clone().(*bitmapContainer)
+		for _, v := range a.values {
+			b.flip(v)
+		}
+		return shrink(b)
+	}
+}
+
+func (a *arrayContainer) runOptimize() container {
+	if r, ok := runsFromSorted(a.values); ok && r.sizeInBytes() < 2*len(a.values) {
+		return r
+	}
+	return a
+}
+
+// intersectSorted returns the intersection of two sorted uint16 slices.
+func intersectSorted(a, b []uint16) []uint16 {
+	out := make([]uint16, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// countIntersectSorted returns the size of the intersection without
+// materializing it.
+func countIntersectSorted(a, b []uint16) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// unionSorted returns the union of two sorted uint16 slices.
+func unionSorted(a, b []uint16) []uint16 {
+	out := make([]uint16, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// symmetricDiffSorted returns the symmetric difference of two sorted
+// slices.
+func symmetricDiffSorted(a, b []uint16) []uint16 {
+	out := make([]uint16, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,196 @@
+package bitmap
+
+import "math/bits"
+
+// bitmapWords is the number of 64-bit words in a bitmap container
+// (64 Ki values / 64 bits per word).
+const bitmapWords = 1024
+
+// bitmapContainer stores a chunk as a 64-kilobit bitset with a cached
+// cardinality. It is the representation of choice for dense chunks
+// (> arrayMaxSize values).
+type bitmapContainer struct {
+	words [bitmapWords]uint64
+	card  int
+}
+
+var _ container = (*bitmapContainer)(nil)
+
+func newBitmapContainer() *bitmapContainer { return &bitmapContainer{} }
+
+func (b *bitmapContainer) set(v uint16) {
+	w, bit := v>>6, uint64(1)<<(v&63)
+	if b.words[w]&bit == 0 {
+		b.words[w] |= bit
+		b.card++
+	}
+}
+
+func (b *bitmapContainer) unset(v uint16) {
+	w, bit := v>>6, uint64(1)<<(v&63)
+	if b.words[w]&bit != 0 {
+		b.words[w] &^= bit
+		b.card--
+	}
+}
+
+func (b *bitmapContainer) flip(v uint16) {
+	w, bit := v>>6, uint64(1)<<(v&63)
+	if b.words[w]&bit != 0 {
+		b.card--
+	} else {
+		b.card++
+	}
+	b.words[w] ^= bit
+}
+
+func (b *bitmapContainer) contains(v uint16) bool {
+	return b.words[v>>6]&(uint64(1)<<(v&63)) != 0
+}
+
+func (b *bitmapContainer) cardinality() int { return b.card }
+
+func (b *bitmapContainer) add(v uint16) container {
+	b.set(v)
+	return b
+}
+
+func (b *bitmapContainer) remove(v uint16) container {
+	b.unset(v)
+	if b.card <= arrayMaxSize {
+		return asArray(b)
+	}
+	return b
+}
+
+func (b *bitmapContainer) iterate(f func(uint16) bool) bool {
+	for w, word := range b.words {
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			if !f(uint16(w<<6 + t)) {
+				return false
+			}
+			word &= word - 1
+		}
+	}
+	return true
+}
+
+func (b *bitmapContainer) clone() container {
+	out := *b
+	return &out
+}
+
+func (b *bitmapContainer) and(o container) container {
+	switch other := o.(type) {
+	case *bitmapContainer:
+		out := newBitmapContainer()
+		for i := range out.words {
+			out.words[i] = b.words[i] & other.words[i]
+			out.card += bits.OnesCount64(out.words[i])
+		}
+		return shrink(out)
+	case *arrayContainer:
+		return other.and(b)
+	default:
+		return b.and(asBitmap(o))
+	}
+}
+
+func (b *bitmapContainer) andCardinality(o container) int {
+	switch other := o.(type) {
+	case *bitmapContainer:
+		n := 0
+		for i := range b.words {
+			n += bits.OnesCount64(b.words[i] & other.words[i])
+		}
+		return n
+	case *arrayContainer:
+		return other.andCardinality(b)
+	default:
+		return b.andCardinality(asBitmap(o))
+	}
+}
+
+func (b *bitmapContainer) or(o container) container {
+	switch other := o.(type) {
+	case *bitmapContainer:
+		out := newBitmapContainer()
+		for i := range out.words {
+			out.words[i] = b.words[i] | other.words[i]
+			out.card += bits.OnesCount64(out.words[i])
+		}
+		return out
+	case *arrayContainer:
+		return other.or(b)
+	default:
+		return b.or(asBitmap(o))
+	}
+}
+
+func (b *bitmapContainer) andNot(o container) container {
+	switch other := o.(type) {
+	case *bitmapContainer:
+		out := newBitmapContainer()
+		for i := range out.words {
+			out.words[i] = b.words[i] &^ other.words[i]
+			out.card += bits.OnesCount64(out.words[i])
+		}
+		return shrink(out)
+	case *arrayContainer:
+		out := b.clone().(*bitmapContainer)
+		for _, v := range other.values {
+			out.unset(v)
+		}
+		return shrink(out)
+	default:
+		return b.andNot(asBitmap(o))
+	}
+}
+
+func (b *bitmapContainer) xor(o container) container {
+	switch other := o.(type) {
+	case *bitmapContainer:
+		out := newBitmapContainer()
+		for i := range out.words {
+			out.words[i] = b.words[i] ^ other.words[i]
+			out.card += bits.OnesCount64(out.words[i])
+		}
+		return shrink(out)
+	case *arrayContainer:
+		out := b.clone().(*bitmapContainer)
+		for _, v := range other.values {
+			out.flip(v)
+		}
+		return shrink(out)
+	default:
+		return b.xor(asBitmap(o))
+	}
+}
+
+func (b *bitmapContainer) runOptimize() container {
+	runs := b.countRuns()
+	// A run container costs 4 bytes per run + 2; a bitmap container costs
+	// 8 KiB. Prefer runs only when clearly smaller.
+	if 4*runs+2 < 8*bitmapWords {
+		return runsFromContainer(b, runs)
+	}
+	return b
+}
+
+// countRuns returns the number of maximal runs of consecutive set bits.
+func (b *bitmapContainer) countRuns() int {
+	n := 0
+	var prevEndsHigh bool
+	for _, word := range b.words {
+		// Runs starting within this word: bits set whose previous bit is
+		// clear; account for a run continuing from the previous word.
+		starts := word &^ (word << 1)
+		if prevEndsHigh && word&1 == 1 {
+			starts &^= 1
+		}
+		n += bits.OnesCount64(starts)
+		prevEndsHigh = word>>63 == 1
+	}
+	return n
+}

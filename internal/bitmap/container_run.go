@@ -1,0 +1,153 @@
+package bitmap
+
+import "sort"
+
+// interval is an inclusive run [start, start+length] of consecutive values.
+// length is the run length minus one, so a single value has length 0 and a
+// full chunk is {0, 65535}.
+type interval struct {
+	start  uint16
+	length uint16
+}
+
+func (iv interval) last() uint16 { return iv.start + iv.length }
+
+// runContainer stores a chunk as sorted, non-adjacent runs. Run containers
+// are produced by runOptimize on contiguous data (e.g. postings of dense
+// fingerprint ranges); mutating or combining them first converts to one of
+// the other representations, keeping the operation matrix small.
+type runContainer struct {
+	runs []interval
+}
+
+var _ container = (*runContainer)(nil)
+
+// runsFromSorted builds a run container from a sorted slice, reporting
+// false when the slice is empty.
+func runsFromSorted(values []uint16) (*runContainer, bool) {
+	if len(values) == 0 {
+		return nil, false
+	}
+	r := &runContainer{}
+	start, prev := values[0], values[0]
+	for _, v := range values[1:] {
+		if v == prev+1 {
+			prev = v
+			continue
+		}
+		r.runs = append(r.runs, interval{start: start, length: prev - start})
+		start, prev = v, v
+	}
+	r.runs = append(r.runs, interval{start: start, length: prev - start})
+	return r, true
+}
+
+// runsFromContainer converts any container into a run container with the
+// given (pre-counted) number of runs.
+func runsFromContainer(c container, runs int) *runContainer {
+	r := &runContainer{runs: make([]interval, 0, runs)}
+	first := true
+	var start, prev uint16
+	c.iterate(func(v uint16) bool {
+		switch {
+		case first:
+			start, prev, first = v, v, false
+		case v == prev+1:
+			prev = v
+		default:
+			r.runs = append(r.runs, interval{start: start, length: prev - start})
+			start, prev = v, v
+		}
+		return true
+	})
+	if !first {
+		r.runs = append(r.runs, interval{start: start, length: prev - start})
+	}
+	return r
+}
+
+func (r *runContainer) sizeInBytes() int { return 4*len(r.runs) + 2 }
+
+func (r *runContainer) contains(v uint16) bool {
+	i := sort.Search(len(r.runs), func(i int) bool { return r.runs[i].start > v })
+	if i == 0 {
+		return false
+	}
+	return v <= r.runs[i-1].last()
+}
+
+func (r *runContainer) cardinality() int {
+	n := 0
+	for _, iv := range r.runs {
+		n += int(iv.length) + 1
+	}
+	return n
+}
+
+func (r *runContainer) iterate(f func(uint16) bool) bool {
+	for _, iv := range r.runs {
+		v := int(iv.start)
+		for ; v <= int(iv.last()); v++ {
+			if !f(uint16(v)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (r *runContainer) clone() container {
+	return &runContainer{runs: append([]interval(nil), r.runs...)}
+}
+
+// expand converts the run container to whichever flat representation fits
+// its cardinality, prior to a mutating or binary operation.
+func (r *runContainer) expand() container {
+	if r.cardinality() <= arrayMaxSize {
+		return asArray(r)
+	}
+	return asBitmap(r)
+}
+
+func (r *runContainer) add(v uint16) container    { return r.expand().add(v) }
+func (r *runContainer) remove(v uint16) container { return r.expand().remove(v) }
+
+func (r *runContainer) and(o container) container    { return r.expand().and(o) }
+func (r *runContainer) or(o container) container     { return r.expand().or(o) }
+func (r *runContainer) andNot(o container) container { return r.expand().andNot(o) }
+func (r *runContainer) xor(o container) container    { return r.expand().xor(o) }
+
+func (r *runContainer) andCardinality(o container) int {
+	if other, ok := o.(*runContainer); ok {
+		return r.andCardinalityRuns(other)
+	}
+	n := 0
+	r.iterate(func(v uint16) bool {
+		if o.contains(v) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// andCardinalityRuns intersects two run lists directly.
+func (r *runContainer) andCardinalityRuns(o *runContainer) int {
+	n, i, j := 0, 0, 0
+	for i < len(r.runs) && j < len(o.runs) {
+		a, b := r.runs[i], o.runs[j]
+		lo := max(int(a.start), int(b.start))
+		hi := min(int(a.last()), int(b.last()))
+		if hi >= lo {
+			n += hi - lo + 1
+		}
+		if int(a.last()) < int(b.last()) {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+func (r *runContainer) runOptimize() container { return r }

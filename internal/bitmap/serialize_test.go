@@ -1,0 +1,161 @@
+package bitmap
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tests := []struct {
+		name  string
+		build func() *Bitmap
+	}{
+		{"empty", New},
+		{"small-array", func() *Bitmap { return FromSlice([]uint32{1, 5, 70000}) }},
+		{"dense-bitmap", func() *Bitmap {
+			b := New()
+			for i := 0; i < 6000; i++ {
+				b.Add(uint32(i * 2))
+			}
+			return b
+		}},
+		{"runs", func() *Bitmap {
+			b := New()
+			for i := 0; i < 9000; i++ {
+				b.Add(uint32(i))
+			}
+			b.RunOptimize()
+			return b
+		}},
+		{"mixed-random", func() *Bitmap {
+			b, _ := randomSets(rng, 20000)
+			b.RunOptimize()
+			return b
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			orig := tt.build()
+			var buf bytes.Buffer
+			n, err := orig.WriteTo(&buf)
+			if err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			if n != int64(buf.Len()) {
+				t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+			}
+			got := New()
+			if _, err := got.ReadFrom(&buf); err != nil {
+				t.Fatalf("ReadFrom: %v", err)
+			}
+			if !got.Equals(orig) {
+				t.Errorf("round trip lost data: %d vs %d values", got.Cardinality(), orig.Cardinality())
+			}
+		})
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad-magic", []byte{1, 2, 3, 4, 1, 0, 0, 0, 0}},
+		{"truncated", func() []byte {
+			var buf bytes.Buffer
+			b := FromSlice([]uint32{1, 2, 3})
+			if _, err := b.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()[:buf.Len()-2]
+		}()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := New()
+			if _, err := b.ReadFrom(bytes.NewReader(tt.data)); err == nil {
+				t.Error("ReadFrom should fail")
+			}
+		})
+	}
+}
+
+func TestReadFromRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	b := FromSlice([]uint32{1})
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version byte
+	if _, err := New().ReadFrom(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("want version error, got %v", err)
+	}
+}
+
+func TestReadFromReplacesContents(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := FromSlice([]uint32{42}).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := FromSlice([]uint32{1, 2, 3})
+	if _, err := b.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if b.Cardinality() != 1 || !b.Contains(42) {
+		t.Errorf("ReadFrom should replace contents, got %v", b.ToSlice())
+	}
+}
+
+func BenchmarkAndCardinalitySparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, _ := randomSets(rng, 200)
+	y, _ := randomSets(rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AndCardinality(x, y)
+	}
+}
+
+func BenchmarkAndCardinalityDense(b *testing.B) {
+	x, y := New(), New()
+	for i := 0; i < 100000; i++ {
+		if i%2 == 0 {
+			x.Add(uint32(i))
+		}
+		if i%3 == 0 {
+			y.Add(uint32(i))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AndCardinality(x, y)
+	}
+}
+
+func BenchmarkJaccardDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x, _ := randomSets(rng, 1000)
+	y, _ := randomSets(rng, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = JaccardDistance(x, y)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]uint32, 10000)
+	for i := range values {
+		values[i] = rng.Uint32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm := New()
+		bm.AddMany(values)
+	}
+}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"geodabs/internal/core"
+	"geodabs/internal/gen"
+	"geodabs/internal/index"
+	"geodabs/internal/roadnet"
+	"geodabs/internal/shard"
+	"geodabs/internal/trajectory"
+)
+
+var testWorkload = func() *gen.Output {
+	g, err := roadnet.GenerateCity(roadnet.CityConfig{RadiusMeters: 3000, Seed: 21})
+	if err != nil {
+		panic(err)
+	}
+	cfg := gen.DefaultConfig()
+	cfg.Routes = 8
+	cfg.TrajectoriesPerDirection = 4
+	cfg.MinRouteMeters = 2000
+	out, err := gen.Generate(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}()
+
+// startCluster spins up n nodes and a coordinator on the loopback
+// interface, tearing everything down with the test.
+func startCluster(t *testing.T, n int) (*Coordinator, []*Node) {
+	t.Helper()
+	nodes := make([]*Node, n)
+	addrs := make([]string, n)
+	for i := range nodes {
+		node, err := StartNode("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		addrs[i] = node.Addr()
+		t.Cleanup(func() { node.Close() })
+	}
+	ex := index.GeodabExtractor{Fingerprinter: core.MustFingerprinter(core.DefaultConfig())}
+	strategy := shard.Strategy{PrefixBits: 16, Shards: 10000, Nodes: n}
+	coord, err := NewCoordinator(ex, strategy, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	return coord, nodes
+}
+
+func TestClusterMatchesLocalIndex(t *testing.T) {
+	coord, _ := startCluster(t, 3)
+	ex := index.GeodabExtractor{Fingerprinter: core.MustFingerprinter(core.DefaultConfig())}
+	local := index.NewInverted(ex)
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		if err := coord.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := local.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range testWorkload.Queries {
+		want := local.Query(q, 0.99, 0)
+		got, err := coord.Query(q, 0.99, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: cluster returned %d results, local %d", q.ID, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d: %+v vs %+v", q.ID, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestClusterQueryLimit(t *testing.T) {
+	coord, _ := startCluster(t, 2)
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		if err := coord.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := coord.Query(testWorkload.Queries[0], 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("limit 3 returned %d", len(got))
+	}
+}
+
+func TestClusterDuplicateAdd(t *testing.T) {
+	coord, _ := startCluster(t, 2)
+	tr := testWorkload.Dataset.Trajectories[0]
+	if err := coord.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Add(tr); err == nil {
+		t.Error("duplicate add should fail")
+	}
+}
+
+func TestClusterAnalyzeLocality(t *testing.T) {
+	coord, _ := startCluster(t, 3)
+	stats := coord.Analyze(testWorkload.Queries[0])
+	if stats.Shards == 0 {
+		t.Fatal("query touches no shards")
+	}
+	// A city-scale trajectory touches a handful of the 10'000 shards.
+	if stats.Shards > 5 {
+		t.Errorf("query touches %d shards, want few (locality)", stats.Shards)
+	}
+	if stats.Nodes > stats.Shards {
+		t.Errorf("nodes %d > shards %d", stats.Nodes, stats.Shards)
+	}
+}
+
+func TestClusterStats(t *testing.T) {
+	coord, _ := startCluster(t, 3)
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		if err := coord.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := coord.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats for %d nodes", len(stats))
+	}
+	total := 0
+	for _, s := range stats {
+		total += s.Postings
+	}
+	if total == 0 {
+		t.Error("no postings across the cluster")
+	}
+}
+
+func TestClusterConcurrentAddsAndQueries(t *testing.T) {
+	coord, _ := startCluster(t, 3)
+	var wg sync.WaitGroup
+	errs := make(chan error, testWorkload.Dataset.Len())
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		wg.Add(1)
+		go func(tr *trajectory.Trajectory) {
+			defer wg.Done()
+			errs <- coord.Add(tr)
+		}(tr)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var qg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		qg.Add(1)
+		go func(i int) {
+			defer qg.Done()
+			q := testWorkload.Queries[i%len(testWorkload.Queries)]
+			if _, err := coord.Query(q, 1, 5); err != nil {
+				t.Errorf("concurrent query: %v", err)
+			}
+		}(i)
+	}
+	qg.Wait()
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	ex := index.GeodabExtractor{Fingerprinter: core.MustFingerprinter(core.DefaultConfig())}
+	bad := shard.Strategy{PrefixBits: 16, Shards: 100, Nodes: 2}
+	if _, err := NewCoordinator(ex, bad, []string{"127.0.0.1:1"}); err == nil {
+		t.Error("node count mismatch should fail")
+	}
+	if _, err := NewCoordinator(ex, shard.Strategy{}, nil); err == nil {
+		t.Error("invalid strategy should fail")
+	}
+	// Dialing a dead address fails cleanly.
+	dead := shard.Strategy{PrefixBits: 16, Shards: 100, Nodes: 1}
+	if _, err := NewCoordinator(ex, dead, []string{"127.0.0.1:1"}); err == nil {
+		t.Error("dead node should fail to dial")
+	}
+}
+
+func TestQueryAfterNodeShutdown(t *testing.T) {
+	coord, nodes := startCluster(t, 2)
+	for _, tr := range testWorkload.Dataset.Trajectories[:8] {
+		if err := coord.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes[0].Close()
+	nodes[1].Close()
+	if _, err := coord.Query(testWorkload.Queries[0], 1, 0); err == nil {
+		t.Error("query against a dead cluster should fail")
+	}
+}
+
+func TestNodeRejectsMalformedRequests(t *testing.T) {
+	node, err := StartNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	cl, err := dial(node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.close()
+	if _, err := cl.call(&request{Op: opAdd}); err == nil {
+		t.Error("add without payload should error")
+	}
+	if _, err := cl.call(&request{Op: opQuery}); err == nil {
+		t.Error("query without payload should error")
+	}
+	if _, err := cl.call(&request{Op: 99}); err == nil {
+		t.Error("unknown op should error")
+	}
+	// The connection survives protocol errors.
+	if _, err := cl.call(&request{Op: opStats}); err != nil {
+		t.Errorf("stats after errors: %v", err)
+	}
+}

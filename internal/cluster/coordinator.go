@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/index"
+	"geodabs/internal/shard"
+	"geodabs/internal/trajectory"
+)
+
+// Coordinator fronts a cluster of shard nodes: it fingerprints
+// trajectories, routes each term to the node owning its shard, and
+// scatter-gathers ranked queries. It also maintains the directory of
+// per-trajectory fingerprint cardinalities needed to turn partial
+// intersection counts into Jaccard distances.
+//
+// Coordinator is safe for concurrent use.
+type Coordinator struct {
+	ex       index.Extractor
+	strategy shard.Strategy
+	clients  []*client
+
+	mu        sync.RWMutex
+	directory map[trajectory.ID]int
+}
+
+// NewCoordinator connects to the given node addresses. The strategy's
+// Nodes must equal len(addrs).
+func NewCoordinator(ex index.Extractor, strategy shard.Strategy, addrs []string) (*Coordinator, error) {
+	if err := strategy.Validate(); err != nil {
+		return nil, err
+	}
+	if strategy.Nodes != len(addrs) {
+		return nil, fmt.Errorf("cluster: strategy has %d nodes, got %d addresses", strategy.Nodes, len(addrs))
+	}
+	c := &Coordinator{
+		ex:        ex,
+		strategy:  strategy,
+		directory: make(map[trajectory.ID]int),
+	}
+	for _, addr := range addrs {
+		cl, err := dial(addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.clients = append(c.clients, cl)
+	}
+	return c, nil
+}
+
+// Close tears down all node connections.
+func (c *Coordinator) Close() error {
+	var firstErr error
+	for _, cl := range c.clients {
+		if err := cl.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// groupByNode splits a term set by owning node. Only nodes owning at
+// least one term appear in the result.
+func (c *Coordinator) groupByNode(set *bitmap.Bitmap) map[int][]uint32 {
+	groups := make(map[int][]uint32)
+	set.Iterate(func(term uint32) bool {
+		n := c.strategy.NodeOfGeodab(term)
+		groups[n] = append(groups[n], term)
+		return true
+	})
+	return groups
+}
+
+// Add fingerprints the trajectory and routes its postings to the cluster.
+func (c *Coordinator) Add(t *trajectory.Trajectory) error {
+	set := c.ex.Extract(t.Points)
+	c.mu.Lock()
+	if _, dup := c.directory[t.ID]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: trajectory %d already indexed", t.ID)
+	}
+	c.directory[t.ID] = set.Cardinality()
+	c.mu.Unlock()
+
+	groups := c.groupByNode(set)
+	errs := make(chan error, len(groups))
+	var wg sync.WaitGroup
+	for node, terms := range groups {
+		wg.Add(1)
+		go func(node int, terms []uint32) {
+			defer wg.Done()
+			_, err := c.clients[node].call(&request{
+				Op:  opAdd,
+				Add: &addRequest{ID: uint32(t.ID), Terms: terms},
+			})
+			errs <- err
+		}(node, terms)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryStats reports the fan-out of the last analysis of a query set.
+type QueryStats struct {
+	// Shards and Nodes touched by the query's terms. Locality on the
+	// space-filling curve keeps Shards small; the modulo step spreads
+	// them over Nodes.
+	Shards int
+	Nodes  int
+}
+
+// Analyze returns the fan-out a query would incur, without executing it.
+func (c *Coordinator) Analyze(q *trajectory.Trajectory) QueryStats {
+	set := c.ex.Extract(q.Points)
+	terms := set.ToSlice()
+	shards := c.strategy.ShardsOf(terms)
+	nodes := make(map[int]struct{}, len(shards))
+	for _, s := range shards {
+		nodes[c.strategy.NodeOf(s)] = struct{}{}
+	}
+	return QueryStats{Shards: len(shards), Nodes: len(nodes)}
+}
+
+// Query scatter-gathers the ranked retrieval problem across the cluster
+// and merges partial intersection counts into Jaccard-ranked results,
+// equivalent to index.Inverted.Query on the same data.
+func (c *Coordinator) Query(q *trajectory.Trajectory, maxDistance float64, limit int) ([]index.Result, error) {
+	set := c.ex.Extract(q.Points)
+	groups := c.groupByNode(set)
+	type partial struct {
+		counts map[uint32]int
+		err    error
+	}
+	parts := make(chan partial, len(groups))
+	var wg sync.WaitGroup
+	for node, terms := range groups {
+		wg.Add(1)
+		go func(node int, terms []uint32) {
+			defer wg.Done()
+			resp, err := c.clients[node].call(&request{
+				Op:    opQuery,
+				Query: &queryRequest{Terms: terms},
+			})
+			if err != nil {
+				parts <- partial{err: err}
+				return
+			}
+			parts <- partial{counts: resp.Query.Partial}
+		}(node, terms)
+	}
+	wg.Wait()
+	close(parts)
+
+	shared := make(map[uint32]int)
+	for p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		for id, count := range p.counts {
+			shared[id] += count
+		}
+	}
+
+	qCard := set.Cardinality()
+	c.mu.RLock()
+	results := make([]index.Result, 0, len(shared))
+	for id, inter := range shared {
+		docCard, ok := c.directory[trajectory.ID(id)]
+		if !ok {
+			continue // indexed by another coordinator; cannot rank
+		}
+		union := qCard + docCard - inter
+		d := 1.0
+		if union > 0 {
+			d = 1 - float64(inter)/float64(union)
+		}
+		if d <= maxDistance {
+			results = append(results, index.Result{ID: trajectory.ID(id), Distance: d, Shared: inter})
+		}
+	}
+	c.mu.RUnlock()
+
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Distance != results[j].Distance {
+			return results[i].Distance < results[j].Distance
+		}
+		return results[i].ID < results[j].ID
+	})
+	if limit > 0 && len(results) > limit {
+		results = results[:limit]
+	}
+	return results, nil
+}
+
+// Stats gathers per-node term and posting counts, index row i matching
+// node i.
+func (c *Coordinator) Stats() ([]statsOf, error) {
+	out := make([]statsOf, len(c.clients))
+	for i, cl := range c.clients {
+		resp, err := cl.call(&request{Op: opStats})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = statsOf{Node: i, Terms: resp.Stats.Terms, Postings: resp.Stats.Postings}
+	}
+	return out, nil
+}
+
+// statsOf is one node's shard statistics.
+type statsOf struct {
+	Node     int
+	Terms    int
+	Postings int
+}

@@ -1,0 +1,208 @@
+// Package cluster implements the paper's distributed index (§III-A4,
+// §VI-E) as a real client/server system on TCP: shard nodes own disjoint
+// ranges of the geodab term space and serve posting lookups; a coordinator
+// routes additions and scatter-gathers queries, merging partial
+// intersection counts into Jaccard-ranked results.
+//
+// Everything speaks length-delimited gob — no dependencies beyond the
+// standard library.
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"geodabs/internal/bitmap"
+)
+
+// Node is a shard server holding the posting lists of the terms routed to
+// it. Start it with StartNode; stop it with Close.
+type Node struct {
+	ln net.Listener
+
+	mu       sync.RWMutex
+	postings map[uint32]*bitmap.Bitmap
+
+	connWG    sync.WaitGroup
+	closing   chan struct{}
+	closeOnce sync.Once
+}
+
+// StartNode listens on addr (e.g. "127.0.0.1:0") and serves shard requests
+// until Close.
+func StartNode(addr string) (*Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	n := &Node{
+		ln:       ln,
+		postings: make(map[uint32]*bitmap.Bitmap),
+		closing:  make(chan struct{}),
+	}
+	n.connWG.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address for coordinators to dial.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections to finish.
+// It is safe to call multiple times.
+func (n *Node) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.closing)
+		err = n.ln.Close()
+		n.connWG.Wait()
+	})
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.connWG.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.closing:
+				return
+			default:
+				// Transient accept error: keep serving.
+				continue
+			}
+		}
+		n.connWG.Add(1)
+		go n.serve(conn)
+	}
+}
+
+// serve handles one coordinator connection until EOF or node shutdown.
+func (n *Node) serve(conn net.Conn) {
+	defer n.connWG.Done()
+	defer conn.Close()
+	// Unblock the decoder when the node shuts down.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-n.closing:
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or connection torn down
+		}
+		resp := n.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) handle(req *request) *response {
+	switch req.Op {
+	case opAdd:
+		if req.Add == nil {
+			return &response{Err: "add request missing payload"}
+		}
+		n.add(req.Add)
+		return &response{}
+	case opQuery:
+		if req.Query == nil {
+			return &response{Err: "query request missing payload"}
+		}
+		return &response{Query: n.query(req.Query)}
+	case opStats:
+		return &response{Stats: n.stats()}
+	default:
+		return &response{Err: fmt.Sprintf("unknown op %d", req.Op)}
+	}
+}
+
+func (n *Node) add(req *addRequest) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, term := range req.Terms {
+		p, ok := n.postings[term]
+		if !ok {
+			p = bitmap.New()
+			n.postings[term] = p
+		}
+		p.Add(req.ID)
+	}
+}
+
+func (n *Node) query(req *queryRequest) *queryResponse {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	partial := make(map[uint32]int)
+	for _, term := range req.Terms {
+		if p, ok := n.postings[term]; ok {
+			p.Iterate(func(id uint32) bool {
+				partial[id]++
+				return true
+			})
+		}
+	}
+	return &queryResponse{Partial: partial}
+}
+
+func (n *Node) stats() *statsResponse {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s := &statsResponse{Terms: len(n.postings)}
+	for _, p := range n.postings {
+		s.Postings += p.Cardinality()
+	}
+	return s
+}
+
+// client is the coordinator's connection to one node. Calls are
+// serialized per connection.
+type client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func dial(addr string) (*client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	return &client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// call performs one request/response round trip.
+func (c *client) call(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("cluster: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("cluster: node closed connection")
+		}
+		return nil, fmt.Errorf("cluster: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cluster: node error: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+func (c *client) close() error { return c.conn.Close() }

@@ -1,0 +1,52 @@
+package cluster
+
+// Wire protocol: length-delimited gob over TCP. Each connection carries a
+// sequential stream of request/response pairs; the coordinator serializes
+// requests per connection and fans out across connections.
+
+// op discriminates request types.
+type op uint8
+
+const (
+	opAdd op = iota + 1
+	opQuery
+	opStats
+)
+
+// addRequest routes the terms a node owns for one trajectory.
+type addRequest struct {
+	ID    uint32
+	Terms []uint32
+}
+
+// queryRequest carries the query terms owned by the node.
+type queryRequest struct {
+	Terms []uint32
+}
+
+// queryResponse returns, for every candidate trajectory seen on this node,
+// the number of query terms it shares. Term spaces of different nodes are
+// disjoint, so the coordinator can sum partial counts.
+type queryResponse struct {
+	Partial map[uint32]int
+}
+
+// statsResponse summarizes a node's shard contents.
+type statsResponse struct {
+	Terms    int
+	Postings int
+}
+
+// request is the envelope sent from coordinator to node.
+type request struct {
+	Op    op
+	Add   *addRequest
+	Query *queryRequest
+}
+
+// response is the envelope sent back. Err is non-empty on failure.
+type response struct {
+	Err   string
+	Query *queryResponse
+	Stats *statsResponse
+}

@@ -1,0 +1,349 @@
+// Package core implements geodabs, the paper's primary contribution
+// (§IV): fingerprints that combine geohashing and hashing so that a single
+// 32-bit value both localizes a k-gram of trajectory points on the Z-order
+// space-filling curve (its geohash prefix) and discriminates the k-gram's
+// path and direction (its order-sensitive hash suffix).
+//
+// The pipeline, mirroring the paper's Figure 4, is
+//
+//	raw points → grid normalization → k-grams of cells → geodabs
+//	           → winnowing → fingerprint set (roaring bitmap)
+package core
+
+import (
+	"fmt"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/geo"
+	"geodabs/internal/geohash"
+	"geodabs/internal/winnow"
+)
+
+// GeodabBits is the width of a geodab in bits. The paper encodes geodabs
+// on 32 bits so fingerprint sets fit in roaring bitmaps.
+const GeodabBits = 32
+
+// PrefixStrategy selects how the geohash prefix of a geodab is derived
+// from a k-gram.
+type PrefixStrategy uint8
+
+const (
+	// PrefixCover uses the covering geohash of the k-gram — "the highest
+	// precision geohash that overlaps with the whole set" (paper Fig 3a) —
+	// truncated to PrefixBits. K-grams whose cover is shorter than
+	// PrefixBits (they straddle a major bisection boundary) fall back to
+	// the first cell's prefix to preserve locality.
+	PrefixCover PrefixStrategy = iota
+	// PrefixCentroid uses the depth-PrefixBits geohash of the k-gram's
+	// cell-center centroid. Provided as an ablation of the cover strategy.
+	PrefixCentroid
+)
+
+// Config parameterizes a Fingerprinter. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// K is the noise threshold: matches shorter than K normalized cells
+	// are never detected. The paper uses 6 (≈510 m in London at 36 bits).
+	K int
+	// T is the guarantee threshold: common runs of at least T cells are
+	// always detected. The paper uses 12 (≈1020 m). The winnowing window
+	// is w = T−K+1.
+	T int
+	// NormDepth is the geohash depth, in bits, of the normalization grid.
+	// The paper's PR-curve sweep (Fig 8) selects 36.
+	NormDepth uint8
+	// PrefixBits is the width of the geodab's geohash prefix. The paper
+	// shards on 16-bit prefixes (§VI-E).
+	PrefixBits uint8
+	// Strategy selects the prefix derivation; the default is PrefixCover.
+	Strategy PrefixStrategy
+	// KeepShort, when set, fingerprints trajectories that normalize to
+	// fewer than T cells by selecting a single winnowed geodab instead of
+	// dropping them as noise (the paper's strict behaviour).
+	KeepShort bool
+	// MinCellPoints debounces grid normalization: a cell only enters the
+	// normalized sequence once it captures this many consecutive raw
+	// points. GPS noise near a cell boundary otherwise injects one-point
+	// jitter cells that break every k-gram spanning them. 0 behaves as 1
+	// (no debouncing).
+	MinCellPoints int
+	// SmoothWindow applies a centered moving average of this many raw
+	// points before grid snapping, attenuating GPS noise (a window of w
+	// divides the noise standard deviation by ≈√w). 0 and 1 disable
+	// smoothing. Smoothing and debouncing together form the concrete
+	// normalization function N(S) of the paper's §V.
+	SmoothWindow int
+}
+
+// DefaultConfig returns the configuration the paper's evaluation settled
+// on (§VI-A2): 36-bit normalization, k = 6, t = 12, 16-bit prefixes.
+func DefaultConfig() Config {
+	return Config{
+		K: 6, T: 12,
+		NormDepth:     36,
+		PrefixBits:    16,
+		Strategy:      PrefixCover,
+		MinCellPoints: 2,
+		SmoothWindow:  5,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.K < 2:
+		return fmt.Errorf("core: K = %d, need at least 2 to capture ordering", c.K)
+	case c.T < c.K:
+		return fmt.Errorf("core: T = %d must be ≥ K = %d", c.T, c.K)
+	case c.NormDepth < 1 || c.NormDepth > geohash.MaxDepth:
+		return fmt.Errorf("core: NormDepth = %d out of range [1, %d]", c.NormDepth, geohash.MaxDepth)
+	case c.PrefixBits < 1 || c.PrefixBits >= GeodabBits:
+		return fmt.Errorf("core: PrefixBits = %d out of range [1, %d]", c.PrefixBits, GeodabBits-1)
+	case c.Strategy != PrefixCover && c.Strategy != PrefixCentroid:
+		return fmt.Errorf("core: unknown prefix strategy %d", c.Strategy)
+	default:
+		return nil
+	}
+}
+
+// Window returns the winnowing window size w = T−K+1.
+func (c Config) Window() int { return c.T - c.K + 1 }
+
+// Cell is one step of a normalized trajectory: a grid cell at NormDepth
+// together with the range of raw points that collapsed into it.
+type Cell struct {
+	Hash   geohash.Hash
+	Center geo.Point
+	// First and Last delimit (inclusively) the indexes of the raw points
+	// normalized into this cell, for mapping motifs back to raw segments.
+	First, Last int
+}
+
+// Fingerprint is the result of fingerprinting one trajectory.
+type Fingerprint struct {
+	// Geodabs are the winnowed geodabs in trajectory order. Values may
+	// repeat when a trajectory revisits an area in the same direction.
+	Geodabs []uint32
+	// Positions holds, for each winnowed geodab, the index into Cells of
+	// the first cell of its k-gram.
+	Positions []int
+	// Cells is the normalized cell sequence the geodabs were derived from.
+	Cells []Cell
+	// Set is the deduplicated fingerprint set used for Jaccard ranking.
+	Set *bitmap.Bitmap
+}
+
+// Fingerprinter turns trajectories into geodab fingerprints. It is
+// immutable and safe for concurrent use.
+type Fingerprinter struct {
+	cfg        Config
+	suffixMask uint32
+}
+
+// NewFingerprinter validates cfg and returns a Fingerprinter.
+func NewFingerprinter(cfg Config) (*Fingerprinter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fingerprinter{
+		cfg:        cfg,
+		suffixMask: uint32(1)<<(GeodabBits-cfg.PrefixBits) - 1,
+	}, nil
+}
+
+// MustFingerprinter is NewFingerprinter for configurations known to be
+// valid; it panics on error.
+func MustFingerprinter(cfg Config) *Fingerprinter {
+	f, err := NewFingerprinter(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Config returns the fingerprinter's configuration.
+func (f *Fingerprinter) Config() Config { return f.cfg }
+
+// Normalize maps raw points onto the geohash grid at NormDepth and removes
+// consecutive duplicates, the paper's lightweight normalization (§V-A).
+// With MinCellPoints > 1 it additionally debounces boundary jitter: a new
+// cell is only committed once that many consecutive points land in it, and
+// shorter excursions are folded into the current cell.
+func (f *Fingerprinter) Normalize(points []geo.Point) []Cell {
+	points = Smooth(points, f.cfg.SmoothWindow)
+	cells := make([]Cell, 0, len(points))
+	commit := func(h geohash.Hash, first, last int) {
+		if n := len(cells); n > 0 && cells[n-1].Hash == h {
+			cells[n-1].Last = last
+			return
+		}
+		cells = append(cells, Cell{Hash: h, Center: h.Center(), First: first, Last: last})
+	}
+	debounce := max(f.cfg.MinCellPoints, 1)
+	// pending tracks a candidate run of consecutive points in one cell
+	// that has not yet reached the debounce length.
+	var pending struct {
+		hash  geohash.Hash
+		first int
+		count int
+	}
+	flush := func(last int) {
+		if pending.count > 0 {
+			// The run never reached the debounce length: fold it into the
+			// previous cell, or commit it as-is when there is none (the
+			// trajectory has to start somewhere).
+			if len(cells) > 0 {
+				cells[len(cells)-1].Last = last
+			} else {
+				commit(pending.hash, pending.first, last)
+			}
+			pending.count = 0
+		}
+	}
+	for i, p := range points {
+		h := geohash.Encode(p, f.cfg.NormDepth)
+		if n := len(cells); n > 0 && cells[n-1].Hash == h {
+			// Returned to the committed cell: the excursion was jitter.
+			flush(i - 1)
+			cells[n-1].Last = i
+			continue
+		}
+		if pending.count > 0 && pending.hash == h {
+			pending.count++
+		} else {
+			flush(i - 1)
+			pending.hash, pending.first, pending.count = h, i, 1
+		}
+		if pending.count >= debounce || (len(cells) == 0 && debounce == 1) {
+			commit(pending.hash, pending.first, i)
+			pending.count = 0
+		}
+	}
+	flush(len(points) - 1)
+	return cells
+}
+
+// Geodab computes the geodab of one k-gram of cells, combining the geohash
+// prefix and the order-sensitive hash suffix (paper Fig 3). The caller
+// must pass exactly K cells; shorter slices are allowed for testing but
+// produce geodabs outside the winnowing guarantees.
+func (f *Fingerprinter) Geodab(kgram []Cell) uint32 {
+	return f.prefix(kgram)<<(GeodabBits-f.cfg.PrefixBits) | f.suffix(kgram)
+}
+
+// prefix derives the PrefixBits-wide spatial prefix.
+func (f *Fingerprinter) prefix(kgram []Cell) uint32 {
+	p := f.cfg.PrefixBits
+	switch f.cfg.Strategy {
+	case PrefixCentroid:
+		var lat, lon float64
+		for _, c := range kgram {
+			lat += c.Center.Lat
+			lon += c.Center.Lon
+		}
+		n := float64(len(kgram))
+		return uint32(geohash.Encode(geo.Point{Lat: lat / n, Lon: lon / n}, p).Bits)
+	default: // PrefixCover
+		cover := kgram[0].Hash
+		for _, c := range kgram[1:] {
+			if cover.Depth < p {
+				break
+			}
+			cover = geohash.CommonPrefix(cover, c.Hash)
+		}
+		if cover.Depth < p {
+			// The k-gram straddles a coarse bisection boundary; anchor the
+			// prefix on the first cell to keep the geodab local.
+			cover = kgram[0].Hash
+		}
+		return uint32(cover.Prefix(p).Bits)
+	}
+}
+
+// suffix hashes the ordered cell ids with FNV-1a so that reversing or
+// permuting a k-gram changes the geodab: this is what lets geodabs
+// discriminate the direction of travel, unlike bare geohashes.
+func (f *Fingerprinter) suffix(kgram []Cell) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, c := range kgram {
+		bits := c.Hash.Bits
+		for shift := 56; shift >= 0; shift -= 8 {
+			h ^= uint32(bits >> uint(shift) & 0xff)
+			h *= prime32
+		}
+	}
+	return h & f.suffixMask
+}
+
+// GeodabSequence computes the unwinnowed geodab of every k-gram of the
+// cell sequence, the candidate list C of Algorithm 1.
+func (f *Fingerprinter) GeodabSequence(cells []Cell) []uint32 {
+	k := f.cfg.K
+	if len(cells) < k {
+		return nil
+	}
+	out := make([]uint32, 0, len(cells)-k+1)
+	for i := 0; i+k <= len(cells); i++ {
+		out = append(out, f.Geodab(cells[i:i+k]))
+	}
+	return out
+}
+
+// Fingerprint runs the full pipeline on a raw point sequence.
+// Trajectories that normalize to fewer than T cells return a fingerprint
+// with an empty (but non-nil) set unless KeepShort is configured.
+func (f *Fingerprinter) Fingerprint(points []geo.Point) *Fingerprint {
+	cells := f.Normalize(points)
+	candidates := f.GeodabSequence(cells)
+	var positions []int
+	if f.cfg.KeepShort {
+		positions = winnow.SelectShort(candidates, f.cfg.Window())
+	} else {
+		positions = winnow.Select(candidates, f.cfg.Window())
+	}
+	fp := &Fingerprint{
+		Geodabs:   winnow.Values(candidates, positions),
+		Positions: positions,
+		Cells:     cells,
+		Set:       bitmap.New(),
+	}
+	fp.Set.AddMany(fp.Geodabs)
+	return fp
+}
+
+// Smooth returns the trajectory filtered with a centered moving average of
+// the given window (in points). Windows of 0 or 1 return the input slice
+// unchanged. Edges use the available shorter windows, so the first and
+// last points stay anchored near their raw positions.
+func Smooth(points []geo.Point, window int) []geo.Point {
+	if window <= 1 || len(points) == 0 {
+		return points
+	}
+	out := make([]geo.Point, len(points))
+	half := window / 2
+	for i := range points {
+		lo, hi := max(0, i-half), min(len(points), i+half+1)
+		var lat, lon float64
+		for _, p := range points[lo:hi] {
+			lat += p.Lat
+			lon += p.Lon
+		}
+		n := float64(hi - lo)
+		out[i] = geo.Point{Lat: lat / n, Lon: lon / n}
+	}
+	return out
+}
+
+// PrefixOf extracts the geohash prefix of a geodab as a geohash.Hash of
+// depth prefixBits. The sharding layer uses it to place postings on the
+// space-filling curve.
+func PrefixOf(geodab uint32, prefixBits uint8) geohash.Hash {
+	return geohash.Hash{
+		Bits:  uint64(geodab >> (GeodabBits - prefixBits)),
+		Depth: prefixBits,
+	}
+}

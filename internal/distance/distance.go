@@ -1,0 +1,110 @@
+// Package distance implements the trajectory distance measures the paper
+// evaluates against each other (§VI-B): Dynamic Time Warping (DTW, Yi et
+// al.), the Discrete Fréchet Distance (DFD, Eiter & Mannila) — both O(n·m)
+// dynamic programs over the haversine ground distance — and the Jaccard
+// distance over fingerprint sets, which replaces them at scale.
+package distance
+
+import (
+	"math"
+
+	"geodabs/internal/geo"
+)
+
+// DTW returns the dynamic time-warping distance between two trajectories,
+// per the recurrence of the paper's Eq. 3: the cost of the cheapest
+// monotone alignment, where each matched pair contributes its ground
+// distance in meters. DTW of anything against an empty trajectory is +Inf
+// (no alignment exists); two empty trajectories are at distance 0.
+func DTW(p, q []geo.Point) float64 {
+	if len(p) == 0 && len(q) == 0 {
+		return 0
+	}
+	if len(p) == 0 || len(q) == 0 {
+		return math.Inf(1)
+	}
+	// Keep the shorter trajectory in the inner dimension to minimize the
+	// rolling-row footprint.
+	if len(q) > len(p) {
+		p, q = q, p
+	}
+	prev := make([]float64, len(q)+1)
+	curr := make([]float64, len(q)+1)
+	for j := 1; j <= len(q); j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= len(p); i++ {
+		curr[0] = math.Inf(1)
+		for j := 1; j <= len(q); j++ {
+			d := geo.Haversine(p[i-1], q[j-1])
+			curr[j] = d + min3(prev[j], curr[j-1], prev[j-1])
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(q)]
+}
+
+// DFD returns the discrete Fréchet distance ("dog leash distance") between
+// two trajectories, per the recurrence of the paper's Eq. 4: the smallest
+// leash length, in meters, that lets two walkers traverse both sequences
+// monotonically. DFD involving an empty trajectory is +Inf; two empty
+// trajectories are at distance 0.
+func DFD(p, q []geo.Point) float64 {
+	if len(p) == 0 && len(q) == 0 {
+		return 0
+	}
+	if len(p) == 0 || len(q) == 0 {
+		return math.Inf(1)
+	}
+	if len(q) > len(p) {
+		p, q = q, p
+	}
+	prev := make([]float64, len(q))
+	curr := make([]float64, len(q))
+	for i := 0; i < len(p); i++ {
+		for j := 0; j < len(q); j++ {
+			d := geo.Haversine(p[i], q[j])
+			switch {
+			case i == 0 && j == 0:
+				curr[j] = d
+			case i == 0:
+				curr[j] = math.Max(curr[j-1], d)
+			case j == 0:
+				curr[j] = math.Max(prev[j], d)
+			default:
+				curr[j] = math.Max(min3(prev[j], curr[j-1], prev[j-1]), d)
+			}
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(q)-1]
+}
+
+// JaccardSorted returns the Jaccard distance dJ = 1 − |A∩B| / |A∪B|
+// between two sorted, duplicate-free uint32 slices (ordered fingerprint
+// sets). The distance between two empty sets is 0 by the same convention
+// as the bitmap package (identical sets).
+func JaccardSorted(a, b []uint32) float64 {
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+func min3(a, b, c float64) float64 {
+	return math.Min(a, math.Min(b, c))
+}

@@ -1,0 +1,253 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geodabs/internal/geo"
+)
+
+// line returns n points spaced meters apart heading east from a base point.
+func line(n int, spacing float64) []geo.Point {
+	base := geo.Point{Lat: 51.5, Lon: -0.12}
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Offset(base, 0, float64(i)*spacing)
+	}
+	return out
+}
+
+// shifted returns the points displaced north by meters.
+func shifted(pts []geo.Point, north float64) []geo.Point {
+	out := make([]geo.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geo.Offset(p, north, 0)
+	}
+	return out
+}
+
+// dfdBrute is the textbook recursive DFD used to validate the DP version.
+func dfdBrute(p, q []geo.Point) float64 {
+	memo := make(map[[2]int]float64)
+	var rec func(i, j int) float64
+	rec = func(i, j int) float64 {
+		if v, ok := memo[[2]int{i, j}]; ok {
+			return v
+		}
+		d := geo.Haversine(p[i], q[j])
+		var v float64
+		switch {
+		case i == 0 && j == 0:
+			v = d
+		case i == 0:
+			v = math.Max(rec(0, j-1), d)
+		case j == 0:
+			v = math.Max(rec(i-1, 0), d)
+		default:
+			v = math.Max(min3(rec(i-1, j), rec(i, j-1), rec(i-1, j-1)), d)
+		}
+		memo[[2]int{i, j}] = v
+		return v
+	}
+	return rec(len(p)-1, len(q)-1)
+}
+
+// dtwBrute is the textbook recursive DTW used to validate the DP version.
+func dtwBrute(p, q []geo.Point) float64 {
+	memo := make(map[[2]int]float64)
+	var rec func(i, j int) float64
+	rec = func(i, j int) float64 {
+		if i == 0 && j == 0 {
+			return 0
+		}
+		if i == 0 || j == 0 {
+			return math.Inf(1)
+		}
+		if v, ok := memo[[2]int{i, j}]; ok {
+			return v
+		}
+		v := geo.Haversine(p[i-1], q[j-1]) + min3(rec(i-1, j), rec(i, j-1), rec(i-1, j-1))
+		memo[[2]int{i, j}] = v
+		return v
+	}
+	return rec(len(p), len(q))
+}
+
+func TestDFDMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 50; round++ {
+		p := randomWalk(rng, 1+rng.Intn(12))
+		q := randomWalk(rng, 1+rng.Intn(12))
+		got, want := DFD(p, q), dfdBrute(p, q)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("DFD = %v, brute force = %v (|p|=%d |q|=%d)", got, want, len(p), len(q))
+		}
+	}
+}
+
+func TestDTWMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for round := 0; round < 50; round++ {
+		p := randomWalk(rng, 1+rng.Intn(12))
+		q := randomWalk(rng, 1+rng.Intn(12))
+		got, want := DTW(p, q), dtwBrute(p, q)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("DTW = %v, brute force = %v (|p|=%d |q|=%d)", got, want, len(p), len(q))
+		}
+	}
+}
+
+func randomWalk(rng *rand.Rand, n int) []geo.Point {
+	p := geo.Point{Lat: 51.5, Lon: -0.12}
+	out := make([]geo.Point, n)
+	for i := range out {
+		p = geo.Offset(p, rng.Float64()*100-50, rng.Float64()*100-50)
+		out[i] = p
+	}
+	return out
+}
+
+func TestIdenticalTrajectoriesAreAtZero(t *testing.T) {
+	p := line(50, 10)
+	if got := DTW(p, p); got != 0 {
+		t.Errorf("DTW(p, p) = %v", got)
+	}
+	if got := DFD(p, p); got != 0 {
+		t.Errorf("DFD(p, p) = %v", got)
+	}
+}
+
+func TestParallelLines(t *testing.T) {
+	p := line(30, 10)
+	q := shifted(p, 100)
+	// DFD of two parallel lines is the separation distance.
+	if got := DFD(p, q); math.Abs(got-100) > 1 {
+		t.Errorf("DFD of parallel lines = %.2f, want ≈100", got)
+	}
+	// DTW accumulates ≈100 m per matched pair.
+	if got := DTW(p, q); math.Abs(got-3000) > 50 {
+		t.Errorf("DTW of parallel lines = %.2f, want ≈3000", got)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20; i++ {
+		p := randomWalk(rng, 5+rng.Intn(20))
+		q := randomWalk(rng, 5+rng.Intn(20))
+		if a, b := DFD(p, q), DFD(q, p); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("DFD not symmetric: %v vs %v", a, b)
+		}
+		if a, b := DTW(p, q), DTW(q, p); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("DTW not symmetric: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestDFDLowerBoundedByEndpoints(t *testing.T) {
+	// Any coupling matches the first and last points, so
+	// DFD ≥ max(d(p1,q1), d(pn,qm)) — the bound used to prune motifs.
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50; i++ {
+		p := randomWalk(rng, 3+rng.Intn(10))
+		q := randomWalk(rng, 3+rng.Intn(10))
+		bound := math.Max(
+			geo.Haversine(p[0], q[0]),
+			geo.Haversine(p[len(p)-1], q[len(q)-1]),
+		)
+		if got := DFD(p, q); got < bound-1e-9 {
+			t.Fatalf("DFD %v below endpoint bound %v", got, bound)
+		}
+	}
+}
+
+func TestDFDReversalDiscriminates(t *testing.T) {
+	// A trajectory and its reverse are far apart under DFD — the property
+	// that geohash indexes cannot capture but geodabs can (paper Fig 12).
+	p := line(50, 20)
+	rev := make([]geo.Point, len(p))
+	for i := range p {
+		rev[i] = p[len(p)-1-i]
+	}
+	length := 49 * 20.0
+	if got := DFD(p, rev); got < length/2 {
+		t.Errorf("DFD(p, reverse) = %.1f, want ≥ %.1f", got, length/2)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	p := line(3, 10)
+	for name, f := range map[string]func(a, b []geo.Point) float64{"DTW": DTW, "DFD": DFD} {
+		if got := f(nil, nil); got != 0 {
+			t.Errorf("%s(nil, nil) = %v, want 0", name, got)
+		}
+		if got := f(p, nil); !math.IsInf(got, 1) {
+			t.Errorf("%s(p, nil) = %v, want +Inf", name, got)
+		}
+		if got := f(nil, p); !math.IsInf(got, 1) {
+			t.Errorf("%s(nil, p) = %v, want +Inf", name, got)
+		}
+	}
+}
+
+func TestMismatchedLengths(t *testing.T) {
+	// A single point against a line: DFD is the max distance to the point,
+	// DTW the sum.
+	p := line(10, 100)
+	q := p[:1]
+	wantMax := geo.Haversine(p[0], p[9])
+	if got := DFD(p, q); math.Abs(got-wantMax) > 1 {
+		t.Errorf("DFD = %.1f, want %.1f", got, wantMax)
+	}
+	var wantSum float64
+	for _, pt := range p {
+		wantSum += geo.Haversine(pt, q[0])
+	}
+	if got := DTW(p, q); math.Abs(got-wantSum) > 1 {
+		t.Errorf("DTW = %.1f, want %.1f", got, wantSum)
+	}
+}
+
+func TestJaccardSorted(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []uint32
+		want float64
+	}{
+		{"identical", []uint32{1, 2, 3}, []uint32{1, 2, 3}, 0},
+		{"disjoint", []uint32{1, 2}, []uint32{3, 4}, 1},
+		{"half", []uint32{1, 2, 3, 4}, []uint32{3, 4, 5, 6}, 1 - 2.0/6.0},
+		{"both-empty", nil, nil, 0},
+		{"one-empty", []uint32{1}, nil, 1},
+		{"subset", []uint32{1, 2}, []uint32{1, 2, 3, 4}, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := JaccardSorted(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("JaccardSorted = %v, want %v", got, tt.want)
+			}
+			if got := JaccardSorted(tt.b, tt.a); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("JaccardSorted reversed = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func BenchmarkDTW1000(b *testing.B) {
+	p := line(1000, 10)
+	q := shifted(p, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DTW(p, q)
+	}
+}
+
+func BenchmarkDFD1000(b *testing.B) {
+	p := line(1000, 10)
+	q := shifted(p, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DFD(p, q)
+	}
+}

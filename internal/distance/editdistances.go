@@ -1,0 +1,76 @@
+package distance
+
+import "geodabs/internal/geo"
+
+// This file adds the two classic edit-style trajectory measures that
+// trajectory systems commonly offer next to DTW and DFD. The paper's
+// evaluation uses DTW/DFD; LCSS and EDR round the library out and share
+// their O(n·m) shape, so the cost arguments of §VI-B apply to them
+// unchanged.
+
+// LCSS returns the Longest Common Subsequence similarity count between
+// two trajectories: the length of the longest subsequence whose matched
+// points are within eps meters of each other (Vlachos et al.). The result
+// is in [0, min(|p|, |q|)].
+func LCSS(p, q []geo.Point, eps float64) int {
+	if len(p) == 0 || len(q) == 0 {
+		return 0
+	}
+	if len(q) > len(p) {
+		p, q = q, p
+	}
+	prev := make([]int, len(q)+1)
+	curr := make([]int, len(q)+1)
+	for i := 1; i <= len(p); i++ {
+		for j := 1; j <= len(q); j++ {
+			if geo.Haversine(p[i-1], q[j-1]) <= eps {
+				curr[j] = prev[j-1] + 1
+			} else {
+				curr[j] = max(prev[j], curr[j-1])
+			}
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(q)]
+}
+
+// LCSSDistance returns the normalized LCSS distance
+// 1 − LCSS/min(|p|, |q|) in [0, 1]. Two empty trajectories are at
+// distance 0; an empty against a non-empty is at distance 1.
+func LCSSDistance(p, q []geo.Point, eps float64) float64 {
+	if len(p) == 0 && len(q) == 0 {
+		return 0
+	}
+	shorter := min(len(p), len(q))
+	if shorter == 0 {
+		return 1
+	}
+	return 1 - float64(LCSS(p, q, eps))/float64(shorter)
+}
+
+// EDR returns the Edit Distance on Real sequences (Chen et al.): the
+// minimum number of insert/delete/substitute edits to align the
+// trajectories, where two points match when within eps meters. The result
+// is in [0, max(|p|, |q|)].
+func EDR(p, q []geo.Point, eps float64) int {
+	if len(q) > len(p) {
+		p, q = q, p
+	}
+	prev := make([]int, len(q)+1)
+	curr := make([]int, len(q)+1)
+	for j := 0; j <= len(q); j++ {
+		prev[j] = j // aligning the empty prefix costs j inserts
+	}
+	for i := 1; i <= len(p); i++ {
+		curr[0] = i
+		for j := 1; j <= len(q); j++ {
+			subst := 1
+			if geo.Haversine(p[i-1], q[j-1]) <= eps {
+				subst = 0
+			}
+			curr[j] = min(prev[j-1]+subst, min(prev[j]+1, curr[j-1]+1))
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(q)]
+}

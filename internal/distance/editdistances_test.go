@@ -1,0 +1,156 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geodabs/internal/geo"
+)
+
+func TestLCSSIdentical(t *testing.T) {
+	p := line(20, 10)
+	if got := LCSS(p, p, 1); got != 20 {
+		t.Errorf("LCSS(p, p) = %d, want 20", got)
+	}
+	if got := LCSSDistance(p, p, 1); got != 0 {
+		t.Errorf("LCSSDistance(p, p) = %v", got)
+	}
+}
+
+func TestLCSSDisjoint(t *testing.T) {
+	p := line(10, 10)
+	q := shifted(p, 10000)
+	if got := LCSS(p, q, 100); got != 0 {
+		t.Errorf("LCSS of far trajectories = %d", got)
+	}
+	if got := LCSSDistance(p, q, 100); got != 1 {
+		t.Errorf("LCSSDistance = %v, want 1", got)
+	}
+}
+
+func TestLCSSPartialOverlap(t *testing.T) {
+	// q matches the second half of p exactly, first half far away.
+	p := line(20, 10)
+	q := append(shifted(line(10, 10), 5000), p[10:]...)
+	got := LCSS(p, q, 5)
+	if got != 10 {
+		t.Errorf("LCSS = %d, want 10", got)
+	}
+}
+
+func TestLCSSEmpty(t *testing.T) {
+	p := line(5, 10)
+	if got := LCSS(nil, p, 10); got != 0 {
+		t.Errorf("LCSS(nil, p) = %d", got)
+	}
+	if got := LCSSDistance(nil, nil, 10); got != 0 {
+		t.Errorf("LCSSDistance(nil, nil) = %v", got)
+	}
+	if got := LCSSDistance(nil, p, 10); got != 1 {
+		t.Errorf("LCSSDistance(nil, p) = %v", got)
+	}
+}
+
+func TestLCSSSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 30; i++ {
+		p := randomWalk(rng, 3+rng.Intn(15))
+		q := randomWalk(rng, 3+rng.Intn(15))
+		if a, b := LCSS(p, q, 50), LCSS(q, p, 50); a != b {
+			t.Fatalf("LCSS not symmetric: %d vs %d", a, b)
+		}
+	}
+}
+
+func TestLCSSBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 30; i++ {
+		p := randomWalk(rng, 3+rng.Intn(15))
+		q := randomWalk(rng, 3+rng.Intn(15))
+		got := LCSS(p, q, 80)
+		if got < 0 || got > min(len(p), len(q)) {
+			t.Fatalf("LCSS = %d out of [0, %d]", got, min(len(p), len(q)))
+		}
+	}
+}
+
+func TestEDRIdentical(t *testing.T) {
+	p := line(15, 10)
+	if got := EDR(p, p, 1); got != 0 {
+		t.Errorf("EDR(p, p) = %d", got)
+	}
+}
+
+func TestEDREmpty(t *testing.T) {
+	p := line(5, 10)
+	if got := EDR(nil, p, 10); got != 5 {
+		t.Errorf("EDR(nil, p) = %d, want 5 (all inserts)", got)
+	}
+	if got := EDR(nil, nil, 10); got != 0 {
+		t.Errorf("EDR(nil, nil) = %d", got)
+	}
+}
+
+func TestEDRSingleEdit(t *testing.T) {
+	p := line(10, 20)
+	// Corrupt one point far away: one substitution.
+	q := append([]geo.Point(nil), p...)
+	q[4] = geo.Offset(q[4], 5000, 0)
+	if got := EDR(p, q, 10); got != 1 {
+		t.Errorf("EDR after one corruption = %d, want 1", got)
+	}
+	// Delete one point: one deletion.
+	q2 := append(append([]geo.Point(nil), p[:4]...), p[5:]...)
+	if got := EDR(p, q2, 10); got != 1 {
+		t.Errorf("EDR after one deletion = %d, want 1", got)
+	}
+}
+
+func TestEDRSymmetricAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 30; i++ {
+		p := randomWalk(rng, 3+rng.Intn(15))
+		q := randomWalk(rng, 3+rng.Intn(15))
+		a, b := EDR(p, q, 50), EDR(q, p, 50)
+		if a != b {
+			t.Fatalf("EDR not symmetric: %d vs %d", a, b)
+		}
+		if a < int(math.Abs(float64(len(p)-len(q)))) || a > max(len(p), len(q)) {
+			t.Fatalf("EDR = %d out of bounds for |p|=%d |q|=%d", a, len(p), len(q))
+		}
+	}
+}
+
+// TestEDRTriangleInequality: EDR with a fixed eps is a metric on
+// sequences (up to the match relation); check the triangle inequality
+// empirically.
+func TestEDRTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 50; i++ {
+		a := randomWalk(rng, 2+rng.Intn(10))
+		b := randomWalk(rng, 2+rng.Intn(10))
+		c := randomWalk(rng, 2+rng.Intn(10))
+		if EDR(a, c, 60) > EDR(a, b, 60)+EDR(b, c, 60) {
+			t.Fatalf("triangle inequality violated")
+		}
+	}
+}
+
+func BenchmarkLCSS500(b *testing.B) {
+	p := line(500, 10)
+	q := shifted(p, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LCSS(p, q, 50)
+	}
+}
+
+func BenchmarkEDR500(b *testing.B) {
+	p := line(500, 10)
+	q := shifted(p, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EDR(p, q, 50)
+	}
+}

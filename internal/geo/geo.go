@@ -1,0 +1,248 @@
+// Package geo provides geographic primitives shared by every other package:
+// latitude/longitude points, great-circle (haversine) distances, bearings,
+// destination points and bounding boxes.
+//
+// Conventions: latitudes are in degrees in [-90, 90], longitudes in degrees
+// in [-180, 180). Distances are in meters, bearings in degrees clockwise
+// from north.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadius is the mean earth radius in meters (IUGG mean radius R1).
+const EarthRadius = 6371008.8
+
+// Point is a position on the earth expressed as a latitude/longitude pair,
+// in degrees. The zero value is the point (0, 0) on the equator.
+type Point struct {
+	Lat float64
+	Lon float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f, %.6f)", p.Lat, p.Lon)
+}
+
+// Valid reports whether the point lies in the valid latitude/longitude
+// domain.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon < 180
+}
+
+// Radians returns the latitude and longitude converted to radians.
+func (p Point) Radians() (lat, lon float64) {
+	return p.Lat * math.Pi / 180, p.Lon * math.Pi / 180
+}
+
+// Haversine returns the great-circle ground distance between a and b in
+// meters, using the haversine formula from the paper (Eq. 2).
+func Haversine(a, b Point) float64 {
+	latA, lonA := a.Radians()
+	latB, lonB := b.Radians()
+	sinLat := math.Sin((latA - latB) / 2)
+	sinLon := math.Sin((lonA - lonB) / 2)
+	h := sinLat*sinLat + math.Cos(latA)*math.Cos(latB)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadius * math.Asin(math.Sqrt(h))
+}
+
+// Bearing returns the initial bearing in degrees, clockwise from north,
+// of the great circle from a to b. The result is normalized to [0, 360).
+func Bearing(a, b Point) float64 {
+	latA, lonA := a.Radians()
+	latB, lonB := b.Radians()
+	dLon := lonB - lonA
+	y := math.Sin(dLon) * math.Cos(latB)
+	x := math.Cos(latA)*math.Sin(latB) - math.Sin(latA)*math.Cos(latB)*math.Cos(dLon)
+	deg := math.Atan2(y, x) * 180 / math.Pi
+	return math.Mod(deg+360, 360)
+}
+
+// Destination returns the point reached by traveling distance meters from p
+// along the given initial bearing (degrees clockwise from north) on a great
+// circle.
+func Destination(p Point, bearingDeg, distance float64) Point {
+	lat, lon := p.Radians()
+	brg := bearingDeg * math.Pi / 180
+	d := distance / EarthRadius
+	sinLat := math.Sin(lat)*math.Cos(d) + math.Cos(lat)*math.Sin(d)*math.Cos(brg)
+	lat2 := math.Asin(sinLat)
+	y := math.Sin(brg) * math.Sin(d) * math.Cos(lat)
+	x := math.Cos(d) - math.Sin(lat)*sinLat
+	lon2 := lon + math.Atan2(y, x)
+	return Point{
+		Lat: lat2 * 180 / math.Pi,
+		Lon: NormalizeLon(lon2 * 180 / math.Pi),
+	}
+}
+
+// Offset returns the point displaced from p by dNorth meters northward and
+// dEast meters eastward, using a local equirectangular approximation. It is
+// accurate for displacements up to a few kilometers, which is all the
+// trajectory generator needs.
+func Offset(p Point, dNorth, dEast float64) Point {
+	dLat := dNorth / EarthRadius * 180 / math.Pi
+	cos := math.Cos(p.Lat * math.Pi / 180)
+	if math.Abs(cos) < 1e-12 {
+		cos = 1e-12
+	}
+	dLon := dEast / (EarthRadius * cos) * 180 / math.Pi
+	return Point{Lat: clampLat(p.Lat + dLat), Lon: NormalizeLon(p.Lon + dLon)}
+}
+
+// Interpolate returns the point at fraction f of the way from a to b, with
+// f in [0, 1], using linear interpolation in latitude/longitude space. For
+// the sub-kilometer edges of a road network this is indistinguishable from
+// great-circle interpolation.
+func Interpolate(a, b Point, f float64) Point {
+	if f <= 0 {
+		return a
+	}
+	if f >= 1 {
+		return b
+	}
+	return Point{
+		Lat: a.Lat + (b.Lat-a.Lat)*f,
+		Lon: a.Lon + (b.Lon-a.Lon)*f,
+	}
+}
+
+// NormalizeLon wraps a longitude in degrees into [-180, 180).
+func NormalizeLon(lon float64) float64 {
+	lon = math.Mod(lon+180, 360)
+	if lon < 0 {
+		lon += 360
+	}
+	return lon - 180
+}
+
+func clampLat(lat float64) float64 {
+	if lat > 90 {
+		return 90
+	}
+	if lat < -90 {
+		return -90
+	}
+	return lat
+}
+
+// Box is an axis-aligned bounding box in latitude/longitude space.
+// The zero value is an empty box: Extend must be called before use, or use
+// NewBox.
+type Box struct {
+	MinLat, MaxLat float64
+	MinLon, MaxLon float64
+	nonEmpty       bool
+}
+
+// NewBox returns a box containing exactly the given points.
+func NewBox(points ...Point) Box {
+	var b Box
+	for _, p := range points {
+		b.Extend(p)
+	}
+	return b
+}
+
+// Empty reports whether the box contains no points.
+func (b Box) Empty() bool { return !b.nonEmpty }
+
+// Extend grows the box to include p.
+func (b *Box) Extend(p Point) {
+	if !b.nonEmpty {
+		b.MinLat, b.MaxLat = p.Lat, p.Lat
+		b.MinLon, b.MaxLon = p.Lon, p.Lon
+		b.nonEmpty = true
+		return
+	}
+	b.MinLat = math.Min(b.MinLat, p.Lat)
+	b.MaxLat = math.Max(b.MaxLat, p.Lat)
+	b.MinLon = math.Min(b.MinLon, p.Lon)
+	b.MaxLon = math.Max(b.MaxLon, p.Lon)
+}
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b Box) Contains(p Point) bool {
+	return b.nonEmpty &&
+		p.Lat >= b.MinLat && p.Lat <= b.MaxLat &&
+		p.Lon >= b.MinLon && p.Lon <= b.MaxLon
+}
+
+// Center returns the box center. The center of an empty box is the zero
+// point.
+func (b Box) Center() Point {
+	return Point{Lat: (b.MinLat + b.MaxLat) / 2, Lon: (b.MinLon + b.MaxLon) / 2}
+}
+
+// Intersects reports whether the two boxes overlap (inclusive).
+func (b Box) Intersects(o Box) bool {
+	return b.nonEmpty && o.nonEmpty &&
+		b.MinLat <= o.MaxLat && o.MinLat <= b.MaxLat &&
+		b.MinLon <= o.MaxLon && o.MinLon <= b.MaxLon
+}
+
+// MinDistance returns a lower bound, in meters, on the ground distance
+// between any point of b and any point of o. It returns 0 when the boxes
+// intersect. It is used to prune motif candidates (BTM baseline), so it
+// must never exceed the true minimum distance.
+//
+// The bound follows from the haversine identity
+//
+//	hav(σ) = hav(Δφ) + cos(φ1)·cos(φ2)·hav(Δλ)
+//
+// with Δφ replaced by the latitude gap between the boxes, Δλ by the
+// longitude gap, and cos(φ1)·cos(φ2) by cos²(φm), where φm is the largest
+// absolute latitude reachable in either box (cos is minimized there).
+func (b Box) MinDistance(o Box) float64 {
+	if b.Empty() || o.Empty() {
+		return math.Inf(1)
+	}
+	latGap := gap(b.MinLat, b.MaxLat, o.MinLat, o.MaxLat)
+	lonGap := gap(b.MinLon, b.MaxLon, o.MinLon, o.MaxLon)
+	// The boxes may also be adjacent across the antimeridian.
+	if wrap := 360 - (math.Max(b.MaxLon, o.MaxLon) - math.Min(b.MinLon, o.MinLon)); wrap > 0 && wrap < lonGap {
+		lonGap = wrap
+	}
+	if latGap == 0 && lonGap == 0 {
+		return 0
+	}
+	maxAbsLat := math.Max(
+		math.Max(math.Abs(b.MinLat), math.Abs(b.MaxLat)),
+		math.Max(math.Abs(o.MinLat), math.Abs(o.MaxLat)),
+	)
+	sinLat := math.Sin(latGap / 2 * math.Pi / 180)
+	sinLon := math.Sin(lonGap/2*math.Pi/180) * math.Cos(maxAbsLat*math.Pi/180)
+	h := sinLat*sinLat + sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadius * math.Asin(math.Sqrt(h))
+}
+
+// gap returns the separation between the intervals [aLo, aHi] and
+// [bLo, bHi], or 0 when they overlap.
+func gap(aLo, aHi, bLo, bHi float64) float64 {
+	if g := bLo - aHi; g > 0 {
+		return g
+	}
+	if g := aLo - bHi; g > 0 {
+		return g
+	}
+	return 0
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

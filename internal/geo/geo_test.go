@@ -1,0 +1,278 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// london and paris are reference points with a well-known separation.
+var (
+	london = Point{Lat: 51.5074, Lon: -0.1278}
+	paris  = Point{Lat: 48.8566, Lon: 2.3522}
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b    Point
+		want    float64 // meters
+		tolFrac float64
+	}{
+		{"london-paris", london, paris, 343_550, 0.005},
+		{"same-point", london, london, 0, 0},
+		{"equator-degree", Point{0, 0}, Point{0, 1}, 111_195, 0.001},
+		{"meridian-degree", Point{0, 0}, Point{1, 0}, 111_195, 0.001},
+		{"antipodal", Point{0, 0}, Point{0, -180}, math.Pi * EarthRadius, 0.001},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Haversine(tt.a, tt.b)
+			if tol := tt.want * tt.tolFrac; math.Abs(got-tt.want) > tol+1e-9 {
+				t.Errorf("Haversine(%v, %v) = %.1f, want %.1f ± %.1f", tt.a, tt.b, got, tt.want, tol)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Values: randomPointPair}
+	if err := quick.Check(func(a, b Point) bool {
+		return math.Abs(Haversine(a, b)-Haversine(b, a)) < 1e-6
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaversineTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b, c := randPoint(rng), randPoint(rng), randPoint(rng)
+		if Haversine(a, c) > Haversine(a, b)+Haversine(b, c)+1e-6 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		p := randPoint(rng)
+		// Stay away from the poles where bearings degenerate.
+		p.Lat = clamp(p.Lat, -80, 80)
+		brg := rng.Float64() * 360
+		dist := rng.Float64() * 50_000
+		q := Destination(p, brg, dist)
+		got := Haversine(p, q)
+		if math.Abs(got-dist) > 1 { // 1 m tolerance over ≤50 km
+			t.Fatalf("Destination(%v, %.1f°, %.1fm): round-trip distance %.3fm", p, brg, dist, got)
+		}
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64
+	}{
+		{"north", Point{0, 0}, Point{1, 0}, 0},
+		{"east", Point{0, 0}, Point{0, 1}, 90},
+		{"south", Point{1, 0}, Point{0, 0}, 180},
+		{"west", Point{0, 1}, Point{0, 0}, 270},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Bearing(tt.a, tt.b); math.Abs(got-tt.want) > 0.01 {
+				t.Errorf("Bearing = %.3f, want %.3f", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOffsetMatchesHaversine(t *testing.T) {
+	p := london
+	q := Offset(p, 300, 400) // 3-4-5 triangle: 500 m displacement
+	if d := Haversine(p, q); math.Abs(d-500) > 1 {
+		t.Errorf("Offset displacement = %.2fm, want 500 ± 1", d)
+	}
+}
+
+func TestOffsetDirections(t *testing.T) {
+	q := Offset(london, 1000, 0)
+	if q.Lat <= london.Lat || math.Abs(q.Lon-london.Lon) > 1e-9 {
+		t.Errorf("north offset moved to %v", q)
+	}
+	q = Offset(london, 0, -1000)
+	if q.Lon >= london.Lon || math.Abs(q.Lat-london.Lat) > 1e-9 {
+		t.Errorf("west offset moved to %v", q)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	a, b := Point{10, 20}, Point{20, 40}
+	tests := []struct {
+		f    float64
+		want Point
+	}{
+		{-0.5, a},
+		{0, a},
+		{0.5, Point{15, 30}},
+		{1, b},
+		{1.5, b},
+	}
+	for _, tt := range tests {
+		if got := Interpolate(a, b, tt.f); got != tt.want {
+			t.Errorf("Interpolate(f=%.1f) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizeLon(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{180, -180},
+		{-180, -180},
+		{181, -179},
+		{-181, 179},
+		{540, -180},
+		{359, -1},
+	}
+	for _, tt := range tests {
+		if got := NormalizeLon(tt.in); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("NormalizeLon(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{90, 0}, true},
+		{Point{-90, -180}, true},
+		{Point{0, 180}, false}, // 180 is wrapped to -180 by convention
+		{Point{91, 0}, false},
+		{Point{0, 200}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Valid(); got != tt.want {
+			t.Errorf("%v.Valid() = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestBoxExtendContains(t *testing.T) {
+	var b Box
+	if !b.Empty() {
+		t.Fatal("zero box should be empty")
+	}
+	if b.Contains(Point{0, 0}) {
+		t.Fatal("empty box should contain nothing")
+	}
+	b.Extend(Point{1, 1})
+	b.Extend(Point{-1, 3})
+	if b.Empty() {
+		t.Fatal("extended box should not be empty")
+	}
+	for _, p := range []Point{{0, 2}, {1, 1}, {-1, 3}, {0.5, 1.5}} {
+		if !b.Contains(p) {
+			t.Errorf("box should contain %v", p)
+		}
+	}
+	for _, p := range []Point{{2, 2}, {0, 0}, {0, 4}} {
+		if b.Contains(p) {
+			t.Errorf("box should not contain %v", p)
+		}
+	}
+	if c := b.Center(); c != (Point{0, 2}) {
+		t.Errorf("Center = %v, want (0, 2)", c)
+	}
+}
+
+func TestBoxIntersects(t *testing.T) {
+	a := NewBox(Point{0, 0}, Point{2, 2})
+	tests := []struct {
+		name string
+		b    Box
+		want bool
+	}{
+		{"overlap", NewBox(Point{1, 1}, Point{3, 3}), true},
+		{"touch-corner", NewBox(Point{2, 2}, Point{3, 3}), true},
+		{"disjoint-lat", NewBox(Point{3, 0}, Point{4, 2}), false},
+		{"disjoint-lon", NewBox(Point{0, 3}, Point{2, 4}), false},
+		{"contained", NewBox(Point{0.5, 0.5}, Point{1, 1}), true},
+		{"empty", Box{}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.Intersects(tt.b); got != tt.want {
+				t.Errorf("Intersects = %v, want %v", got, tt.want)
+			}
+			if got := tt.b.Intersects(a); got != tt.want {
+				t.Errorf("reverse Intersects = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBoxMinDistance(t *testing.T) {
+	a := NewBox(Point{0, 0}, Point{1, 1})
+	if d := a.MinDistance(NewBox(Point{0.5, 0.5})); d != 0 {
+		t.Errorf("intersecting boxes should have distance 0, got %v", d)
+	}
+	// Box one degree of longitude east of a, on the equator. The true
+	// minimum is one degree along the parallel at latitude 1° (the bound
+	// may be smaller, never larger).
+	b := NewBox(Point{0, 2}, Point{1, 3})
+	want := Haversine(Point{1, 1}, Point{1, 2})
+	d := a.MinDistance(b)
+	if d > want+1e-6 {
+		t.Errorf("MinDistance = %.1f exceeds true minimum %.1f", d, want)
+	}
+	if d < want*0.99 {
+		t.Errorf("MinDistance = %.1f is needlessly loose (true minimum %.1f)", d, want)
+	}
+	if d := (Box{}).MinDistance(a); !math.IsInf(d, 1) {
+		t.Errorf("empty box MinDistance = %v, want +Inf", d)
+	}
+}
+
+// TestBoxMinDistanceIsLowerBound checks the pruning property used by the
+// motif baseline: the box distance never exceeds the true distance between
+// points contained in the boxes.
+func TestBoxMinDistanceIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		p1, p2 := randNearPoint(rng), randNearPoint(rng)
+		q1, q2 := randNearPoint(rng), randNearPoint(rng)
+		a, b := NewBox(p1, p2), NewBox(q1, q2)
+		bound := a.MinDistance(b)
+		for _, p := range []Point{p1, p2} {
+			for _, q := range []Point{q1, q2} {
+				if d := Haversine(p, q); d < bound-1e-6 {
+					t.Fatalf("bound %.3f exceeds true distance %.3f", bound, d)
+				}
+			}
+		}
+	}
+}
+
+func randPoint(rng *rand.Rand) Point {
+	return Point{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}
+}
+
+// randNearPoint samples points in a mid-latitude band where equirectangular
+// box bounds behave well (the generator and datasets live there too).
+func randNearPoint(rng *rand.Rand) Point {
+	return Point{Lat: rng.Float64()*20 + 40, Lon: rng.Float64()*20 - 10}
+}
+
+func randomPointPair(values []reflect.Value, rng *rand.Rand) {
+	values[0] = reflect.ValueOf(randPoint(rng))
+	values[1] = reflect.ValueOf(randPoint(rng))
+}

@@ -1,0 +1,66 @@
+package geo
+
+import "math"
+
+// Simplify reduces a polyline with the Douglas-Peucker algorithm: points
+// whose perpendicular distance to the simplified line stays within
+// tolerance meters are dropped. The first and last points are always
+// kept. It is a useful pre-normalization step for very high-rate traces
+// and a common building block of trajectory systems.
+func Simplify(points []Point, tolerance float64) []Point {
+	if len(points) <= 2 || tolerance <= 0 {
+		return points
+	}
+	keep := make([]bool, len(points))
+	keep[0], keep[len(points)-1] = true, true
+	simplifyRange(points, 0, len(points)-1, tolerance, keep)
+	out := make([]Point, 0, len(points))
+	for i, k := range keep {
+		if k {
+			out = append(out, points[i])
+		}
+	}
+	return out
+}
+
+// simplifyRange marks the points to keep between the anchors lo and hi.
+// The recursion depth is bounded by the split structure (worst case
+// O(n), typical O(log n)).
+func simplifyRange(points []Point, lo, hi int, tolerance float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	maxDist, maxIdx := 0.0, -1
+	for i := lo + 1; i < hi; i++ {
+		if d := PointToSegment(points[i], points[lo], points[hi]); d > maxDist {
+			maxDist, maxIdx = d, i
+		}
+	}
+	if maxDist <= tolerance {
+		return
+	}
+	keep[maxIdx] = true
+	simplifyRange(points, lo, maxIdx, tolerance, keep)
+	simplifyRange(points, maxIdx, hi, tolerance, keep)
+}
+
+// PointToSegment returns the distance in meters from p to the segment
+// [a, b], using a local equirectangular projection centered on a — exact
+// enough for the sub-kilometer segments of GPS traces.
+func PointToSegment(p, a, b Point) float64 {
+	const mPerDeg = 2 * math.Pi * EarthRadius / 360
+	cos := math.Cos(a.Lat * math.Pi / 180)
+	ax, ay := 0.0, 0.0
+	bx := (b.Lon - a.Lon) * mPerDeg * cos
+	by := (b.Lat - a.Lat) * mPerDeg
+	px := (p.Lon - a.Lon) * mPerDeg * cos
+	py := (p.Lat - a.Lat) * mPerDeg
+	dx, dy := bx-ax, by-ay
+	segLen2 := dx*dx + dy*dy
+	if segLen2 == 0 {
+		return math.Hypot(px, py)
+	}
+	t := (px*dx + py*dy) / segLen2
+	t = clamp(t, 0, 1)
+	return math.Hypot(px-t*dx, py-t*dy)
+}

@@ -1,0 +1,116 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPointToSegment(t *testing.T) {
+	a := Point{Lat: 51.5, Lon: -0.12}
+	b := Offset(a, 0, 1000) // 1 km east
+	tests := []struct {
+		name string
+		p    Point
+		want float64
+	}{
+		{"on-segment", Offset(a, 0, 500), 0},
+		{"above-middle", Offset(a, 100, 500), 100},
+		{"beyond-start", Offset(a, 0, -200), 200},
+		{"beyond-end", Offset(a, 0, 1300), 300},
+		{"at-endpoint", b, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := PointToSegment(tt.p, a, b); math.Abs(got-tt.want) > 2 {
+				t.Errorf("PointToSegment = %.1f, want %.1f", got, tt.want)
+			}
+		})
+	}
+	// Degenerate segment (a == b) falls back to point distance.
+	if got := PointToSegment(Offset(a, 300, 400), a, a); math.Abs(got-500) > 2 {
+		t.Errorf("degenerate segment distance = %.1f, want 500", got)
+	}
+}
+
+func TestSimplifyStraightLine(t *testing.T) {
+	// A straight line with tiny wiggle collapses to its endpoints.
+	base := Point{Lat: 51.5, Lon: -0.12}
+	pts := make([]Point, 50)
+	for i := range pts {
+		wiggle := float64(i%2) * 2 // 2 m zigzag
+		pts[i] = Offset(base, wiggle, float64(i)*20)
+	}
+	got := Simplify(pts, 10)
+	if len(got) != 2 {
+		t.Fatalf("straight line simplified to %d points, want 2", len(got))
+	}
+	if got[0] != pts[0] || got[1] != pts[len(pts)-1] {
+		t.Error("endpoints must be preserved")
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	base := Point{Lat: 51.5, Lon: -0.12}
+	var pts []Point
+	for i := 0; i < 20; i++ { // east leg
+		pts = append(pts, Offset(base, 0, float64(i)*50))
+	}
+	corner := Offset(base, 0, 19*50)
+	for i := 1; i < 20; i++ { // north leg
+		pts = append(pts, Offset(corner, float64(i)*50, 0))
+	}
+	got := Simplify(pts, 10)
+	if len(got) != 3 {
+		t.Fatalf("L-shape simplified to %d points, want 3", len(got))
+	}
+	if d := Haversine(got[1], corner); d > 5 {
+		t.Errorf("kept point is %.1f m from the corner", d)
+	}
+}
+
+// TestSimplifyErrorBound checks the defining property: every dropped
+// point is within tolerance of the simplified polyline.
+func TestSimplifyErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for round := 0; round < 20; round++ {
+		p := Point{Lat: 51.5, Lon: -0.12}
+		pts := make([]Point, 100)
+		for i := range pts {
+			p = Offset(p, rng.Float64()*60-30, rng.Float64()*60+10)
+			pts[i] = p
+		}
+		const tol = 25.0
+		simp := Simplify(pts, tol)
+		if len(simp) < 2 || len(simp) > len(pts) {
+			t.Fatalf("simplified to %d points", len(simp))
+		}
+		for _, orig := range pts {
+			best := math.Inf(1)
+			for i := 1; i < len(simp); i++ {
+				if d := PointToSegment(orig, simp[i-1], simp[i]); d < best {
+					best = d
+				}
+			}
+			if best > tol+1 {
+				t.Fatalf("dropped point is %.1f m from the simplified line (tol %.0f)", best, tol)
+			}
+		}
+	}
+}
+
+func TestSimplifyEdgeCases(t *testing.T) {
+	p := Point{Lat: 1, Lon: 1}
+	if got := Simplify(nil, 10); len(got) != 0 {
+		t.Errorf("Simplify(nil) = %v", got)
+	}
+	two := []Point{p, Offset(p, 100, 0)}
+	if got := Simplify(two, 10); len(got) != 2 {
+		t.Errorf("two points should be untouched, got %d", len(got))
+	}
+	// Non-positive tolerance keeps everything.
+	five := []Point{p, Offset(p, 10, 0), Offset(p, 20, 0), Offset(p, 30, 0), Offset(p, 40, 0)}
+	if got := Simplify(five, 0); len(got) != 5 {
+		t.Errorf("zero tolerance should keep all points, got %d", len(got))
+	}
+}

@@ -1,0 +1,330 @@
+// Package geohash implements bit-level geohashes (Niemeyer, 2008): a point
+// is mapped to a sequence of bits that repeatedly bisect the
+// longitude/latitude space, longitude first. The ordered list of cells at a
+// given depth forms a Z-order space-filling curve, which the sharding layer
+// exploits to place nearby cells on the same shard (paper §III-C, Fig 2).
+//
+// Unlike the common base32 representation, depths here are expressed in
+// bits, so the paper's 32/34/36/38/40-bit normalization grids (Fig 8) and
+// 16-bit shard prefixes are all first-class values.
+package geohash
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+
+	"geodabs/internal/geo"
+)
+
+// MaxDepth is the maximum supported precision in bits. 60 bits (30 bits per
+// axis) resolves to under 4 cm at the equator, well below GPS accuracy.
+const MaxDepth = 60
+
+// Hash is a geohash of a given precision. Bits holds the hash right-aligned:
+// the most significant of the Depth bits is the first (longitude) bisection.
+// The zero value is the whole-earth cell (depth 0).
+type Hash struct {
+	Bits  uint64
+	Depth uint8
+}
+
+// Encode returns the depth-bit geohash of the cell containing p.
+// It panics if depth exceeds MaxDepth; latitudes and longitudes outside the
+// valid domain are clamped.
+func Encode(p geo.Point, depth uint8) Hash {
+	if depth > MaxDepth {
+		panic(fmt.Sprintf("geohash: depth %d exceeds MaxDepth %d", depth, MaxDepth))
+	}
+	full := interleave(lonBits(p.Lon), latBits(p.Lat))
+	return Hash{Bits: full >> (64 - depth), Depth: depth}
+}
+
+// lonBits maps a longitude to a 32-bit fixed-point fraction of [-180, 180).
+func lonBits(lon float64) uint32 {
+	return fixed((lon + 180) / 360)
+}
+
+// latBits maps a latitude to a 32-bit fixed-point fraction of [-90, 90).
+func latBits(lat float64) uint32 {
+	return fixed((lat + 90) / 180)
+}
+
+func fixed(u float64) uint32 {
+	v := u * (1 << 32)
+	if v <= 0 {
+		return 0
+	}
+	if v >= (1<<32)-1 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// interleave spreads x into the even-from-MSB positions (bit 63, 61, ...)
+// and y into the odd positions (bit 62, 60, ...), so the top d bits of the
+// result form the depth-d geohash.
+func interleave(x, y uint32) uint64 {
+	return spread(x)<<1 | spread(y)
+}
+
+// spread inserts a zero bit above each bit of v: bit i of v moves to
+// bit 2i of the result.
+func spread(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// compact is the inverse of spread: it extracts every other bit, bit 2i of
+// v becoming bit i of the result.
+func compact(v uint64) uint32 {
+	x := v & 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x>>4) & 0x00ff00ff00ff00ff
+	x = (x | x>>8) & 0x0000ffff0000ffff
+	x = (x | x>>16) & 0x00000000ffffffff
+	return uint32(x)
+}
+
+// axisBits returns how many of the hash's bits refer to the longitude and
+// latitude axes respectively.
+func (h Hash) axisBits() (lon, lat uint8) {
+	return (h.Depth + 1) / 2, h.Depth / 2
+}
+
+// Bounds returns the cell covered by the hash.
+func (h Hash) Bounds() geo.Box {
+	full := h.Bits << (64 - h.Depth)
+	x, y := compact(full>>1), compact(full)
+	nLon, nLat := h.axisBits()
+	// Keep only the meaningful top bits of each axis.
+	x >>= 32 - nLon
+	y >>= 32 - nLat
+	if nLon == 32 {
+		nLon = 31 // avoid shift overflow below; depth ≤ 60 keeps us ≤ 30
+	}
+	lonW := 360 / float64(uint64(1)<<nLon)
+	latW := 180 / float64(uint64(1)<<nLat)
+	minLon := float64(x)*lonW - 180
+	minLat := float64(y)*latW - 90
+	b := geo.NewBox(
+		geo.Point{Lat: minLat, Lon: minLon},
+		geo.Point{Lat: minLat + latW, Lon: minLon + lonW},
+	)
+	return b
+}
+
+// Center returns the center point of the cell.
+func (h Hash) Center() geo.Point {
+	return h.Bounds().Center()
+}
+
+// Contains reports whether p falls inside the hash's cell.
+func (h Hash) Contains(p geo.Point) bool {
+	return Encode(p, h.Depth) == h
+}
+
+// Prefix returns the hash truncated to the given depth. It panics if depth
+// exceeds the hash's own depth.
+func (h Hash) Prefix(depth uint8) Hash {
+	if depth > h.Depth {
+		panic(fmt.Sprintf("geohash: prefix depth %d exceeds hash depth %d", depth, h.Depth))
+	}
+	return Hash{Bits: h.Bits >> (h.Depth - depth), Depth: depth}
+}
+
+// IsPrefixOf reports whether h is a (non-strict) prefix of o on the
+// bisection tree, i.e. whether h's cell contains o's cell.
+func (h Hash) IsPrefixOf(o Hash) bool {
+	return h.Depth <= o.Depth && o.Prefix(h.Depth) == h
+}
+
+// leftAligned returns the hash bits shifted to start at bit 63.
+func (h Hash) leftAligned() uint64 {
+	if h.Depth == 0 {
+		return 0
+	}
+	return h.Bits << (64 - h.Depth)
+}
+
+// CommonPrefix returns the deepest hash that is a prefix of both a and b:
+// the smallest bisection cell containing both cells.
+func CommonPrefix(a, b Hash) Hash {
+	depth := min(a.Depth, b.Depth)
+	if lz := uint8(bits.LeadingZeros64(a.leftAligned() ^ b.leftAligned())); lz < depth {
+		depth = lz
+	}
+	if depth == 0 {
+		return Hash{}
+	}
+	return a.Prefix(depth)
+}
+
+// Cover returns the deepest geohash (up to maxDepth bits) whose cell
+// contains every given point: the "highest precision geohash that overlaps
+// with the whole set" of the paper (§III-C). Covering an empty set returns
+// the whole-earth cell.
+func Cover(points []geo.Point, maxDepth uint8) Hash {
+	if len(points) == 0 {
+		return Hash{}
+	}
+	h := Encode(points[0], maxDepth)
+	for _, p := range points[1:] {
+		if h.Depth == 0 {
+			break
+		}
+		h = CommonPrefix(h, Encode(p, maxDepth))
+	}
+	return h
+}
+
+// CoverHashes returns the deepest common prefix of the given hashes,
+// the cell-id analogue of Cover. Covering an empty set returns the
+// whole-earth cell.
+func CoverHashes(hashes []Hash) Hash {
+	if len(hashes) == 0 {
+		return Hash{}
+	}
+	h := hashes[0]
+	for _, o := range hashes[1:] {
+		if h.Depth == 0 {
+			break
+		}
+		h = CommonPrefix(h, o)
+	}
+	return h
+}
+
+// String returns the hash as a binary string, e.g. "110101", matching the
+// paper's Figure 2 notation. The whole-earth cell renders as "ε".
+func (h Hash) String() string {
+	if h.Depth == 0 {
+		return "ε"
+	}
+	var sb strings.Builder
+	sb.Grow(int(h.Depth))
+	for i := int(h.Depth) - 1; i >= 0; i-- {
+		if h.Bits>>uint(i)&1 == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// CellSize returns the approximate width (east-west) and height
+// (north-south) in meters of cells at the given depth and latitude. At
+// 36 bits near London this is roughly 95 m × 76 m, the numbers the paper
+// uses to translate the winnowing bounds k and t into ground distances.
+func CellSize(depth uint8, lat float64) (width, height float64) {
+	nLon := uint((depth + 1) / 2)
+	nLat := uint(depth / 2)
+	lonDeg := 360 / float64(uint64(1)<<nLon)
+	latDeg := 180 / float64(uint64(1)<<nLat)
+	const metersPerDegree = 2 * math.Pi * geo.EarthRadius / 360
+	width = lonDeg * metersPerDegree * math.Cos(lat*math.Pi/180)
+	height = latDeg * metersPerDegree
+	return width, height
+}
+
+// base32Alphabet is the standard geohash alphabet.
+const base32Alphabet = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+var errBase32Depth = errors.New("geohash: base32 requires a depth that is a multiple of 5")
+
+// Base32 renders the hash in the standard geohash text form. It returns an
+// error if the depth is not a multiple of 5 bits.
+func (h Hash) Base32() (string, error) {
+	if h.Depth%5 != 0 {
+		return "", errBase32Depth
+	}
+	n := int(h.Depth / 5)
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		shift := uint(h.Depth) - uint(i+1)*5
+		buf[i] = base32Alphabet[h.Bits>>shift&0x1f]
+	}
+	return string(buf), nil
+}
+
+// FromBase32 parses a standard geohash string into a Hash of depth
+// 5×len(s).
+func FromBase32(s string) (Hash, error) {
+	if len(s)*5 > MaxDepth {
+		return Hash{}, fmt.Errorf("geohash: %q is too long (max %d characters)", s, MaxDepth/5)
+	}
+	var h Hash
+	for _, c := range []byte(s) {
+		v := strings.IndexByte(base32Alphabet, lower(c))
+		if v < 0 {
+			return Hash{}, fmt.Errorf("geohash: invalid base32 character %q", c)
+		}
+		h.Bits = h.Bits<<5 | uint64(v)
+		h.Depth += 5
+	}
+	return h, nil
+}
+
+func lower(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}
+
+// Neighbor returns the adjacent cell of the same depth in the given
+// direction (north, south, east or west), wrapping across the antimeridian.
+// Asking for the northern neighbor of a polar cell returns the cell itself.
+func (h Hash) Neighbor(dir Direction) Hash {
+	c := h.Center()
+	b := h.Bounds()
+	switch dir {
+	case North:
+		lat := b.MaxLat + (b.MaxLat-b.MinLat)/2
+		if lat > 90 {
+			return h
+		}
+		c.Lat = lat
+	case South:
+		lat := b.MinLat - (b.MaxLat-b.MinLat)/2
+		if lat < -90 {
+			return h
+		}
+		c.Lat = lat
+	case East:
+		c.Lon = geo.NormalizeLon(b.MaxLon + (b.MaxLon-b.MinLon)/2)
+	case West:
+		c.Lon = geo.NormalizeLon(b.MinLon - (b.MaxLon-b.MinLon)/2)
+	default:
+		panic(fmt.Sprintf("geohash: invalid direction %d", dir))
+	}
+	return Encode(c, h.Depth)
+}
+
+// Direction identifies one of the four cell neighbors.
+type Direction uint8
+
+// The four cardinal neighbor directions.
+const (
+	North Direction = iota + 1
+	South
+	East
+	West
+)
+
+// CurvePosition returns the position of the cell on the Z-order
+// space-filling curve at its depth, in [0, 2^depth). Cells that are close
+// on the curve are close in space (the converse does not hold), which is
+// the property the sharding strategy relies on (paper Fig 2b-c).
+func (h Hash) CurvePosition() uint64 {
+	return h.Bits
+}

@@ -1,0 +1,275 @@
+// Package index implements the paper's inverted trajectory index (§IV-A):
+// terms are fingerprints (geodabs, or bare geohash cells for the baseline),
+// posting lists are roaring bitmaps of trajectory identifiers, and queries
+// are ranked by Jaccard distance between fingerprint sets (§III-A2).
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/core"
+	"geodabs/internal/geo"
+	"geodabs/internal/geohash"
+	"geodabs/internal/trajectory"
+)
+
+// Extractor turns a raw point sequence into a fingerprint set. Extractors
+// must be safe for concurrent use.
+type Extractor interface {
+	// Extract returns the term set of a trajectory.
+	Extract(points []geo.Point) *bitmap.Bitmap
+}
+
+// GeodabExtractor adapts a core.Fingerprinter to the Extractor interface.
+// This is the paper's method.
+type GeodabExtractor struct {
+	*core.Fingerprinter
+}
+
+// Extract implements Extractor.
+func (e GeodabExtractor) Extract(points []geo.Point) *bitmap.Bitmap {
+	return e.Fingerprint(points).Set
+}
+
+// CellExtractor is the baseline the paper compares against (Figs 12–14):
+// the term set of a trajectory is the set of geohash cells it traverses,
+// with no ordering information. Cells are hashed to 32 bits so both
+// methods share the bitmap machinery; collisions are negligible at the
+// dataset sizes involved.
+type CellExtractor struct {
+	*core.Fingerprinter
+}
+
+// NewCellExtractor builds a cell extractor with the same normalization as
+// cfg (depth, smoothing, debouncing).
+func NewCellExtractor(cfg core.Config) (CellExtractor, error) {
+	f, err := core.NewFingerprinter(cfg)
+	if err != nil {
+		return CellExtractor{}, err
+	}
+	return CellExtractor{f}, nil
+}
+
+// Extract implements Extractor.
+func (e CellExtractor) Extract(points []geo.Point) *bitmap.Bitmap {
+	cells := e.Normalize(points)
+	set := bitmap.New()
+	for _, c := range cells {
+		set.Add(hashCell(c.Hash))
+	}
+	return set
+}
+
+// hashCell maps a geohash cell to a 32-bit term with FNV-1a over its bits
+// and depth.
+func hashCell(h geohash.Hash) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	v := uint32(offset32)
+	for shift := 56; shift >= 0; shift -= 8 {
+		v ^= uint32(h.Bits >> uint(shift) & 0xff)
+		v *= prime32
+	}
+	v ^= uint32(h.Depth)
+	v *= prime32
+	return v
+}
+
+// Result is one ranked retrieval hit.
+type Result struct {
+	ID trajectory.ID
+	// Distance is the Jaccard distance dJ between the query's and the
+	// trajectory's fingerprint sets (paper Eq. 1).
+	Distance float64
+	// Shared is the number of common fingerprints |F ∩ G|.
+	Shared int
+}
+
+// Inverted is an in-memory inverted index over trajectory fingerprints.
+// It is safe for concurrent use: Add takes a write lock, Query a read
+// lock.
+type Inverted struct {
+	ex Extractor
+
+	mu       sync.RWMutex
+	postings map[uint32]*bitmap.Bitmap
+	docs     map[trajectory.ID]*bitmap.Bitmap
+}
+
+// NewInverted returns an empty index using the given extractor.
+func NewInverted(ex Extractor) *Inverted {
+	return &Inverted{
+		ex:       ex,
+		postings: make(map[uint32]*bitmap.Bitmap),
+		docs:     make(map[trajectory.ID]*bitmap.Bitmap),
+	}
+}
+
+// Add fingerprints the trajectory and inserts it. Re-adding an ID replaces
+// nothing: the caller must use distinct IDs (replacement is not a paper
+// operation and keeping postings append-only keeps them compact).
+func (ix *Inverted) Add(t *trajectory.Trajectory) error {
+	set := ix.ex.Extract(t.Points)
+	return ix.AddFingerprints(t.ID, set)
+}
+
+// AddFingerprints inserts a pre-computed fingerprint set, which lets
+// callers reuse fingerprints across indexes and parallelize extraction.
+func (ix *Inverted) AddFingerprints(id trajectory.ID, set *bitmap.Bitmap) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, dup := ix.docs[id]; dup {
+		return fmt.Errorf("index: trajectory %d already indexed", id)
+	}
+	ix.docs[id] = set
+	set.Iterate(func(term uint32) bool {
+		p, ok := ix.postings[term]
+		if !ok {
+			p = bitmap.New()
+			ix.postings[term] = p
+		}
+		p.Add(uint32(id))
+		return true
+	})
+	return nil
+}
+
+// AddAll indexes a dataset, fingerprinting with the given number of
+// parallel workers (minimum 1). It fails on the first duplicate ID.
+func (ix *Inverted) AddAll(d *trajectory.Dataset, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	type extracted struct {
+		id  trajectory.ID
+		set *bitmap.Bitmap
+	}
+	jobs := make(chan *trajectory.Trajectory)
+	results := make(chan extracted)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				results <- extracted{id: t.ID, set: ix.ex.Extract(t.Points)}
+			}
+		}()
+	}
+	go func() {
+		for _, t := range d.Trajectories {
+			jobs <- t
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	var firstErr error
+	for r := range results {
+		if firstErr != nil {
+			continue // drain
+		}
+		firstErr = ix.AddFingerprints(r.id, r.set)
+	}
+	return firstErr
+}
+
+// Len returns the number of indexed trajectories.
+func (ix *Inverted) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Fingerprints returns the stored fingerprint set of a trajectory, or nil.
+func (ix *Inverted) Fingerprints(id trajectory.ID) *bitmap.Bitmap {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docs[id]
+}
+
+// Query returns the trajectories whose Jaccard distance to q is at most
+// maxDistance, ordered by increasing distance (ties by ID for
+// determinism), truncated to limit results (limit ≤ 0 means no limit).
+// This implements the paper's "finding similar trajectories" problem
+// (§II-B1).
+func (ix *Inverted) Query(q *trajectory.Trajectory, maxDistance float64, limit int) []Result {
+	return ix.QueryFingerprints(ix.ex.Extract(q.Points), maxDistance, limit)
+}
+
+// QueryFingerprints ranks against a pre-computed fingerprint set.
+func (ix *Inverted) QueryFingerprints(set *bitmap.Bitmap, maxDistance float64, limit int) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	// Gather candidates: the union of the posting lists of the query's
+	// terms. Everything else has distance 1 and cannot beat maxDistance
+	// unless maxDistance ≥ 1, in which case it is still irrelevant noise.
+	candidates := bitmap.New()
+	set.Iterate(func(term uint32) bool {
+		if p, ok := ix.postings[term]; ok {
+			candidates = bitmap.Or(candidates, p)
+		}
+		return true
+	})
+	results := make([]Result, 0, candidates.Cardinality())
+	candidates.Iterate(func(idBits uint32) bool {
+		id := trajectory.ID(idBits)
+		doc := ix.docs[id]
+		shared := bitmap.AndCardinality(set, doc)
+		union := set.Cardinality() + doc.Cardinality() - shared
+		d := 1.0
+		if union > 0 {
+			d = 1 - float64(shared)/float64(union)
+		}
+		if d <= maxDistance {
+			results = append(results, Result{ID: id, Distance: d, Shared: shared})
+		}
+		return true
+	})
+	sortResults(results)
+	if limit > 0 && len(results) > limit {
+		results = results[:limit]
+	}
+	return results
+}
+
+// sortResults orders by ascending distance, breaking ties by ID.
+func sortResults(results []Result) {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Distance != results[j].Distance {
+			return results[i].Distance < results[j].Distance
+		}
+		return results[i].ID < results[j].ID
+	})
+}
+
+// Stats summarizes the index composition.
+type Stats struct {
+	Trajectories int
+	Terms        int
+	// Postings is the total number of (term, trajectory) pairs.
+	Postings int
+	// BitmapBytes estimates the memory held by posting and document
+	// bitmaps.
+	BitmapBytes int
+}
+
+// Stats computes summary statistics; it is linear in the index size.
+func (ix *Inverted) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s := Stats{Trajectories: len(ix.docs), Terms: len(ix.postings)}
+	for _, p := range ix.postings {
+		s.Postings += p.Cardinality()
+		s.BitmapBytes += p.SizeInBytes()
+	}
+	for _, d := range ix.docs {
+		s.BitmapBytes += d.SizeInBytes()
+	}
+	return s
+}

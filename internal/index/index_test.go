@@ -1,0 +1,268 @@
+package index
+
+import (
+	"sync"
+	"testing"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/core"
+	"geodabs/internal/gen"
+	"geodabs/internal/geohash"
+	"geodabs/internal/roadnet"
+	"geodabs/internal/trajectory"
+)
+
+// testWorkload caches a small generated dataset shared across tests.
+var testWorkload = func() *gen.Output {
+	g, err := roadnet.GenerateCity(roadnet.CityConfig{RadiusMeters: 4000, Seed: 4})
+	if err != nil {
+		panic(err)
+	}
+	cfg := gen.DefaultConfig()
+	cfg.Routes = 12
+	cfg.TrajectoriesPerDirection = 5
+	cfg.MinRouteMeters = 2000
+	out, err := gen.Generate(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}()
+
+func newGeodabIndex(t testing.TB) *Inverted {
+	t.Helper()
+	return NewInverted(GeodabExtractor{core.MustFingerprinter(core.DefaultConfig())})
+}
+
+func TestAddAndQuery(t *testing.T) {
+	ix := newGeodabIndex(t)
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		if err := ix.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != testWorkload.Dataset.Len() {
+		t.Fatalf("Len = %d, want %d", ix.Len(), testWorkload.Dataset.Len())
+	}
+	q := testWorkload.Queries[0]
+	results := ix.Query(q, 0.99, 0)
+	if len(results) == 0 {
+		t.Fatal("query returned nothing")
+	}
+	// Results are sorted by distance.
+	for i := 1; i < len(results); i++ {
+		if results[i].Distance < results[i-1].Distance {
+			t.Fatal("results not sorted")
+		}
+	}
+	// The top results should be the relevant ones (same route+direction).
+	relevant := map[trajectory.ID]bool{}
+	for _, id := range testWorkload.Relevant[q.ID] {
+		relevant[id] = true
+	}
+	topRelevant := 0
+	for _, r := range results[:min(len(results), len(relevant))] {
+		if relevant[r.ID] {
+			topRelevant++
+		}
+	}
+	// Routes in a small city can genuinely overlap, so the top results
+	// are not all "relevant" in the strict same-route sense; the full
+	// evaluation (Fig 12) measures this properly on a city-scale dataset.
+	if frac := float64(topRelevant) / float64(len(relevant)); frac < 0.6 {
+		t.Errorf("only %.0f%% of top results are relevant", frac*100)
+	}
+}
+
+func TestQueryMaxDistanceAndLimit(t *testing.T) {
+	ix := newGeodabIndex(t)
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		if err := ix.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := testWorkload.Queries[0]
+	all := ix.Query(q, 1, 0)
+	strict := ix.Query(q, 0.5, 0)
+	if len(strict) > len(all) {
+		t.Fatal("tighter Δmax returned more results")
+	}
+	for _, r := range strict {
+		if r.Distance > 0.5 {
+			t.Fatalf("result at distance %.3f exceeds Δmax", r.Distance)
+		}
+	}
+	if limited := ix.Query(q, 1, 3); len(limited) != 3 {
+		t.Errorf("limit 3 returned %d results", len(limited))
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	ix := newGeodabIndex(t)
+	tr := testWorkload.Dataset.Trajectories[0]
+	if err := ix.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(tr); err == nil {
+		t.Error("duplicate ID should be rejected")
+	}
+}
+
+func TestAddAllParallelMatchesSequential(t *testing.T) {
+	seq := newGeodabIndex(t)
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		if err := seq.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	par := newGeodabIndex(t)
+	if err := par.AddAll(testWorkload.Dataset, 8); err != nil {
+		t.Fatal(err)
+	}
+	if par.Len() != seq.Len() {
+		t.Fatalf("parallel build has %d docs, sequential %d", par.Len(), seq.Len())
+	}
+	for _, q := range testWorkload.Queries[:4] {
+		a := seq.Query(q, 1, 10)
+		b := par.Query(q, 1, 10)
+		if len(a) != len(b) {
+			t.Fatalf("result count mismatch: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("result %d mismatch: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+	if err := par.AddAll(testWorkload.Dataset, 4); err == nil {
+		t.Error("re-adding the dataset should fail on duplicates")
+	}
+}
+
+func TestQueryEmptyIndex(t *testing.T) {
+	ix := newGeodabIndex(t)
+	if got := ix.Query(testWorkload.Queries[0], 1, 0); len(got) != 0 {
+		t.Errorf("empty index returned %d results", len(got))
+	}
+}
+
+func TestQueryUnmatchableTrajectory(t *testing.T) {
+	ix := newGeodabIndex(t)
+	for _, tr := range testWorkload.Dataset.Trajectories[:10] {
+		if err := ix.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A trajectory on the other side of the planet shares no terms.
+	far := &trajectory.Trajectory{ID: 9999}
+	for i := 0; i < 300; i++ {
+		far.Points = append(far.Points, geohash.Hash{Bits: 0b101010, Depth: 6}.Center())
+	}
+	if got := ix.Query(far, 1, 0); len(got) != 0 {
+		t.Errorf("far trajectory matched %d results", len(got))
+	}
+}
+
+func TestFingerprintsAccessor(t *testing.T) {
+	ix := newGeodabIndex(t)
+	tr := testWorkload.Dataset.Trajectories[0]
+	if err := ix.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Fingerprints(tr.ID) == nil {
+		t.Error("Fingerprints returned nil for indexed trajectory")
+	}
+	if ix.Fingerprints(4242) != nil {
+		t.Error("Fingerprints for unknown ID should be nil")
+	}
+}
+
+func TestCellExtractorDirectionBlind(t *testing.T) {
+	// The geohash baseline cannot distinguish direction: a trajectory and
+	// its reverse share (almost) all cells (paper Fig 12's 0.5 plateau).
+	ex, err := NewCellExtractor(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testWorkload.Dataset.Trajectories[0]
+	fwd := ex.Extract(tr.Points)
+	rev := ex.Extract(tr.Reversed().Points)
+	if j := bitmap.Jaccard(fwd, rev); j < 0.5 {
+		t.Errorf("cell sets of a trajectory and its reverse should overlap heavily, J = %.3f", j)
+	}
+	// Geodabs do distinguish: same comparison should be near zero.
+	gx := GeodabExtractor{core.MustFingerprinter(core.DefaultConfig())}
+	if j := bitmap.Jaccard(gx.Extract(tr.Points), gx.Extract(tr.Reversed().Points)); j > 0.2 {
+		t.Errorf("geodab sets of opposite directions should differ, J = %.3f", j)
+	}
+}
+
+func TestCellIndexReturnsBothDirections(t *testing.T) {
+	ex, err := NewCellExtractor(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewInverted(ex)
+	if err := ix.AddAll(testWorkload.Dataset, 4); err != nil {
+		t.Fatal(err)
+	}
+	q := testWorkload.Queries[0]
+	results := ix.Query(q, 0.95, 0)
+	// The cell index should return trajectories from both directions of
+	// the query's route.
+	dirs := map[trajectory.Direction]int{}
+	for _, r := range results {
+		tr := testWorkload.Dataset.ByID(r.ID)
+		if tr.Route == q.Route {
+			dirs[tr.Dir]++
+		}
+	}
+	if dirs[trajectory.Forward] == 0 || dirs[trajectory.Reverse] == 0 {
+		t.Errorf("cell index should match both directions, got %v", dirs)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ix := newGeodabIndex(t)
+	if err := ix.AddAll(testWorkload.Dataset, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := ix.Stats()
+	if s.Trajectories != testWorkload.Dataset.Len() {
+		t.Errorf("Stats.Trajectories = %d", s.Trajectories)
+	}
+	if s.Terms == 0 || s.Postings < s.Terms || s.BitmapBytes == 0 {
+		t.Errorf("degenerate stats: %+v", s)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	ix := newGeodabIndex(t)
+	if err := ix.AddAll(testWorkload.Dataset, 4); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := testWorkload.Queries[i%len(testWorkload.Queries)]
+			if got := ix.Query(q, 1, 5); len(got) == 0 {
+				t.Errorf("concurrent query %d returned nothing", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func BenchmarkQuery(b *testing.B) {
+	ix := NewInverted(GeodabExtractor{core.MustFingerprinter(core.DefaultConfig())})
+	if err := ix.AddAll(testWorkload.Dataset, 8); err != nil {
+		b.Fatal(err)
+	}
+	q := testWorkload.Queries[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Query(q, 1, 10)
+	}
+}

@@ -1,0 +1,126 @@
+package index
+
+import (
+	"sort"
+	"sync"
+
+	"geodabs/internal/core"
+	"geodabs/internal/geo"
+	"geodabs/internal/trajectory"
+)
+
+// Positional is the classic positional inverted index of the paper's
+// §III-A1: terms are normalized geohash cells and every posting carries
+// the positions at which the cell occurs in the trajectory. Subsequence
+// (phrase) queries are answered by intersecting postings with adjacent
+// positions — the approach the paper calls out as showing "poor
+// performances" for long subsequences, and which fingerprinting replaces.
+// It is provided as a baseline; BenchmarkPositionalVsFingerprint measures
+// the gap.
+type Positional struct {
+	f *core.Fingerprinter
+
+	mu       sync.RWMutex
+	postings map[uint64]map[trajectory.ID][]int32 // cell → trajectory → positions
+	docs     map[trajectory.ID]int                // normalized length
+}
+
+// NewPositional returns an empty positional index normalizing at the
+// given fingerprinter configuration (only the normalization fields are
+// used).
+func NewPositional(cfg core.Config) (*Positional, error) {
+	f, err := core.NewFingerprinter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Positional{
+		f:        f,
+		postings: make(map[uint64]map[trajectory.ID][]int32),
+		docs:     make(map[trajectory.ID]int),
+	}, nil
+}
+
+// Add indexes the trajectory's normalized cell sequence with positions.
+func (px *Positional) Add(t *trajectory.Trajectory) {
+	cells := px.f.Normalize(t.Points)
+	px.mu.Lock()
+	defer px.mu.Unlock()
+	px.docs[t.ID] = len(cells)
+	for pos, c := range cells {
+		byDoc, ok := px.postings[c.Hash.Bits]
+		if !ok {
+			byDoc = make(map[trajectory.ID][]int32)
+			px.postings[c.Hash.Bits] = byDoc
+		}
+		byDoc[t.ID] = append(byDoc[t.ID], int32(pos))
+	}
+}
+
+// Len returns the number of indexed trajectories.
+func (px *Positional) Len() int {
+	px.mu.RLock()
+	defer px.mu.RUnlock()
+	return len(px.docs)
+}
+
+// FindSubsequence returns the trajectories containing the query's
+// normalized cell sequence as a contiguous subsequence, with the start
+// position of the first match in each. Results are ordered by ID.
+func (px *Positional) FindSubsequence(points []geo.Point) []SubsequenceMatch {
+	cells := px.f.Normalize(points)
+	if len(cells) == 0 {
+		return nil
+	}
+	px.mu.RLock()
+	defer px.mu.RUnlock()
+	// Candidate start positions: postings of the first cell. Then every
+	// subsequent term must appear shifted by one — the standard phrase-
+	// query merge, costing O(sequence × positions) per candidate.
+	first, ok := px.postings[cells[0].Hash.Bits]
+	if !ok {
+		return nil
+	}
+	var out []SubsequenceMatch
+	for id, starts := range first {
+		pos := match(px, cells, id, starts)
+		if pos >= 0 {
+			out = append(out, SubsequenceMatch{ID: id, Start: pos})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// match returns the first start position of the full cell sequence in
+// trajectory id, or -1.
+func match(px *Positional, cells []core.Cell, id trajectory.ID, starts []int32) int {
+	for _, s := range starts {
+		found := true
+		for k := 1; k < len(cells); k++ {
+			byDoc, ok := px.postings[cells[k].Hash.Bits]
+			if !ok {
+				return -1 // term absent everywhere
+			}
+			if !containsPos(byDoc[id], s+int32(k)) {
+				found = false
+				break
+			}
+		}
+		if found {
+			return int(s)
+		}
+	}
+	return -1
+}
+
+// containsPos reports whether the sorted positions contain p.
+func containsPos(positions []int32, p int32) bool {
+	i := sort.Search(len(positions), func(i int) bool { return positions[i] >= p })
+	return i < len(positions) && positions[i] == p
+}
+
+// SubsequenceMatch is one positional-index hit.
+type SubsequenceMatch struct {
+	ID    trajectory.ID
+	Start int // cell position of the first occurrence
+}

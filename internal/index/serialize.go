@@ -1,0 +1,124 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/trajectory"
+)
+
+// Index snapshot format (little endian):
+//
+//	magic   uint32  "GDIX" (0x58494447)
+//	version uint8   1
+//	docs    uint32
+//	per document:
+//	  id    uint32
+//	  fingerprint set (bitmap serialization)
+//
+// Posting lists are not stored: they are the exact inverse of the document
+// sets and are rebuilt on load, which halves the snapshot size and cannot
+// desynchronize.
+const (
+	indexMagic   = 0x58494447
+	indexVersion = 1
+)
+
+// WriteTo snapshots the index. It implements io.WriterTo. The extractor is
+// not part of the snapshot: the loader must construct the index with the
+// same configuration.
+func (ix *Inverted) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	writeErr := func(err error) (int64, error) {
+		return n, fmt.Errorf("index: write: %w", err)
+	}
+	hdr := make([]byte, 9)
+	binary.LittleEndian.PutUint32(hdr[0:4], indexMagic)
+	hdr[4] = indexVersion
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(ix.docs)))
+	if _, err := bw.Write(hdr); err != nil {
+		return writeErr(err)
+	}
+	n += int64(len(hdr))
+	var idBuf [4]byte
+	for id, set := range ix.docs {
+		binary.LittleEndian.PutUint32(idBuf[:], uint32(id))
+		if _, err := bw.Write(idBuf[:]); err != nil {
+			return writeErr(err)
+		}
+		n += 4
+		m, err := set.WriteTo(bw)
+		n += m
+		if err != nil {
+			return writeErr(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return writeErr(err)
+	}
+	return n, nil
+}
+
+// ReadFrom loads a snapshot written by WriteTo into the receiver,
+// replacing its contents and rebuilding the posting lists. It implements
+// io.ReaderFrom.
+func (ix *Inverted) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var n int64
+	readErr := func(err error) (int64, error) {
+		return n, fmt.Errorf("index: read: %w", err)
+	}
+	hdr := make([]byte, 9)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return readErr(err)
+	}
+	n += int64(len(hdr))
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != indexMagic {
+		return n, fmt.Errorf("index: bad magic %#x", m)
+	}
+	if hdr[4] != indexVersion {
+		return n, fmt.Errorf("index: unsupported version %d", hdr[4])
+	}
+	count := binary.LittleEndian.Uint32(hdr[5:9])
+
+	docs := make(map[trajectory.ID]*bitmap.Bitmap, count)
+	postings := make(map[uint32]*bitmap.Bitmap)
+	var idBuf [4]byte
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, idBuf[:]); err != nil {
+			return readErr(err)
+		}
+		n += 4
+		id := trajectory.ID(binary.LittleEndian.Uint32(idBuf[:]))
+		if _, dup := docs[id]; dup {
+			return n, fmt.Errorf("index: duplicate trajectory %d in snapshot", id)
+		}
+		set := bitmap.New()
+		m, err := set.ReadFrom(br)
+		n += m
+		if err != nil {
+			return readErr(err)
+		}
+		docs[id] = set
+		set.Iterate(func(term uint32) bool {
+			p, ok := postings[term]
+			if !ok {
+				p = bitmap.New()
+				postings[term] = p
+			}
+			p.Add(uint32(id))
+			return true
+		})
+	}
+	ix.mu.Lock()
+	ix.docs = docs
+	ix.postings = postings
+	ix.mu.Unlock()
+	return n, nil
+}

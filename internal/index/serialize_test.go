@@ -1,0 +1,108 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"geodabs/internal/core"
+)
+
+func TestIndexSnapshotRoundTrip(t *testing.T) {
+	orig := newGeodabIndex(t)
+	if err := orig.AddAll(testWorkload.Dataset, 8); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded := newGeodabIndex(t)
+	if _, err := loaded.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("loaded %d docs, want %d", loaded.Len(), orig.Len())
+	}
+	// Queries must be identical on the loaded index.
+	for _, q := range testWorkload.Queries[:5] {
+		want := orig.Query(q, 1, 10)
+		got := loaded.Query(q, 1, 10)
+		if len(got) != len(want) {
+			t.Fatalf("result count %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("result %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+	// Stats agree too (same docs, same postings).
+	if g, w := loaded.Stats(), orig.Stats(); g.Terms != w.Terms || g.Postings != w.Postings {
+		t.Errorf("stats diverge: %+v vs %+v", g, w)
+	}
+}
+
+func TestIndexSnapshotReplacesContents(t *testing.T) {
+	a := newGeodabIndex(t)
+	if err := a.Add(testWorkload.Dataset.Trajectories[0]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := newGeodabIndex(t)
+	if err := b.Add(testWorkload.Dataset.Trajectories[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("loaded index has %d docs, want 1", b.Len())
+	}
+	if b.Fingerprints(testWorkload.Dataset.Trajectories[1].ID) != nil {
+		t.Error("pre-existing contents should be replaced")
+	}
+	// The loaded index accepts further additions.
+	if err := b.Add(testWorkload.Dataset.Trajectories[2]); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len after post-load add = %d", b.Len())
+	}
+}
+
+func TestIndexSnapshotRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad-magic", []byte{1, 2, 3, 4, 1, 0, 0, 0, 0}},
+		{"bad-version", []byte{0x47, 0x44, 0x49, 0x58, 9, 0, 0, 0, 0}},
+		{"truncated", func() []byte {
+			ix := NewInverted(GeodabExtractor{core.MustFingerprinter(core.DefaultConfig())})
+			if err := ix.Add(testWorkload.Dataset.Trajectories[0]); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := ix.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()[:buf.Len()-4]
+		}()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ix := newGeodabIndex(t)
+			if _, err := ix.ReadFrom(bytes.NewReader(tt.data)); err == nil {
+				t.Error("ReadFrom should fail")
+			}
+		})
+	}
+}

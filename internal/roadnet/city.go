@@ -1,0 +1,182 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"geodabs/internal/geo"
+)
+
+// LondonCenter is the center of the paper's 300 km² evaluation area.
+var LondonCenter = geo.Point{Lat: 51.5074, Lon: -0.1278}
+
+// CityConfig parameterizes the synthetic city generator, a substitute for
+// the OpenStreetMap extract of London used by the paper. The generated
+// network is an irregular grid with arterial rows and columns, positional
+// jitter and random gaps — enough structure for routes to overlap heavily,
+// which is what makes the paper's dataset "dense".
+type CityConfig struct {
+	// Center of the city. Defaults to central London.
+	Center geo.Point
+	// RadiusMeters bounds the street network to a disk. The default
+	// 9,772 m yields the paper's ≈300 km² area.
+	RadiusMeters float64
+	// BlockMeters is the grid spacing between junctions (default 200 m).
+	BlockMeters float64
+	// JitterMeters perturbs junction positions (default 30 m).
+	JitterMeters float64
+	// RemoveFraction of non-arterial street segments is deleted to break
+	// the grid's regularity (default 0.12).
+	RemoveFraction float64
+	// ArterialEvery promotes every n-th row and column to a fast arterial
+	// (default 8).
+	ArterialEvery int
+	// Seed drives all randomness; the same seed reproduces the same city.
+	Seed int64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c CityConfig) withDefaults() CityConfig {
+	if c.Center == (geo.Point{}) {
+		c.Center = LondonCenter
+	}
+	if c.RadiusMeters == 0 {
+		c.RadiusMeters = math.Sqrt(300e6 / math.Pi) // 300 km² disk
+	}
+	if c.BlockMeters == 0 {
+		c.BlockMeters = 200
+	}
+	if c.JitterMeters == 0 {
+		c.JitterMeters = 30
+	}
+	if c.RemoveFraction == 0 {
+		c.RemoveFraction = 0.12
+	}
+	if c.ArterialEvery == 0 {
+		c.ArterialEvery = 8
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c CityConfig) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.RadiusMeters < c.BlockMeters:
+		return fmt.Errorf("roadnet: radius %.0f m smaller than one block", c.RadiusMeters)
+	case c.BlockMeters < 10:
+		return fmt.Errorf("roadnet: blocks of %.0f m are too small", c.BlockMeters)
+	case c.RemoveFraction < 0 || c.RemoveFraction > 0.5:
+		return fmt.Errorf("roadnet: remove fraction %.2f out of [0, 0.5]", c.RemoveFraction)
+	default:
+		return nil
+	}
+}
+
+// Street speed classes, in m/s.
+var (
+	speedResidentialMin = kmh(30)
+	speedResidentialMax = kmh(50)
+	speedArterial       = kmh(60)
+)
+
+// GenerateCity builds a synthetic city road network. The result is
+// connected (the largest component of the jittered, thinned grid) and
+// frozen with a spatial index sized to the block length.
+func GenerateCity(cfg CityConfig) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	half := int(cfg.RadiusMeters / cfg.BlockMeters)
+	size := 2*half + 1
+	ids := make([]NodeID, size*size)
+	for i := range ids {
+		ids[i] = -1
+	}
+	at := func(r, c int) NodeID {
+		if r < 0 || r >= size || c < 0 || c >= size {
+			return -1
+		}
+		return ids[r*size+c]
+	}
+
+	g := &Graph{}
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			dn := float64(r-half) * cfg.BlockMeters
+			de := float64(c-half) * cfg.BlockMeters
+			if math.Hypot(dn, de) > cfg.RadiusMeters {
+				continue
+			}
+			p := geo.Offset(cfg.Center, dn, de)
+			p = geo.Offset(p, rng.NormFloat64()*cfg.JitterMeters, rng.NormFloat64()*cfg.JitterMeters)
+			ids[r*size+c] = g.AddNode(p)
+		}
+	}
+
+	arterialRow := func(r int) bool { return r%cfg.ArterialEvery == 0 }
+	connect := func(a, b NodeID, arterial bool) {
+		if a < 0 || b < 0 {
+			return
+		}
+		speed := speedResidentialMin + rng.Float64()*(speedResidentialMax-speedResidentialMin)
+		if arterial {
+			speed = speedArterial
+		} else if rng.Float64() < cfg.RemoveFraction {
+			return // thin the residential grid
+		}
+		if err := g.AddEdge(a, b, speed); err != nil {
+			panic(fmt.Sprintf("roadnet: generating city: %v", err))
+		}
+	}
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			connect(at(r, c), at(r, c+1), arterialRow(r))
+			connect(at(r, c), at(r+1, c), arterialRow(c))
+		}
+	}
+	// Two diagonal avenues through the center give the network the
+	// non-grid shortcuts real cities have.
+	for r := 0; r < size-1; r++ {
+		connect(at(r, r), at(r+1, r+1), true)
+		connect(at(r, size-1-r), at(r+1, size-2-r), true)
+	}
+
+	g = g.LargestComponent()
+	g.Freeze(cfg.BlockMeters)
+	return g, nil
+}
+
+// RandomRoute returns the fastest route between two random nodes whose
+// length is at least minMeters. It gives up after a bounded number of
+// attempts on badly connected graphs.
+func RandomRoute(g *Graph, minMeters float64, rng *rand.Rand) (*Route, error) {
+	if g.NumNodes() < 2 {
+		return nil, fmt.Errorf("roadnet: graph too small for routes")
+	}
+	const attempts = 64
+	for i := 0; i < attempts; i++ {
+		from := NodeID(rng.Intn(g.NumNodes()))
+		to := NodeID(rng.Intn(g.NumNodes()))
+		if from == to {
+			continue
+		}
+		// Cheap pre-check: skip pairs whose straight-line distance is
+		// already below the requested route length.
+		if geo.Haversine(g.Point(from), g.Point(to)) < minMeters {
+			continue
+		}
+		route, err := g.AStar(from, to)
+		if err != nil {
+			continue
+		}
+		if route.Length >= minMeters {
+			return route, nil
+		}
+	}
+	return nil, fmt.Errorf("roadnet: no route of at least %.0f m found in %d attempts", minMeters, attempts)
+}

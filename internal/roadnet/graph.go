@@ -1,0 +1,364 @@
+// Package roadnet provides the road-network substrate the paper obtains
+// from GraphHopper and OpenStreetMap (§VI-A1): a routable graph with
+// travel speeds, shortest-path routing (Dijkstra and A*), a spatial index
+// for nearest-node queries, a synthetic city generator standing in for the
+// London road network, and a population-weighted world model standing in
+// for the full OSM dump.
+package roadnet
+
+import (
+	"errors"
+	"fmt"
+
+	"geodabs/internal/geo"
+)
+
+// NodeID identifies a node (junction) in a graph. IDs are dense indexes.
+type NodeID int32
+
+// Edge is a directed half-edge of the road graph. Road segments are
+// bidirectional: AddEdge stores a half-edge in both adjacency lists.
+type Edge struct {
+	To     NodeID
+	Length float64 // meters
+	Speed  float64 // free-flow speed, meters/second
+}
+
+// travelTime returns the free-flow traversal time of the edge in seconds.
+func (e Edge) travelTime() float64 { return e.Length / e.Speed }
+
+// Graph is an undirected road network. The zero value is an empty graph
+// ready for use. Graphs are not safe for concurrent mutation; read-only
+// use (routing, nearest-node queries after Freeze) is safe concurrently.
+type Graph struct {
+	points []geo.Point
+	adj    [][]Edge
+	edges  int
+	grid   *nodeGrid
+}
+
+// AddNode adds a junction at p and returns its ID.
+func (g *Graph) AddNode(p geo.Point) NodeID {
+	g.points = append(g.points, p)
+	g.adj = append(g.adj, nil)
+	g.grid = nil
+	return NodeID(len(g.points) - 1)
+}
+
+// AddEdge connects a and b bidirectionally with the given free-flow speed
+// in meters/second. The length is the ground distance between the nodes.
+// Self-loops and invalid speeds are rejected.
+func (g *Graph) AddEdge(a, b NodeID, speed float64) error {
+	if a == b {
+		return fmt.Errorf("roadnet: self-loop on node %d", a)
+	}
+	if !g.valid(a) || !g.valid(b) {
+		return fmt.Errorf("roadnet: edge (%d, %d) references unknown node", a, b)
+	}
+	if speed <= 0 {
+		return fmt.Errorf("roadnet: non-positive speed %f", speed)
+	}
+	length := geo.Haversine(g.points[a], g.points[b])
+	g.adj[a] = append(g.adj[a], Edge{To: b, Length: length, Speed: speed})
+	g.adj[b] = append(g.adj[b], Edge{To: a, Length: length, Speed: speed})
+	g.edges++
+	return nil
+}
+
+func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < len(g.points) }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.points) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Point returns the position of a node.
+func (g *Graph) Point(id NodeID) geo.Point { return g.points[id] }
+
+// Neighbors returns the half-edges leaving id. The slice is owned by the
+// graph and must not be modified.
+func (g *Graph) Neighbors(id NodeID) []Edge { return g.adj[id] }
+
+// Bounds returns the bounding box of all nodes.
+func (g *Graph) Bounds() geo.Box { return geo.NewBox(g.points...) }
+
+// Route is a path through the graph.
+type Route struct {
+	Nodes    []NodeID
+	Length   float64 // meters
+	Duration float64 // seconds at free-flow speeds
+}
+
+// Points maps the route's nodes to their positions.
+func (r *Route) Points(g *Graph) []geo.Point {
+	out := make([]geo.Point, len(r.Nodes))
+	for i, id := range r.Nodes {
+		out[i] = g.Point(id)
+	}
+	return out
+}
+
+// Leg is one segment of a route with its free-flow speed.
+type Leg struct {
+	From, To geo.Point
+	Length   float64 // meters
+	Speed    float64 // meters/second
+}
+
+// Legs expands the route into segments, recovering each segment's speed
+// from the graph. The trajectory generator uses the speeds to time its
+// samples, the way the paper derives speeds from GraphHopper's route
+// durations.
+func (r *Route) Legs(g *Graph) []Leg {
+	if len(r.Nodes) < 2 {
+		return nil
+	}
+	legs := make([]Leg, 0, len(r.Nodes)-1)
+	for i := 1; i < len(r.Nodes); i++ {
+		from, to := r.Nodes[i-1], r.Nodes[i]
+		leg := Leg{From: g.Point(from), To: g.Point(to)}
+		for _, e := range g.adj[from] {
+			if e.To == to {
+				leg.Length, leg.Speed = e.Length, e.Speed
+				break
+			}
+		}
+		if leg.Speed == 0 {
+			// The route does not follow graph edges (hand-built route):
+			// fall back to the ground distance at residential speed.
+			leg.Length = geo.Haversine(leg.From, leg.To)
+			leg.Speed = speedResidentialMin
+		}
+		legs = append(legs, leg)
+	}
+	return legs
+}
+
+// ReverseLegs returns the legs of the opposite direction of travel.
+func ReverseLegs(legs []Leg) []Leg {
+	out := make([]Leg, len(legs))
+	for i, l := range legs {
+		out[len(legs)-1-i] = Leg{From: l.To, To: l.From, Length: l.Length, Speed: l.Speed}
+	}
+	return out
+}
+
+// ErrNoRoute is returned when no path connects the requested endpoints.
+var ErrNoRoute = errors.New("roadnet: no route between nodes")
+
+// ShortestPath returns the fastest route (by free-flow travel time) from
+// one node to another, using Dijkstra's algorithm. It returns ErrNoRoute
+// when the nodes are disconnected.
+func (g *Graph) ShortestPath(from, to NodeID) (*Route, error) {
+	return g.route(from, to, nil)
+}
+
+// AStar returns the same fastest route as ShortestPath but guides the
+// search with the great-circle travel-time lower bound, which visits far
+// fewer nodes on large graphs.
+func (g *Graph) AStar(from, to NodeID) (*Route, error) {
+	maxSpeed := 1.0
+	for _, edges := range g.adj {
+		for _, e := range edges {
+			if e.Speed > maxSpeed {
+				maxSpeed = e.Speed
+			}
+		}
+	}
+	target := g.points[to]
+	h := func(id NodeID) float64 {
+		return geo.Haversine(g.points[id], target) / maxSpeed
+	}
+	return g.route(from, to, h)
+}
+
+// route runs Dijkstra (h == nil) or A* (h != nil) from from to to.
+func (g *Graph) route(from, to NodeID, h func(NodeID) float64) (*Route, error) {
+	if !g.valid(from) || !g.valid(to) {
+		return nil, fmt.Errorf("roadnet: route references unknown node (%d → %d)", from, to)
+	}
+	if from == to {
+		return &Route{Nodes: []NodeID{from}}, nil
+	}
+	dist := make(map[NodeID]float64, 1024)
+	prev := make(map[NodeID]NodeID, 1024)
+	done := make(map[NodeID]bool, 1024)
+	pq := &nodeQueue{}
+	dist[from] = 0
+	push(pq, queueItem{node: from, priority: 0})
+	for pq.Len() > 0 {
+		item := pop(pq)
+		if done[item.node] {
+			continue
+		}
+		if item.node == to {
+			break
+		}
+		done[item.node] = true
+		d := dist[item.node]
+		for _, e := range g.adj[item.node] {
+			if done[e.To] {
+				continue
+			}
+			nd := d + e.travelTime()
+			if cur, ok := dist[e.To]; !ok || nd < cur {
+				dist[e.To] = nd
+				prev[e.To] = item.node
+				priority := nd
+				if h != nil {
+					priority += h(e.To)
+				}
+				push(pq, queueItem{node: e.To, priority: priority})
+			}
+		}
+	}
+	if _, ok := dist[to]; !ok {
+		return nil, ErrNoRoute
+	}
+	return g.assemble(from, to, dist[to], prev), nil
+}
+
+// assemble reconstructs the route from the predecessor map.
+func (g *Graph) assemble(from, to NodeID, duration float64, prev map[NodeID]NodeID) *Route {
+	var nodes []NodeID
+	for at := to; ; {
+		nodes = append(nodes, at)
+		if at == from {
+			break
+		}
+		at = prev[at]
+	}
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	length := 0.0
+	for i := 1; i < len(nodes); i++ {
+		length += geo.Haversine(g.points[nodes[i-1]], g.points[nodes[i]])
+	}
+	return &Route{Nodes: nodes, Length: length, Duration: duration}
+}
+
+// DistancesWithin runs a bounded Dijkstra from the source and returns the
+// travel distance in meters (not time) to every node reachable within
+// maxMeters. The map matcher uses it to score HMM transitions.
+func (g *Graph) DistancesWithin(from NodeID, maxMeters float64) map[NodeID]float64 {
+	dist := map[NodeID]float64{from: 0}
+	done := make(map[NodeID]bool)
+	pq := &nodeQueue{}
+	push(pq, queueItem{node: from, priority: 0})
+	for pq.Len() > 0 {
+		item := pop(pq)
+		if done[item.node] {
+			continue
+		}
+		done[item.node] = true
+		d := dist[item.node]
+		for _, e := range g.adj[item.node] {
+			nd := d + e.Length
+			if nd > maxMeters {
+				continue
+			}
+			if cur, ok := dist[e.To]; !ok || nd < cur {
+				dist[e.To] = nd
+				push(pq, queueItem{node: e.To, priority: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// LargestComponent returns a new graph containing only the largest
+// connected component, with renumbered nodes. Generators use it to discard
+// fragments left by random edge removal.
+func (g *Graph) LargestComponent() *Graph {
+	seen := make([]bool, len(g.points))
+	var best []NodeID
+	for start := range g.points {
+		if seen[start] {
+			continue
+		}
+		comp := []NodeID{NodeID(start)}
+		seen[start] = true
+		for i := 0; i < len(comp); i++ {
+			for _, e := range g.adj[comp[i]] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					comp = append(comp, e.To)
+				}
+			}
+		}
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	remap := make(map[NodeID]NodeID, len(best))
+	out := &Graph{}
+	for _, id := range best {
+		remap[id] = out.AddNode(g.points[id])
+	}
+	for _, id := range best {
+		for _, e := range g.adj[id] {
+			if e.To > id { // each undirected edge once
+				if _, ok := remap[e.To]; ok {
+					// Re-adding recomputes length; speeds carry over.
+					if err := out.AddEdge(remap[id], remap[e.To], e.Speed); err != nil {
+						panic(fmt.Sprintf("roadnet: rebuilding component: %v", err))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// queueItem and nodeQueue implement the priority queue for Dijkstra/A*.
+type queueItem struct {
+	node     NodeID
+	priority float64
+}
+
+type nodeQueue []queueItem
+
+func (q nodeQueue) Len() int { return len(q) }
+
+// push and pop implement a binary min-heap inline; container/heap's
+// interface indirection costs ~2× on this hot path.
+func push(q *nodeQueue, item queueItem) {
+	*q = append(*q, item)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*q)[parent].priority <= (*q)[i].priority {
+			break
+		}
+		(*q)[parent], (*q)[i] = (*q)[i], (*q)[parent]
+		i = parent
+	}
+}
+
+func pop(q *nodeQueue) queueItem {
+	top := (*q)[0]
+	last := len(*q) - 1
+	(*q)[0] = (*q)[last]
+	*q = (*q)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && (*q)[l].priority < (*q)[smallest].priority {
+			smallest = l
+		}
+		if r < last && (*q)[r].priority < (*q)[smallest].priority {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		(*q)[i], (*q)[smallest] = (*q)[smallest], (*q)[i]
+		i = smallest
+	}
+}
+
+// kmh converts km/h to m/s for readable speed constants.
+func kmh(v float64) float64 { return v / 3.6 }

@@ -1,0 +1,148 @@
+package roadnet
+
+import (
+	"math"
+	"sort"
+
+	"geodabs/internal/geo"
+)
+
+// nodeGrid is a uniform spatial hash of node positions used for
+// nearest-node and radius queries. Cells are square in local meters.
+type nodeGrid struct {
+	cellMeters float64
+	origin     geo.Point
+	cosLat     float64
+	cells      map[[2]int32][]NodeID
+	keyMin     [2]int32
+	keyMax     [2]int32
+}
+
+// Freeze builds the spatial index with the given cell size in meters.
+// It must be called after the graph is fully constructed and before
+// NearestNode or NodesWithin. Mutating the graph invalidates the index.
+func (g *Graph) Freeze(cellMeters float64) {
+	if cellMeters <= 0 {
+		cellMeters = 250
+	}
+	grid := &nodeGrid{
+		cellMeters: cellMeters,
+		cells:      make(map[[2]int32][]NodeID, len(g.points)/2+1),
+	}
+	if len(g.points) > 0 {
+		b := g.Bounds()
+		grid.origin = geo.Point{Lat: b.MinLat, Lon: b.MinLon}
+		grid.cosLat = math.Cos(b.Center().Lat * math.Pi / 180)
+		if grid.cosLat < 1e-6 {
+			grid.cosLat = 1e-6
+		}
+	}
+	for i, p := range g.points {
+		key := grid.key(p)
+		if i == 0 {
+			grid.keyMin, grid.keyMax = key, key
+		} else {
+			grid.keyMin[0] = min(grid.keyMin[0], key[0])
+			grid.keyMin[1] = min(grid.keyMin[1], key[1])
+			grid.keyMax[0] = max(grid.keyMax[0], key[0])
+			grid.keyMax[1] = max(grid.keyMax[1], key[1])
+		}
+		grid.cells[key] = append(grid.cells[key], NodeID(i))
+	}
+	g.grid = grid
+}
+
+// local projects a point to meters relative to the grid origin.
+func (ng *nodeGrid) local(p geo.Point) (x, y float64) {
+	const mPerDeg = 2 * math.Pi * geo.EarthRadius / 360
+	x = (p.Lon - ng.origin.Lon) * mPerDeg * ng.cosLat
+	y = (p.Lat - ng.origin.Lat) * mPerDeg
+	return x, y
+}
+
+func (ng *nodeGrid) key(p geo.Point) [2]int32 {
+	x, y := ng.local(p)
+	return [2]int32{int32(math.Floor(x / ng.cellMeters)), int32(math.Floor(y / ng.cellMeters))}
+}
+
+// NearestNode returns the node closest to p and its ground distance in
+// meters. It requires Freeze. Searching an empty graph returns (-1, +Inf).
+func (g *Graph) NearestNode(p geo.Point) (NodeID, float64) {
+	if g.grid == nil {
+		panic("roadnet: NearestNode before Freeze")
+	}
+	if len(g.points) == 0 {
+		return -1, math.Inf(1)
+	}
+	ng := g.grid
+	center := ng.key(p)
+	// No ring beyond the grid's key extent can contain a node.
+	ringMax := maxAbs(center[0]-ng.keyMin[0], center[1]-ng.keyMin[1])
+	ringMax = max(ringMax, maxAbs(center[0]-ng.keyMax[0], center[1]-ng.keyMax[1]))
+	best := NodeID(-1)
+	bestDist := math.Inf(1)
+	// Expand square rings of cells until a hit is found and the next ring
+	// cannot contain anything closer.
+	for ring := int32(0); ring <= ringMax; ring++ {
+		if best >= 0 && float64(ring-1)*ng.cellMeters > bestDist {
+			break
+		}
+		for dx := -ring; dx <= ring; dx++ {
+			for dy := -ring; dy <= ring; dy++ {
+				if maxAbs(dx, dy) != ring { // ring boundary only
+					continue
+				}
+				for _, id := range ng.cells[[2]int32{center[0] + dx, center[1] + dy}] {
+					if d := geo.Haversine(p, g.points[id]); d < bestDist {
+						best, bestDist = id, d
+					}
+				}
+			}
+		}
+	}
+	return best, bestDist
+}
+
+// NodesWithin returns the nodes within radius meters of p, ordered by
+// increasing distance. It requires Freeze.
+func (g *Graph) NodesWithin(p geo.Point, radius float64) []NodeID {
+	if g.grid == nil {
+		panic("roadnet: NodesWithin before Freeze")
+	}
+	ng := g.grid
+	center := ng.key(p)
+	span := int32(math.Ceil(radius/ng.cellMeters)) + 1
+	type hit struct {
+		id NodeID
+		d  float64
+	}
+	var hits []hit
+	for dx := -span; dx <= span; dx++ {
+		for dy := -span; dy <= span; dy++ {
+			for _, id := range ng.cells[[2]int32{center[0] + dx, center[1] + dy}] {
+				if d := geo.Haversine(p, g.points[id]); d <= radius {
+					hits = append(hits, hit{id: id, d: d})
+				}
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].d < hits[j].d })
+	out := make([]NodeID, len(hits))
+	for i, h := range hits {
+		out[i] = h.id
+	}
+	return out
+}
+
+func maxAbs(a, b int32) int32 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

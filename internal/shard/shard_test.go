@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geodabs/internal/core"
+	"geodabs/internal/geo"
+	"geodabs/internal/geohash"
+	"geodabs/internal/roadnet"
+)
+
+func defaultStrategy() Strategy {
+	return Strategy{PrefixBits: 16, Shards: 10000, Nodes: 10}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		s       Strategy
+		wantErr bool
+	}{
+		{"ok", defaultStrategy(), false},
+		{"no-prefix", Strategy{PrefixBits: 0, Shards: 10, Nodes: 2}, true},
+		{"prefix-32", Strategy{PrefixBits: 32, Shards: 10, Nodes: 2}, true},
+		{"no-shards", Strategy{PrefixBits: 16, Shards: 0, Nodes: 2}, true},
+		{"no-nodes", Strategy{PrefixBits: 16, Shards: 10, Nodes: 0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if gotErr := tt.s.Validate() != nil; gotErr != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr = %v", tt.s.Validate(), tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestShardOfRange(t *testing.T) {
+	s := defaultStrategy()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		g := rng.Uint32()
+		sh := s.ShardOf(g)
+		if sh < 0 || sh >= s.Shards {
+			t.Fatalf("ShardOf(%d) = %d out of [0, %d)", g, sh, s.Shards)
+		}
+		n := s.NodeOf(sh)
+		if n < 0 || n >= s.Nodes {
+			t.Fatalf("NodeOf(%d) = %d out of [0, %d)", sh, n, s.Nodes)
+		}
+		if s.NodeOfGeodab(g) != n {
+			t.Fatal("NodeOfGeodab disagrees with ShardOf∘NodeOf")
+		}
+	}
+}
+
+func TestShardOfMonotoneOnCurve(t *testing.T) {
+	// Geodabs with increasing geohash prefixes map to non-decreasing
+	// shards: the locality-preserving property.
+	s := Strategy{PrefixBits: 16, Shards: 100, Nodes: 10}
+	prevShard := -1
+	for prefix := 0; prefix < 1<<16; prefix += 7 {
+		g := uint32(prefix) << 16
+		sh := s.ShardOf(g)
+		if sh < prevShard {
+			t.Fatalf("shard decreased along the curve at prefix %d", prefix)
+		}
+		prevShard = sh
+	}
+	if prevShard != s.Shards-1 {
+		t.Errorf("last prefix maps to shard %d, want %d", prevShard, s.Shards-1)
+	}
+}
+
+func TestShardOfSuffixInvariance(t *testing.T) {
+	// The hash suffix must not influence shard placement.
+	s := defaultStrategy()
+	base := uint32(0xABCD) << 16
+	want := s.ShardOf(base)
+	for _, suffix := range []uint32{0, 1, 0xFFFF, 0x1234} {
+		if got := s.ShardOf(base | suffix); got != want {
+			t.Fatalf("suffix %#x changed the shard: %d vs %d", suffix, got, want)
+		}
+	}
+}
+
+func TestShardsOfLocality(t *testing.T) {
+	// The fingerprints of one trajectory are spatially clustered, so a
+	// query touches very few of the 10'000 shards.
+	f := core.MustFingerprinter(core.DefaultConfig())
+	var pts []geo.Point
+	for i := 0; i < 800; i++ {
+		pts = append(pts, geo.Offset(roadnet.LondonCenter, float64(i)*10, float64(i)*10))
+	}
+	fp := f.Fingerprint(pts)
+	s := defaultStrategy()
+	shards := s.ShardsOf(fp.Geodabs)
+	if len(shards) == 0 {
+		t.Fatal("no shards touched")
+	}
+	if len(shards) > 4 {
+		t.Errorf("an 11 km trajectory touches %d shards, want ≤ 4", len(shards))
+	}
+	for i := 1; i < len(shards); i++ {
+		if shards[i] <= shards[i-1] {
+			t.Fatal("ShardsOf not sorted/deduplicated")
+		}
+	}
+	if got := s.ShardsOf(nil); len(got) != 0 {
+		t.Errorf("ShardsOf(nil) = %v", got)
+	}
+}
+
+func TestBalanceOfUniform(t *testing.T) {
+	s := Strategy{PrefixBits: 16, Shards: 100, Nodes: 10}
+	perShard := make([]int, s.Shards)
+	for i := range perShard {
+		perShard[i] = 50
+	}
+	b := s.BalanceOf(perShard)
+	if b.Max != b.Min || b.CV != 0 || b.Imbalance != 1 {
+		t.Errorf("uniform load should be perfectly balanced: %+v", b)
+	}
+	if b.Mean != 500 {
+		t.Errorf("Mean = %v, want 500", b.Mean)
+	}
+	if len(b.PerNode) != 10 {
+		t.Errorf("PerNode has %d entries", len(b.PerNode))
+	}
+}
+
+func TestBalanceEmpty(t *testing.T) {
+	b := summarize(nil)
+	if b.Max != 0 || b.CV != 0 {
+		t.Errorf("empty balance = %+v", b)
+	}
+}
+
+// TestMoreShardsBalanceBetter reproduces the mechanism of Fig 16: with a
+// skewed world distribution, 100 shards leave nodes unbalanced while
+// 10'000 shards spread the load.
+func TestMoreShardsBalanceBetter(t *testing.T) {
+	sampler := roadnet.NewWorldSampler(0, 42)
+	points := sampler.SampleN(200000)
+	load := func(shards int) Balance {
+		s := Strategy{PrefixBits: 16, Shards: shards, Nodes: 10}
+		perShard := make([]int, shards)
+		for _, p := range points {
+			h := geohash.Encode(p, 16)
+			g := uint32(h.Bits) << 16
+			perShard[s.ShardOf(g)]++
+		}
+		return s.BalanceOf(perShard)
+	}
+	coarse := load(100)
+	fine := load(10000)
+	if fine.CV >= coarse.CV {
+		t.Errorf("10'000 shards (CV %.3f) should balance better than 100 (CV %.3f)", fine.CV, coarse.CV)
+	}
+	if fine.Imbalance > 1.5 {
+		t.Errorf("fine sharding imbalance = %.2f, want ≤ 1.5", fine.Imbalance)
+	}
+	if coarse.Imbalance < fine.Imbalance {
+		t.Error("coarse sharding should be more imbalanced")
+	}
+}
+
+func TestBalanceOfKnownSkew(t *testing.T) {
+	// All load on one shard: one node carries everything.
+	s := Strategy{PrefixBits: 16, Shards: 100, Nodes: 10}
+	perShard := make([]int, 100)
+	perShard[37] = 1000
+	b := s.BalanceOf(perShard)
+	if b.Max != 1000 || b.Min != 0 {
+		t.Errorf("skewed balance = %+v", b)
+	}
+	if math.Abs(b.Imbalance-10) > 1e-9 {
+		t.Errorf("Imbalance = %v, want 10", b.Imbalance)
+	}
+	if b.PerNode[s.NodeOf(37)] != 1000 {
+		t.Error("load landed on the wrong node")
+	}
+}

@@ -1,0 +1,104 @@
+package trajectory
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"geodabs/internal/geo"
+)
+
+// GeoJSON interop: trajectories serialize as a FeatureCollection of
+// LineString features with id/route/direction properties, the format GIS
+// tools (QGIS, kepler.gl, geojson.io) consume directly.
+
+type geoJSONFeatureCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+type geoJSONFeature struct {
+	Type       string          `json:"type"`
+	Properties geoJSONProps    `json:"properties"`
+	Geometry   geoJSONGeometry `json:"geometry"`
+}
+
+type geoJSONProps struct {
+	ID        uint32 `json:"id"`
+	Route     uint32 `json:"route"`
+	Direction string `json:"direction"`
+}
+
+type geoJSONGeometry struct {
+	Type        string       `json:"type"`
+	Coordinates [][2]float64 `json:"coordinates"` // [lon, lat] per the spec
+}
+
+// WriteGeoJSON serializes the dataset as a GeoJSON FeatureCollection.
+func WriteGeoJSON(w io.Writer, d *Dataset) error {
+	fc := geoJSONFeatureCollection{
+		Type:     "FeatureCollection",
+		Features: make([]geoJSONFeature, 0, len(d.Trajectories)),
+	}
+	for _, t := range d.Trajectories {
+		coords := make([][2]float64, len(t.Points))
+		for i, p := range t.Points {
+			coords[i] = [2]float64{p.Lon, p.Lat}
+		}
+		fc.Features = append(fc.Features, geoJSONFeature{
+			Type: "Feature",
+			Properties: geoJSONProps{
+				ID:        uint32(t.ID),
+				Route:     t.Route,
+				Direction: t.Dir.String(),
+			},
+			Geometry: geoJSONGeometry{Type: "LineString", Coordinates: coords},
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(fc); err != nil {
+		return fmt.Errorf("trajectory: geojson encode: %w", err)
+	}
+	return nil
+}
+
+// ReadGeoJSON parses a FeatureCollection of LineStrings written by
+// WriteGeoJSON (or by any GIS tool emitting the same properties; missing
+// properties default to zero values).
+func ReadGeoJSON(r io.Reader) (*Dataset, error) {
+	var fc geoJSONFeatureCollection
+	if err := json.NewDecoder(r).Decode(&fc); err != nil {
+		return nil, fmt.Errorf("trajectory: geojson decode: %w", err)
+	}
+	if fc.Type != "FeatureCollection" {
+		return nil, fmt.Errorf("trajectory: geojson type %q, want FeatureCollection", fc.Type)
+	}
+	d := &Dataset{Trajectories: make([]*Trajectory, 0, len(fc.Features))}
+	for i, f := range fc.Features {
+		if f.Geometry.Type != "LineString" {
+			return nil, fmt.Errorf("trajectory: feature %d has geometry %q, want LineString", i, f.Geometry.Type)
+		}
+		t := &Trajectory{
+			ID:     ID(f.Properties.ID),
+			Route:  f.Properties.Route,
+			Dir:    parseDirection(f.Properties.Direction),
+			Points: make([]geo.Point, len(f.Geometry.Coordinates)),
+		}
+		for j, c := range f.Geometry.Coordinates {
+			t.Points[j] = geo.Point{Lat: c[1], Lon: c[0]}
+		}
+		d.Add(t)
+	}
+	return d, nil
+}
+
+func parseDirection(s string) Direction {
+	switch s {
+	case "forward":
+		return Forward
+	case "reverse":
+		return Reverse
+	default:
+		return DirectionUnknown
+	}
+}

@@ -1,0 +1,107 @@
+package trajectory
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGeoJSONRoundTrip(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 5; i++ {
+		tr := makeTrajectory(ID(i), 10+i)
+		if i%2 == 1 {
+			tr.Dir = Reverse
+		}
+		d.Add(tr)
+	}
+	var buf bytes.Buffer
+	if err := WriteGeoJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGeoJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round trip: %d trajectories, want %d", got.Len(), d.Len())
+	}
+	for i, want := range d.Trajectories {
+		g := got.Trajectories[i]
+		if g.ID != want.ID || g.Route != want.Route || g.Dir != want.Dir {
+			t.Fatalf("trajectory %d metadata: %v vs %v", i, g, want)
+		}
+		if g.Len() != want.Len() {
+			t.Fatalf("trajectory %d has %d points, want %d", i, g.Len(), want.Len())
+		}
+		for j := range want.Points {
+			if d := g.Points[j].Lat - want.Points[j].Lat; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("trajectory %d point %d drifted", i, j)
+			}
+		}
+	}
+}
+
+func TestGeoJSONIsValidSpec(t *testing.T) {
+	d := &Dataset{}
+	d.Add(makeTrajectory(7, 3))
+	var buf bytes.Buffer
+	if err := WriteGeoJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	// Coordinates must be [lon, lat] per RFC 7946.
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed["type"] != "FeatureCollection" {
+		t.Errorf("type = %v", parsed["type"])
+	}
+	if !strings.Contains(buf.String(), `"coordinates"`) {
+		t.Error("missing coordinates")
+	}
+	feature := parsed["features"].([]any)[0].(map[string]any)
+	coords := feature["geometry"].(map[string]any)["coordinates"].([]any)
+	first := coords[0].([]any)
+	lon, lat := first[0].(float64), first[1].(float64)
+	want := d.Trajectories[0].Points[0]
+	if lon != want.Lon || lat != want.Lat {
+		t.Errorf("coordinate order wrong: got (%v, %v), want (lon %v, lat %v)", lon, lat, want.Lon, want.Lat)
+	}
+}
+
+func TestReadGeoJSONErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "not json"},
+		{"wrong-type", `{"type":"Feature","features":[]}`},
+		{"wrong-geometry", `{"type":"FeatureCollection","features":[{"type":"Feature","properties":{},"geometry":{"type":"Point","coordinates":[[1,2]]}}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadGeoJSON(strings.NewReader(tt.in)); err == nil {
+				t.Error("ReadGeoJSON should fail")
+			}
+		})
+	}
+}
+
+func TestReadGeoJSONForeignProperties(t *testing.T) {
+	// A hand-written feature without our properties still loads.
+	in := `{"type":"FeatureCollection","features":[
+	  {"type":"Feature","properties":{"name":"x"},
+	   "geometry":{"type":"LineString","coordinates":[[-0.1,51.5],[-0.11,51.51]]}}]}`
+	d, err := ReadGeoJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.Trajectories[0].Len() != 2 {
+		t.Fatalf("loaded %d trajectories", d.Len())
+	}
+	if d.Trajectories[0].Dir != DirectionUnknown {
+		t.Error("missing direction should be unknown")
+	}
+}

@@ -1,0 +1,141 @@
+package trajectory
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"geodabs/internal/geo"
+)
+
+// Binary dataset format (little endian):
+//
+//	magic   uint32  "GDTJ" (0x4a544447)
+//	version uint8   1
+//	count   uint32
+//	per trajectory:
+//	  id     uint32
+//	  route  uint32
+//	  dir    uint8
+//	  points uint32
+//	  points × (lat int32 E7, lon int32 E7)
+//
+// E7 fixed point (degrees × 10^7) resolves to ≈1.1 cm, far below GPS
+// accuracy, and halves the footprint of float64 pairs.
+const (
+	datasetMagic   = 0x4a544447
+	datasetVersion = 1
+)
+
+// maxPointsPerTrajectory guards ReadDataset against corrupt headers.
+// A week of 1 Hz sampling is well below this.
+const maxPointsPerTrajectory = 1 << 24
+
+// toE7 converts degrees to E7 fixed point with round-to-nearest.
+func toE7(deg float64) int32 {
+	return int32(math.Round(deg * 1e7))
+}
+
+// fromE7 converts E7 fixed point back to degrees.
+func fromE7(v int32) float64 {
+	return float64(v) / 1e7
+}
+
+// WriteDataset serializes the dataset to w.
+func WriteDataset(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := []any{uint32(datasetMagic), uint8(datasetVersion), uint32(len(d.Trajectories))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("trajectory: write header: %w", err)
+		}
+	}
+	buf := make([]byte, 8)
+	for _, t := range d.Trajectories {
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(t.ID))
+		binary.LittleEndian.PutUint32(buf[4:8], t.Route)
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return fmt.Errorf("trajectory: write %d: %w", t.ID, err)
+		}
+		if err := bw.WriteByte(byte(t.Dir)); err != nil {
+			return fmt.Errorf("trajectory: write %d: %w", t.ID, err)
+		}
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(len(t.Points)))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return fmt.Errorf("trajectory: write %d: %w", t.ID, err)
+		}
+		for _, p := range t.Points {
+			binary.LittleEndian.PutUint32(buf[0:4], uint32(toE7(p.Lat)))
+			binary.LittleEndian.PutUint32(buf[4:8], uint32(toE7(p.Lon)))
+			if _, err := bw.Write(buf[:8]); err != nil {
+				return fmt.Errorf("trajectory: write %d: %w", t.ID, err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trajectory: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadDataset deserializes a dataset written by WriteDataset.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("trajectory: read magic: %w", err)
+	}
+	if m != datasetMagic {
+		return nil, fmt.Errorf("trajectory: bad magic %#x", m)
+	}
+	var version uint8
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("trajectory: read version: %w", err)
+	}
+	if version != datasetVersion {
+		return nil, fmt.Errorf("trajectory: unsupported version %d", version)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trajectory: read count: %w", err)
+	}
+	d := &Dataset{Trajectories: make([]*Trajectory, 0, count)}
+	buf := make([]byte, 8)
+	for i := uint32(0); i < count; i++ {
+		t := &Trajectory{}
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return nil, fmt.Errorf("trajectory: read %d: %w", i, err)
+		}
+		t.ID = ID(binary.LittleEndian.Uint32(buf[0:4]))
+		t.Route = binary.LittleEndian.Uint32(buf[4:8])
+		dir, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: read %d: %w", i, err)
+		}
+		if dir > uint8(Reverse) {
+			return nil, fmt.Errorf("trajectory: %d has invalid direction %d", i, dir)
+		}
+		t.Dir = Direction(dir)
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("trajectory: read %d: %w", i, err)
+		}
+		n := binary.LittleEndian.Uint32(buf[0:4])
+		if n > maxPointsPerTrajectory {
+			return nil, fmt.Errorf("trajectory: %d claims %d points", i, n)
+		}
+		t.Points = make([]geo.Point, n)
+		for j := range t.Points {
+			if _, err := io.ReadFull(br, buf[:8]); err != nil {
+				return nil, fmt.Errorf("trajectory: read %d point %d: %w", i, j, err)
+			}
+			t.Points[j] = geo.Point{
+				Lat: fromE7(int32(binary.LittleEndian.Uint32(buf[0:4]))),
+				Lon: fromE7(int32(binary.LittleEndian.Uint32(buf[4:8]))),
+			}
+		}
+		d.Add(t)
+	}
+	return d, nil
+}

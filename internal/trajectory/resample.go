@@ -1,0 +1,38 @@
+package trajectory
+
+import (
+	"math"
+
+	"geodabs/internal/geo"
+)
+
+// Resample returns the trajectory's path re-sampled at a constant spacing
+// in meters along the polyline. GPS devices record at different rates
+// (paper Fig 4a); resampling to a common spatial rate is the first step
+// of normalizing them onto one grid, and makes fingerprints largely
+// invariant to the original sampling rate.
+func Resample(points []geo.Point, spacingMeters float64) []geo.Point {
+	if len(points) == 0 || spacingMeters <= 0 {
+		return points
+	}
+	out := []geo.Point{points[0]}
+	carry := 0.0 // distance already walked toward the next sample
+	for i := 1; i < len(points); i++ {
+		a, b := points[i-1], points[i]
+		leg := geo.Haversine(a, b)
+		if leg == 0 {
+			continue
+		}
+		// Emit samples every spacing meters along this leg.
+		for walked := spacingMeters - carry; walked <= leg; walked += spacingMeters {
+			out = append(out, geo.Interpolate(a, b, walked/leg))
+		}
+		carry = math.Mod(carry+leg, spacingMeters)
+	}
+	// Keep the endpoint so the trajectory's extent is preserved.
+	last := points[len(points)-1]
+	if out[len(out)-1] != last {
+		out = append(out, last)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package winnow implements the winnowing fingerprint-selection algorithm
+// of Schleimer, Wilkerson & Aiken (SIGMOD 2003), the algorithm the paper
+// adapts to trajectories (§IV-A, Algorithm 1).
+//
+// Given the sequence of k-gram hashes of a document — or of geodabs of a
+// trajectory — winnowing slides a window of size w = t−k+1 over the
+// sequence and selects, for every window, the right-most occurrence of the
+// window's minimum value. The selection satisfies two guarantees:
+//
+//  1. Noise threshold: no match shorter than k tokens is ever detected,
+//     because only k-gram hashes are considered.
+//  2. Guarantee threshold: any common run of at least t tokens — that is,
+//     at least w consecutive equal hashes — yields at least one common
+//     selected fingerprint, because the two sides select the same minimum
+//     inside the shared window.
+package winnow
+
+// Select returns the positions of the hashes selected by winnowing with a
+// window of size w, in increasing order and without duplicates. When the
+// sequence is shorter than the window no position is selected, matching
+// Algorithm 1 of the paper: such sequences are below the noise threshold.
+//
+// Select panics if w < 1.
+func Select(hashes []uint32, w int) []int {
+	if w < 1 {
+		panic("winnow: window size must be at least 1")
+	}
+	if len(hashes) < w {
+		return nil
+	}
+	selected := make([]int, 0, len(hashes)/max(w/2, 1)+1)
+	// m is the position of the right-most minimum of the current window;
+	// -1 forces a full scan of the first window.
+	m := -1
+	for i := 0; i+w <= len(hashes); i++ {
+		switch {
+		case m < i:
+			// The previous minimum fell out of the window: rescan.
+			m = i
+			for j := i + 1; j < i+w; j++ {
+				if hashes[j] <= hashes[m] {
+					m = j
+				}
+			}
+			selected = append(selected, m)
+		case hashes[i+w-1] <= hashes[m]:
+			// The entering hash is a new right-most minimum.
+			m = i + w - 1
+			selected = append(selected, m)
+		}
+	}
+	return selected
+}
+
+// SelectShort behaves like Select but additionally handles sequences
+// shorter than the window by selecting the right-most minimum of the whole
+// sequence. Indexing pipelines use it when losing short trajectories
+// entirely (the paper's strict behaviour) is not acceptable.
+func SelectShort(hashes []uint32, w int) []int {
+	if w < 1 {
+		panic("winnow: window size must be at least 1")
+	}
+	if len(hashes) == 0 {
+		return nil
+	}
+	if len(hashes) >= w {
+		return Select(hashes, w)
+	}
+	m := 0
+	for j := 1; j < len(hashes); j++ {
+		if hashes[j] <= hashes[m] {
+			m = j
+		}
+	}
+	return []int{m}
+}
+
+// Values maps the selected positions back to their hash values, preserving
+// order.
+func Values(hashes []uint32, positions []int) []uint32 {
+	out := make([]uint32, len(positions))
+	for i, p := range positions {
+		out[i] = hashes[p]
+	}
+	return out
+}
