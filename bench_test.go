@@ -6,6 +6,7 @@
 package geodabs_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -66,7 +67,7 @@ var benchLongTrajectories = sync.OnceValue(func() [][]geodabs.Point {
 func builtIndex(b *testing.B, ex index.Extractor) *index.Inverted {
 	b.Helper()
 	ix := index.NewInverted(ex)
-	if err := ix.AddAll(benchWorkload().Dataset, 8); err != nil {
+	if err := ix.AddAll(context.Background(), benchWorkload().Dataset, 8); err != nil {
 		b.Fatal(err)
 	}
 	return ix
@@ -92,7 +93,7 @@ func BenchmarkFig08Normalization(b *testing.B) {
 	out := benchWorkload()
 	for i := 0; i < b.N; i++ {
 		ix := index.NewInverted(geodabEx())
-		if err := ix.AddAll(out.Dataset, 8); err != nil {
+		if err := ix.AddAll(context.Background(), out.Dataset, 8); err != nil {
 			b.Fatal(err)
 		}
 		runs := make([]eval.Run, 0, len(out.Queries))
@@ -345,10 +346,74 @@ func BenchmarkIndexBuildParallel(b *testing.B) {
 		b.Run(map[int]string{1: "seq", 8: "par8"}[workers], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ix := index.NewInverted(geodabEx())
-				if err := ix.AddAll(out.Dataset, workers); err != nil {
+				if err := ix.AddAll(context.Background(), out.Dataset, workers); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// --- Public Searcher API ---
+
+// builtPublicIndex builds a public geodab index over the bench workload.
+func builtPublicIndex(b *testing.B) *geodabs.Index {
+	b.Helper()
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := idx.AddAll(benchWorkload().Dataset, 8); err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+// BenchmarkSearch measures one ranked search through the public Searcher
+// surface (option resolution + stats included), the counterpart of
+// BenchmarkFig12QueryGeodab's internal path.
+func BenchmarkSearch(b *testing.B) {
+	idx := builtPublicIndex(b)
+	q := benchWorkload().Queries[0]
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Search(ctx, q, geodabs.WithMaxDistance(1), geodabs.WithLimit(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchBatch measures the throughput surface: the full query
+// set fanned out over a worker pool.
+func BenchmarkSearchBatch(b *testing.B) {
+	idx := builtPublicIndex(b)
+	queries := benchWorkload().Queries
+	ctx := context.Background()
+	for _, workers := range []int{1, 8} {
+		b.Run(map[int]string{1: "w1", 8: "w8"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.SearchBatch(ctx, queries, workers, geodabs.WithLimit(10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchExactRerank measures the §VI-C refinement: fingerprint
+// pruning plus a DTW pass over the shortlist.
+func BenchmarkSearchExactRerank(b *testing.B) {
+	idx := builtPublicIndex(b)
+	q := benchWorkload().Queries[0]
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Search(ctx, q,
+			geodabs.WithMaxDistance(0.9),
+			geodabs.WithKNN(5),
+			geodabs.WithExactRerank(geodabs.DTW)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

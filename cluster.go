@@ -1,6 +1,8 @@
 package geodabs
 
 import (
+	"context"
+
 	"geodabs/internal/cluster"
 	"geodabs/internal/core"
 	"geodabs/internal/index"
@@ -20,10 +22,19 @@ var StartShardNode = cluster.StartNode
 // (locality-breaking, for balance) — the paper's two-step distribution.
 type ShardStrategy = shard.Strategy
 
+// QueryStats reports the fan-out a query would incur (see Cluster.Analyze).
+type QueryStats = cluster.QueryStats
+
+// NodeStats is one shard node's term and posting counts (see Cluster.Stats).
+type NodeStats = cluster.NodeStats
+
 // Cluster is a distributed geodab index: a coordinator that routes
 // postings to shard nodes and scatter-gathers Jaccard-ranked queries.
-// Results are identical to a local Index over the same data.
-type Cluster = cluster.Coordinator
+// Results are identical to a local Index over the same data; both
+// implement Searcher. Cluster is safe for concurrent use.
+type Cluster struct {
+	coord *cluster.Coordinator
+}
 
 // NewCluster connects to the shard nodes at addrs. The strategy's Nodes
 // must equal len(addrs); strategy.PrefixBits must match cfg.PrefixBits.
@@ -32,5 +43,62 @@ func NewCluster(cfg Config, strategy ShardStrategy, addrs []string) (*Cluster, e
 	if err != nil {
 		return nil, err
 	}
-	return cluster.NewCoordinator(index.GeodabExtractor{Fingerprinter: f}, strategy, addrs)
+	coord, err := cluster.NewCoordinator(index.GeodabExtractor{Fingerprinter: f}, strategy, addrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{coord: coord}, nil
 }
+
+// Add fingerprints the trajectory and routes its postings to the cluster.
+func (c *Cluster) Add(t *Trajectory) error {
+	return c.coord.Add(context.Background(), t)
+}
+
+// AddContext is Add honoring cancellation and deadlines while waiting on
+// the shard nodes.
+func (c *Cluster) AddContext(ctx context.Context, t *Trajectory) error {
+	return c.coord.Add(ctx, t)
+}
+
+// Analyze returns the fan-out a query would incur, without executing it.
+func (c *Cluster) Analyze(q *Trajectory) QueryStats { return c.coord.Analyze(q) }
+
+// DiscardPoints releases the raw point sequences retained for exact
+// re-ranking, shrinking the coordinator's directory to the fingerprint
+// cardinalities. After the call, WithExactRerank fails for the
+// trajectories added so far; fingerprint-ranked searches are unaffected.
+func (c *Cluster) DiscardPoints() { c.coord.DiscardPoints() }
+
+// Stats gathers per-node term and posting counts, slice index i matching
+// node i.
+func (c *Cluster) Stats() ([]NodeStats, error) {
+	return c.coord.Stats(context.Background())
+}
+
+// StatsContext is Stats honoring cancellation and deadlines while
+// waiting on the shard nodes.
+func (c *Cluster) StatsContext(ctx context.Context) ([]NodeStats, error) {
+	return c.coord.Stats(ctx)
+}
+
+// Query returns the indexed trajectories within Jaccard distance
+// maxDistance of q, most similar first, truncated to limit (≤ 0 for no
+// limit).
+//
+// Deprecated: use Search, which takes a context, functional options, and
+// returns execution statistics. For limit ≥ 0 and maxDistance in [0, 1],
+// Query is equivalent to
+//
+//	Search(context.Background(), q, WithMaxDistance(maxDistance), WithLimit(limit))
+//
+// Query's negative-limit "no limit" form maps to WithLimit(0) or to
+// omitting WithLimit; a legacy maxDistance above 1 (a no-op filter,
+// since Jaccard distances never exceed 1) maps to WithMaxDistance(1) or
+// to omitting WithMaxDistance.
+func (c *Cluster) Query(q *Trajectory, maxDistance float64, limit int) ([]Result, error) {
+	return c.coord.Query(q, maxDistance, limit)
+}
+
+// Close tears down all node connections.
+func (c *Cluster) Close() error { return c.coord.Close() }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -43,7 +44,7 @@ func retrievalWorkload(o options) (*gen.Output, error) {
 // extractor.
 func buildIndex(ex index.Extractor, d *trajectory.Dataset) (*index.Inverted, error) {
 	ix := index.NewInverted(ex)
-	if err := ix.AddAll(d, 8); err != nil {
+	if err := ix.AddAll(context.Background(), d, 8); err != nil {
 		return nil, err
 	}
 	return ix, nil
@@ -52,9 +53,13 @@ func buildIndex(ex index.Extractor, d *trajectory.Dataset) (*index.Inverted, err
 // runsOf executes every query against the index and pairs the rankings
 // with the ground truth.
 func runsOf(ix *index.Inverted, out *gen.Output) []eval.Run {
+	ctx := context.Background()
 	runs := make([]eval.Run, 0, len(out.Queries))
 	for _, q := range out.Queries {
-		results := ix.Query(q, 1.0, 0)
+		results, _, err := ix.Search(ctx, q, 1.0, 0)
+		if err != nil {
+			panic(err) // Background context: unreachable
+		}
 		ranked := make([]trajectory.ID, len(results))
 		for i, r := range results {
 			ranked[i] = r.ID

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -31,6 +32,7 @@ func runFig14(o options) error {
 	}
 	queries := out.Queries
 
+	ctx := context.Background()
 	total := out.Dataset.Len()
 	step := total / 10
 	if step == 0 {
@@ -42,12 +44,14 @@ func runFig14(o options) error {
 		chunk := &trajectory.Dataset{Trajectories: out.Dataset.Trajectories[lo:hi]}
 		times := make([]float64, len(methods))
 		for i := range methods {
-			if err := indexes[i].AddAll(chunk, 8); err != nil {
+			if err := indexes[i].AddAll(ctx, chunk, 8); err != nil {
 				return err
 			}
 			start := time.Now()
 			for _, q := range queries {
-				indexes[i].Query(q, 1.0, 0)
+				if _, _, err := indexes[i].Search(ctx, q, 1.0, 0); err != nil {
+					return err
+				}
 			}
 			times[i] = ms(time.Since(start))
 		}

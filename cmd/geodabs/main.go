@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -143,14 +144,18 @@ func writeTruth(path string, data *geodabs.DatasetOutput) error {
 	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }
 
-// cmdStats indexes a dataset and prints the index composition.
+// cmdStats indexes a dataset and prints the index composition,
+// optionally snapshotting the built index for later queries.
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	dataPath := fs.String("data", "data/dataset.bin", "dataset file")
 	workers := fs.Int("workers", 8, "parallel fingerprinting workers")
+	snapshot := fs.String("snapshot", "", "write the built index to this file (load with query -snapshot)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	d, err := readDataset(*dataPath)
 	if err != nil {
 		return err
@@ -160,7 +165,7 @@ func cmdStats(args []string) error {
 		return err
 	}
 	start := time.Now()
-	if err := idx.AddAll(d, *workers); err != nil {
+	if err := idx.AddAllContext(ctx, d, *workers); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
@@ -171,49 +176,164 @@ func cmdStats(args []string) error {
 	fmt.Printf("postings:     %d\n", s.Postings)
 	fmt.Printf("bitmap bytes: %d\n", s.BitmapBytes)
 	fmt.Printf("build time:   %v (%d workers)\n", elapsed.Round(time.Millisecond), *workers)
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := idx.WriteTo(f)
+		if err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot:     %s (%d bytes)\n", *snapshot, n)
+	}
 	return nil
 }
 
-// cmdQuery runs one held-out query against a dataset and prints the
-// ranked results.
+// searchOptions translates the query subcommand's flags to the Search
+// API's functional options. limitSet distinguishes an explicit -limit
+// from its default, so -knn with an explicit -limit surfaces the
+// library's mutual-exclusion error instead of silently dropping one.
+func searchOptions(maxDist float64, limit, knn int, rerank string, limitSet bool) ([]geodabs.SearchOption, error) {
+	if limit < 0 {
+		limit = 0 // the legacy "-limit -1 = unlimited" form maps to WithLimit(0)
+	}
+	opts := []geodabs.SearchOption{geodabs.WithMaxDistance(maxDist)}
+	if knn != 0 { // 0 = not requested; negatives reach WithKNN's validation
+		opts = append(opts, geodabs.WithKNN(knn))
+		if limitSet && limit != 0 { // an explicit real cap conflicts; -limit 0 means "no cap"
+			opts = append(opts, geodabs.WithLimit(limit))
+		}
+	} else {
+		opts = append(opts, geodabs.WithLimit(limit))
+	}
+	switch rerank {
+	case "":
+	case "dtw":
+		opts = append(opts, geodabs.WithExactRerank(geodabs.DTW))
+	case "dfd":
+		opts = append(opts, geodabs.WithExactRerank(geodabs.DFD))
+	default:
+		return nil, fmt.Errorf("unknown rerank metric %q (want dtw or dfd)", rerank)
+	}
+	return opts, nil
+}
+
+// cmdQuery runs a held-out query (or, with -all, the whole query batch)
+// against a dataset and prints the ranked results.
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	dataPath := fs.String("data", "data/dataset.bin", "dataset file")
 	queryPath := fs.String("queries", "data/queries.bin", "queries file")
 	qn := fs.Int("q", 0, "query number within the queries file")
-	limit := fs.Int("limit", 10, "maximum results")
+	limit := fs.Int("limit", 10, "maximum results (0 = unlimited)")
+	knn := fs.Int("knn", 0, "return the k nearest trajectories instead of -limit")
 	maxDist := fs.Float64("max-distance", 0.99, "Jaccard distance cutoff Δmax")
+	rerank := fs.String("rerank", "", "exactly re-rank candidates: dtw or dfd (meters)")
+	all := fs.Bool("all", false, "run every query as a parallel batch and report throughput")
+	workers := fs.Int("workers", 8, "parallel workers (indexing, -all batches)")
+	snapshot := fs.String("snapshot", "", "load the index from this snapshot instead of re-indexing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	d, err := readDataset(*dataPath)
-	if err != nil {
-		return err
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var d *geodabs.Dataset
+	if *snapshot != "" {
+		// With a snapshot the dataset only annotates hits; tolerate its
+		// absence (hits then print as "(not in -data file)") but surface
+		// any other failure, e.g. a corrupt file or a typo'd path.
+		dd, err := readDataset(*dataPath)
+		switch {
+		case err == nil:
+			d = dd
+		case !os.IsNotExist(err):
+			return err
+		}
+	} else {
+		var err error
+		if d, err = readDataset(*dataPath); err != nil {
+			return err
+		}
 	}
 	queries, err := readDataset(*queryPath)
 	if err != nil {
 		return err
 	}
-	if *qn < 0 || *qn >= queries.Len() {
+	if !*all && (*qn < 0 || *qn >= queries.Len()) {
 		return fmt.Errorf("query %d out of range [0, %d)", *qn, queries.Len())
 	}
-	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+	limitSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "limit" {
+			limitSet = true
+		}
+	})
+	opts, err := searchOptions(*maxDist, *limit, *knn, *rerank, limitSet)
 	if err != nil {
 		return err
 	}
-	if err := idx.AddAll(d, 8); err != nil {
-		return err
+	var idx *geodabs.Index
+	if *snapshot != "" {
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if idx, err = geodabs.ReadIndex(geodabs.DefaultConfig(), f); err != nil {
+			return err
+		}
+	} else {
+		if idx, err = geodabs.NewIndex(geodabs.DefaultConfig()); err != nil {
+			return err
+		}
+		if err := idx.AddAllContext(ctx, d, *workers); err != nil {
+			return err
+		}
+	}
+	if *all {
+		start := time.Now()
+		results, err := idx.SearchBatch(ctx, queries.Trajectories, *workers, opts...)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		hits := 0
+		for _, r := range results {
+			hits += len(r.Hits)
+		}
+		fmt.Printf("%d queries on %d workers in %v (%.0f queries/s), %d hits\n",
+			len(results), *workers, elapsed.Round(time.Millisecond),
+			float64(len(results))/elapsed.Seconds(), hits)
+		return nil
 	}
 	q := queries.Trajectories[*qn]
-	start := time.Now()
-	results := idx.Query(q, *maxDist, *limit)
-	elapsed := time.Since(start)
-	fmt.Printf("query %d: route %d (%s), %d points — %d results in %v\n",
-		q.ID, q.Route, q.Dir, q.Len(), len(results), elapsed.Round(time.Microsecond))
-	for i, r := range results {
-		tr := d.ByID(r.ID)
-		fmt.Printf("%2d. trajectory %5d  dJ=%.3f  shared=%3d  route %d (%s)\n",
-			i+1, r.ID, r.Distance, r.Shared, tr.Route, tr.Dir)
+	res, err := idx.Search(ctx, q, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query %d: route %d (%s), %d points — %d results from %d candidates in %v\n",
+		q.ID, q.Route, q.Dir, q.Len(), len(res.Hits), res.Stats.Candidates,
+		res.Stats.Elapsed.Round(time.Microsecond))
+	unit := "dJ"
+	if *rerank != "" {
+		unit = *rerank + " m"
+	}
+	for i, r := range res.Hits {
+		// A mismatched or data-less -snapshot can rank IDs that are not
+		// resolvable through the -data file.
+		desc := "(not in -data file)"
+		if d != nil {
+			if tr := d.ByID(r.ID); tr != nil {
+				desc = fmt.Sprintf("route %d (%s)", tr.Route, tr.Dir)
+			}
+		}
+		fmt.Printf("%2d. trajectory %5d  %s=%.3f  shared=%3d  %s\n",
+			i+1, r.ID, unit, r.Distance, r.Shared, desc)
 	}
 	return nil
 }

@@ -1,13 +1,14 @@
 package geodabs_test
 
 import (
+	"context"
 	"fmt"
 
 	"geodabs"
 )
 
 // ExampleIndex demonstrates the core workflow: index a dataset, run a
-// ranked similarity query.
+// ranked similarity search through the Searcher API.
 func ExampleIndex() {
 	city, err := geodabs.GenerateCity(geodabs.CityConfig{RadiusMeters: 3000, Seed: 5})
 	if err != nil {
@@ -33,17 +34,23 @@ func ExampleIndex() {
 		return
 	}
 	q := data.Queries[0]
-	results := idx.Query(q, 0.95, 3)
-	top := data.Dataset.ByID(results[0].ID)
+	res, err := idx.Search(context.Background(), q,
+		geodabs.WithMaxDistance(0.95),
+		geodabs.WithKNN(3))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	top := data.Dataset.ByID(res.Hits[0].ID)
 	fmt.Println("top result shares the query's route:", top.Route == q.Route && top.Dir == q.Dir)
 	// Output:
 	// top result shares the query's route: true
 }
 
-// ExampleFingerprintTrajectory shows fingerprint extraction and the
-// Jaccard distance between two fingerprint sets.
-func ExampleFingerprintTrajectory() {
-	// A short straight drive, two noisy-free recordings.
+// ExampleFingerprinter shows fingerprint extraction with a reusable
+// Fingerprinter and the Jaccard distance between two fingerprint sets.
+func ExampleFingerprinter() {
+	// A short straight drive, two noise-free recordings.
 	var a, b []geodabs.Point
 	start := geodabs.Point{Lat: 51.5074, Lon: -0.1278}
 	for i := 0; i < 600; i++ {
@@ -51,17 +58,13 @@ func ExampleFingerprintTrajectory() {
 		a = append(a, p)
 		b = append(b, p)
 	}
-	cfg := geodabs.DefaultConfig()
-	fa, err := geodabs.FingerprintTrajectory(cfg, a)
+	fp, err := geodabs.NewFingerprinter(geodabs.DefaultConfig())
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	fb, err := geodabs.FingerprintTrajectory(cfg, b)
-	if err != nil {
-		fmt.Println(err)
-		return
-	}
+	fa := fp.Fingerprint(a)
+	fb := fp.Fingerprint(b)
 	fmt.Printf("distance between identical recordings: %.1f\n", geodabs.JaccardDistance(fa, fb))
 	// Output:
 	// distance between identical recordings: 0.0

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,28 +51,55 @@ func main() {
 		fleet.Dataset.Len(), dcfg.Routes)
 
 	// A new member's drive is the query. Δmax = 0.9 keeps only drives
-	// with meaningful fingerprint overlap.
+	// with meaningful fingerprint overlap; the 5 nearest are our pool.
 	const maxDistance = 0.9
+	ctx := context.Background()
 	newMember := fleet.Queries[2]
 	fmt.Printf("\nnew member: %d-point drive on route %d (%s)\n",
 		newMember.Len(), newMember.Route, newMember.Dir)
 
-	matches := idx.Query(newMember, maxDistance, 5)
-	if len(matches) == 0 {
+	res, err := idx.Search(ctx, newMember,
+		geodabs.WithMaxDistance(maxDistance),
+		geodabs.WithKNN(5))
+	if err != nil {
+		log.Fatalf("search: %v", err)
+	}
+	if len(res.Hits) == 0 {
 		fmt.Println("no share candidates found")
 		return
 	}
-	fmt.Println("\nbest share candidates:")
-	for i, m := range matches {
+	fmt.Println("\nbest share candidates (fingerprint ranking):")
+	for i, m := range res.Hits {
 		drive := fleet.Dataset.ByID(m.ID)
 		overlap := 100 * (1 - m.Distance)
 		fmt.Printf("%d. drive %d — route %d (%s), fingerprint overlap %.0f%%\n",
 			i+1, m.ID, drive.Route, drive.Dir, overlap)
 	}
 
+	// For the final pairing decision, refine the shortlist with the exact
+	// DTW distance (the paper's §VI-C step): geodabs prune the fleet
+	// cheaply, the polynomial-cost measure settles the order in meters.
+	exact, err := idx.Search(ctx, newMember,
+		geodabs.WithMaxDistance(maxDistance),
+		geodabs.WithKNN(5),
+		geodabs.WithExactRerank(geodabs.DTW))
+	if err != nil {
+		log.Fatalf("rerank: %v", err)
+	}
+	fmt.Println("\nafter exact DTW re-ranking:")
+	for i, m := range exact.Hits {
+		drive := fleet.Dataset.ByID(m.ID)
+		fmt.Printf("%d. drive %d — route %d (%s), DTW %.0f m\n",
+			i+1, m.ID, drive.Route, drive.Dir, m.Distance)
+	}
+
 	// Sanity: the same road in the opposite direction must NOT surface.
+	all, err := idx.Search(ctx, newMember, geodabs.WithMaxDistance(maxDistance))
+	if err != nil {
+		log.Fatalf("search: %v", err)
+	}
 	wrongWay := 0
-	for _, m := range idx.Query(newMember, maxDistance, 0) {
+	for _, m := range all.Hits {
 		if d := fleet.Dataset.ByID(m.ID); d.Route == newMember.Route && d.Dir != newMember.Dir {
 			wrongWay++
 		}

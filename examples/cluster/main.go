@@ -13,8 +13,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"geodabs"
 )
@@ -109,19 +111,23 @@ func main() {
 	}
 
 	// Locality: every query fans out to very few shards (its metro's
-	// neighborhood on the space-filling curve), hence few nodes.
+	// neighborhood on the space-filling curve), hence few nodes. The
+	// scatter-gather runs under a deadline — a wedged node cannot stall
+	// the query past its budget.
 	fmt.Println()
 	for _, q := range queries {
-		a := coord.Analyze(q)
-		results, err := coord.Query(q, 0.95, 1)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		res, err := coord.Search(ctx, q, geodabs.WithMaxDistance(0.95), geodabs.WithKNN(1))
+		cancel()
 		if err != nil {
-			log.Fatalf("query: %v", err)
+			log.Fatalf("search: %v", err)
 		}
 		top := "no match"
-		if len(results) > 0 {
-			top = fmt.Sprintf("top match %d at dJ=%.3f", results[0].ID, results[0].Distance)
+		if len(res.Hits) > 0 {
+			top = fmt.Sprintf("top match %d at dJ=%.3f", res.Hits[0].ID, res.Hits[0].Distance)
 		}
-		fmt.Printf("%-9s query → %d shard(s), %d node(s); %s\n",
-			queryMetro[q.ID], a.Shards, a.Nodes, top)
+		fmt.Printf("%-9s query → %d shard(s), %d node(s), %d candidate(s) in %v; %s\n",
+			queryMetro[q.ID], res.Stats.ShardsTouched, res.Stats.NodesTouched,
+			res.Stats.Candidates, res.Stats.Elapsed.Round(time.Microsecond), top)
 	}
 }

@@ -38,15 +38,21 @@ func main() {
 		log.Fatalf("generate trajectories: %v", err)
 	}
 
-	cfg := geodabs.DefaultConfig()
-	a, b := pickOverlappingPair(cfg, data)
+	// One Fingerprinter serves every fingerprinting call in the process:
+	// it is immutable, safe for concurrent use, and constructing it once
+	// avoids rebuilding the pipeline per trajectory.
+	fp, err := geodabs.NewFingerprinter(geodabs.DefaultConfig())
+	if err != nil {
+		log.Fatalf("fingerprinter: %v", err)
+	}
+	a, b := pickOverlappingPair(fp, data)
 	fmt.Printf("trajectory A: route %d, %d points\n", a.Route, a.Len())
 	fmt.Printf("trajectory B: route %d, %d points\n", b.Route, b.Len())
 
 	// Geodab motif discovery: windows of fingerprints, Jaccard distance.
 	const motifMeters = 1000
 	start := time.Now()
-	m, err := geodabs.FindMotif(cfg, a.Points, b.Points, motifMeters)
+	m, err := fp.Motif(a.Points, b.Points, motifMeters)
 	geodabTime := time.Since(start)
 	if err != nil {
 		log.Fatalf("geodab motif: %v", err)
@@ -78,15 +84,11 @@ func main() {
 // pickOverlappingPair returns the two trajectories from different routes
 // with the highest fingerprint overlap (different commuters whose drives
 // share some stretch of road in the same direction).
-func pickOverlappingPair(cfg geodabs.Config, data *geodabs.DatasetOutput) (a, b *geodabs.Trajectory) {
+func pickOverlappingPair(fp *geodabs.Fingerprinter, data *geodabs.DatasetOutput) (a, b *geodabs.Trajectory) {
 	trajectories := data.Dataset.Trajectories
 	prints := make([]*geodabs.Fingerprint, len(trajectories))
 	for i, tr := range trajectories {
-		fp, err := geodabs.FingerprintTrajectory(cfg, tr.Points)
-		if err != nil {
-			log.Fatalf("fingerprint: %v", err)
-		}
-		prints[i] = fp
+		prints[i] = fp.Fingerprint(tr.Points)
 	}
 	best := 1.0
 	for i := range trajectories {

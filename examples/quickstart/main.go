@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,16 +51,22 @@ func main() {
 	fmt.Printf("index: %d trajectories, %d terms, %d postings, %.1f KiB of bitmaps\n",
 		stats.Trajectories, stats.Terms, stats.Postings, float64(stats.BitmapBytes)/1024)
 
-	// Query with a held-out trajectory. Results are ranked by Jaccard
-	// distance between fingerprint sets; the ground truth is every
-	// trajectory of the same route and direction.
+	// Search with a held-out trajectory through the Searcher API. Results
+	// are ranked by Jaccard distance between fingerprint sets; the ground
+	// truth is every trajectory of the same route and direction.
 	q := data.Queries[0]
 	fmt.Printf("\nquery: route %d (%s), %d points\n", q.Route, q.Dir, q.Len())
 	relevant := make(map[geodabs.ID]bool)
 	for _, id := range data.Relevant[q.ID] {
 		relevant[id] = true
 	}
-	for rank, r := range idx.Query(q, 0.95, 10) {
+	res, err := idx.Search(context.Background(), q,
+		geodabs.WithMaxDistance(0.95),
+		geodabs.WithLimit(10))
+	if err != nil {
+		log.Fatalf("search: %v", err)
+	}
+	for rank, r := range res.Hits {
 		tr := data.Dataset.ByID(r.ID)
 		marker := " "
 		if relevant[r.ID] {
@@ -68,5 +75,7 @@ func main() {
 		fmt.Printf("%2d. %s trajectory %4d  dJ=%.3f  shared=%2d  route %d (%s)\n",
 			rank+1, marker, r.ID, r.Distance, r.Shared, tr.Route, tr.Dir)
 	}
-	fmt.Println("\n(* = ground-truth relevant: same route and direction)")
+	fmt.Printf("\n(* = ground-truth relevant: same route and direction)\n")
+	fmt.Printf("search touched %d candidates in %v\n",
+		res.Stats.Candidates, res.Stats.Elapsed)
 }

@@ -12,10 +12,26 @@
 //
 // # Quick start
 //
+// Retrieval goes through the Searcher interface, implemented by both the
+// local *Index and the distributed *Cluster — one query model, identical
+// results (§IV):
+//
 //	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
 //	if err != nil { ... }
 //	idx.Add(&geodabs.Trajectory{ID: 1, Points: points})
-//	results := idx.Query(&geodabs.Trajectory{Points: query}, 0.9, 10)
+//	res, err := idx.Search(ctx, &geodabs.Trajectory{Points: query},
+//		geodabs.WithMaxDistance(0.9), // range semantics: Jaccard distance ≤ 0.9
+//		geodabs.WithLimit(10))        // or geodabs.WithKNN(10) for the 10 nearest
+//	if err != nil { ... }
+//	for _, hit := range res.Hits { ... }
+//
+// Search honors ctx cancellation and deadlines (a cluster scatter-gather
+// aborts promptly), reports execution statistics in res.Stats, and can
+// refine the fingerprint ranking with an exact distance
+// (geodabs.WithExactRerank(geodabs.DTW), the paper's §VI-C step).
+// SearchBatch fans a query batch out over a worker pool. For repeated
+// fingerprinting outside an index, construct one Fingerprinter and reuse
+// it. Indexes persist with Index.WriteTo and load with ReadIndex.
 //
 // The subpackages under internal implement the substrates (geohash,
 // roaring bitmaps, road networks, map matching, the synthetic dataset
@@ -24,6 +40,9 @@
 package geodabs
 
 import (
+	"context"
+	"io"
+
 	"geodabs/internal/bitmap"
 	"geodabs/internal/core"
 	"geodabs/internal/distance"
@@ -75,6 +94,12 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // Create one with NewIndex (geodab fingerprints, the paper's method) or
 // NewGeohashIndex (bare geohash cells, the baseline of Figs 12-14).
 // Index is safe for concurrent use.
+//
+// Alongside the fingerprint bitmaps, Add and AddAll retain each
+// trajectory's raw point slice (a header sharing the caller's backing
+// array, not a copy) so searches can refine candidates with
+// WithExactRerank. Workloads that never re-rank and drop their dataset
+// after indexing can release that memory with DiscardPoints.
 type Index struct {
 	inv *index.Inverted
 }
@@ -102,15 +127,44 @@ func NewGeohashIndex(cfg Config) (*Index, error) {
 func (ix *Index) Add(t *Trajectory) error { return ix.inv.Add(t) }
 
 // AddAll indexes a whole dataset, fingerprinting on the given number of
-// parallel workers.
-func (ix *Index) AddAll(d *Dataset, workers int) error { return ix.inv.AddAll(d, workers) }
+// parallel workers. It fails fast — the first error stops job dispatch —
+// and is all-or-nothing: on failure the trajectories this call inserted
+// are removed again, so the same dataset can be retried after fixing the
+// cause.
+func (ix *Index) AddAll(d *Dataset, workers int) error {
+	return ix.inv.AddAll(context.Background(), d, workers)
+}
+
+// AddAllContext is AddAll honoring cancellation and deadlines: a
+// cancelled ctx stops dispatching fingerprint jobs, rolls back this
+// call's insertions, and returns the context's error.
+func (ix *Index) AddAllContext(ctx context.Context, d *Dataset, workers int) error {
+	return ix.inv.AddAll(ctx, d, workers)
+}
 
 // Query returns the indexed trajectories within Jaccard distance
 // maxDistance of q, most similar first, truncated to limit (≤ 0 for no
 // limit).
+//
+// Deprecated: use Search, which takes a context, functional options, and
+// returns execution statistics. For limit ≥ 0 and maxDistance in [0, 1],
+// Query is equivalent to
+//
+//	Search(context.Background(), q, WithMaxDistance(maxDistance), WithLimit(limit))
+//
+// Query's negative-limit "no limit" form maps to WithLimit(0) or to
+// omitting WithLimit; a legacy maxDistance above 1 (a no-op filter,
+// since Jaccard distances never exceed 1) maps to WithMaxDistance(1) or
+// to omitting WithMaxDistance.
 func (ix *Index) Query(q *Trajectory, maxDistance float64, limit int) []Result {
 	return ix.inv.Query(q, maxDistance, limit)
 }
+
+// DiscardPoints releases the raw point sequences retained for exact
+// re-ranking, shrinking the index to its fingerprint bitmaps. After the
+// call, WithExactRerank fails for the trajectories indexed so far (as on
+// a snapshot-loaded index); fingerprint-ranked searches are unaffected.
+func (ix *Index) DiscardPoints() { ix.inv.DiscardPoints() }
 
 // Len returns the number of indexed trajectories.
 func (ix *Index) Len() int { return ix.inv.Len() }
@@ -118,10 +172,72 @@ func (ix *Index) Len() int { return ix.inv.Len() }
 // Stats summarizes the index composition.
 func (ix *Index) Stats() index.Stats { return ix.inv.Stats() }
 
-// FingerprintTrajectory runs the geodab pipeline on a point sequence:
-// normalization, k-grams, geodab construction and winnowing.
-func FingerprintTrajectory(cfg Config, points []Point) (*Fingerprint, error) {
+// WriteTo snapshots the index's fingerprint sets (raw points are not part
+// of the snapshot). It implements io.WriterTo. Load snapshots with
+// ReadIndex (or ReadFrom on an index built with the same configuration).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.inv.WriteTo(w) }
+
+// ReadFrom loads a snapshot written by WriteTo into the receiver,
+// replacing its contents. The receiver must have been constructed with
+// the same configuration (and index flavor) that built the snapshot —
+// the snapshot stores fingerprints, not the fingerprinting parameters.
+// It implements io.ReaderFrom.
+func (ix *Index) ReadFrom(r io.Reader) (int64, error) { return ix.inv.ReadFrom(r) }
+
+// ReadIndex loads a geodab index snapshot written by Index.WriteTo. The
+// configuration must be the one the snapshot was built with. A loaded
+// index serves fingerprint-ranked searches but cannot exactly re-rank
+// (WithExactRerank), since raw points are not part of the snapshot.
+func ReadIndex(cfg Config, r io.Reader) (*Index, error) {
+	ix, err := NewIndex(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ix.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Fingerprinter is a reusable handle on the geodab pipeline:
+// normalization, k-grams, geodab construction and winnowing. Construct
+// one with NewFingerprinter and reuse it — it is immutable and safe for
+// concurrent use, and reuse avoids rebuilding the pipeline per call.
+type Fingerprinter struct {
+	core *core.Fingerprinter
+}
+
+// NewFingerprinter validates cfg and returns a reusable Fingerprinter.
+func NewFingerprinter(cfg Config) (*Fingerprinter, error) {
 	f, err := core.NewFingerprinter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fingerprinter{core: f}, nil
+}
+
+// Config returns the configuration the fingerprinter was built with.
+func (f *Fingerprinter) Config() Config { return f.core.Config() }
+
+// Fingerprint runs the geodab pipeline on a point sequence.
+func (f *Fingerprinter) Fingerprint(points []Point) *Fingerprint {
+	return f.core.Fingerprint(points)
+}
+
+// Motif discovers the most similar pair of sub-trajectories of the given
+// ground length (meters) between a and b using geodab fingerprints
+// (approximate, near-linear cost) — the paper's second problem (§II-B2).
+func (f *Fingerprinter) Motif(a, b []Point, lengthMeters float64) (MotifMatch, error) {
+	return motif.FindGeodab(f.core, a, b, lengthMeters)
+}
+
+// FingerprintTrajectory runs the geodab pipeline on a point sequence.
+//
+// Deprecated: construct a Fingerprinter once with NewFingerprinter and
+// call its Fingerprint method; this wrapper rebuilds the pipeline on
+// every call.
+func FingerprintTrajectory(cfg Config, points []Point) (*Fingerprint, error) {
+	f, err := NewFingerprinter(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -159,12 +275,16 @@ func JaccardDistance(a, b *Fingerprint) float64 {
 // FindMotif discovers the most similar pair of sub-trajectories of the
 // given ground length (meters) between a and b using geodab fingerprints
 // (approximate, near-linear cost).
+//
+// Deprecated: construct a Fingerprinter once with NewFingerprinter and
+// call its Motif method; this wrapper rebuilds the pipeline on every
+// call.
 func FindMotif(cfg Config, a, b []Point, lengthMeters float64) (MotifMatch, error) {
-	f, err := core.NewFingerprinter(cfg)
+	f, err := NewFingerprinter(cfg)
 	if err != nil {
 		return MotifMatch{}, err
 	}
-	return motif.FindGeodab(f, a, b, lengthMeters)
+	return f.Motif(a, b, lengthMeters)
 }
 
 // FindMotifExact discovers the minimum discrete-Fréchet pair of length-l

@@ -1,0 +1,3 @@
+module geodabs
+
+go 1.24

@@ -1,8 +1,13 @@
 package cluster
 
 import (
+	"context"
+	"errors"
+	"io"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"geodabs/internal/core"
 	"geodabs/internal/gen"
@@ -58,7 +63,7 @@ func TestClusterMatchesLocalIndex(t *testing.T) {
 	ex := index.GeodabExtractor{Fingerprinter: core.MustFingerprinter(core.DefaultConfig())}
 	local := index.NewInverted(ex)
 	for _, tr := range testWorkload.Dataset.Trajectories {
-		if err := coord.Add(tr); err != nil {
+		if err := coord.Add(context.Background(), tr); err != nil {
 			t.Fatal(err)
 		}
 		if err := local.Add(tr); err != nil {
@@ -85,7 +90,7 @@ func TestClusterMatchesLocalIndex(t *testing.T) {
 func TestClusterQueryLimit(t *testing.T) {
 	coord, _ := startCluster(t, 2)
 	for _, tr := range testWorkload.Dataset.Trajectories {
-		if err := coord.Add(tr); err != nil {
+		if err := coord.Add(context.Background(), tr); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -101,10 +106,10 @@ func TestClusterQueryLimit(t *testing.T) {
 func TestClusterDuplicateAdd(t *testing.T) {
 	coord, _ := startCluster(t, 2)
 	tr := testWorkload.Dataset.Trajectories[0]
-	if err := coord.Add(tr); err != nil {
+	if err := coord.Add(context.Background(), tr); err != nil {
 		t.Fatal(err)
 	}
-	if err := coord.Add(tr); err == nil {
+	if err := coord.Add(context.Background(), tr); err == nil {
 		t.Error("duplicate add should fail")
 	}
 }
@@ -127,11 +132,11 @@ func TestClusterAnalyzeLocality(t *testing.T) {
 func TestClusterStats(t *testing.T) {
 	coord, _ := startCluster(t, 3)
 	for _, tr := range testWorkload.Dataset.Trajectories {
-		if err := coord.Add(tr); err != nil {
+		if err := coord.Add(context.Background(), tr); err != nil {
 			t.Fatal(err)
 		}
 	}
-	stats, err := coord.Stats()
+	stats, err := coord.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +160,7 @@ func TestClusterConcurrentAddsAndQueries(t *testing.T) {
 		wg.Add(1)
 		go func(tr *trajectory.Trajectory) {
 			defer wg.Done()
-			errs <- coord.Add(tr)
+			errs <- coord.Add(context.Background(), tr)
 		}(tr)
 	}
 	wg.Wait()
@@ -198,7 +203,7 @@ func TestCoordinatorValidation(t *testing.T) {
 func TestQueryAfterNodeShutdown(t *testing.T) {
 	coord, nodes := startCluster(t, 2)
 	for _, tr := range testWorkload.Dataset.Trajectories[:8] {
-		if err := coord.Add(tr); err != nil {
+		if err := coord.Add(context.Background(), tr); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -220,17 +225,189 @@ func TestNodeRejectsMalformedRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.close()
-	if _, err := cl.call(&request{Op: opAdd}); err == nil {
+	if _, err := cl.call(context.Background(), &request{Op: opAdd}); err == nil {
 		t.Error("add without payload should error")
 	}
-	if _, err := cl.call(&request{Op: opQuery}); err == nil {
+	if _, err := cl.call(context.Background(), &request{Op: opQuery}); err == nil {
 		t.Error("query without payload should error")
 	}
-	if _, err := cl.call(&request{Op: 99}); err == nil {
+	if _, err := cl.call(context.Background(), &request{Op: 99}); err == nil {
 		t.Error("unknown op should error")
 	}
 	// The connection survives protocol errors.
-	if _, err := cl.call(&request{Op: opStats}); err != nil {
+	if _, err := cl.call(context.Background(), &request{Op: opStats}); err != nil {
 		t.Errorf("stats after errors: %v", err)
 	}
+}
+
+// startStallingNode listens and accepts connections but never replies,
+// simulating a wedged shard node: requests vanish into it until the
+// connection is torn down.
+func startStallingNode(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(io.Discard, c)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// startStalledCoordinator fronts two stalling nodes, so every
+// scatter-gather hangs until its context is cancelled.
+func startStalledCoordinator(t *testing.T) *Coordinator {
+	t.Helper()
+	addrs := []string{startStallingNode(t), startStallingNode(t)}
+	ex := index.GeodabExtractor{Fingerprinter: core.MustFingerprinter(core.DefaultConfig())}
+	coord, err := NewCoordinator(ex, shard.Strategy{PrefixBits: 16, Shards: 10000, Nodes: 2}, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	return coord
+}
+
+// TestSearchCancelledMidScatterGather cancels a query while its fan-out
+// is blocked on wedged nodes: the scatter-gather must unwind promptly
+// with the context's error instead of hanging.
+func TestSearchCancelledMidScatterGather(t *testing.T) {
+	coord := startStalledCoordinator(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := coord.Search(ctx, testWorkload.Queries[0], 1, 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Search = %v, want context.Canceled", err)
+	}
+	if elapsed < 50*time.Millisecond {
+		t.Errorf("Search returned in %v, before the cancellation fired", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("Search took %v after cancellation, want prompt unwind", elapsed)
+	}
+}
+
+// TestSearchDeadlineMidScatterGather is the deadline flavor: a timeout
+// budget bounds a query against wedged nodes.
+func TestSearchDeadlineMidScatterGather(t *testing.T) {
+	coord := startStalledCoordinator(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, _, err := coord.Search(ctx, testWorkload.Queries[0], 1, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Search = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSearchAlreadyCancelled verifies the fast path: no node I/O at all
+// on a context that is dead on arrival.
+func TestSearchAlreadyCancelled(t *testing.T) {
+	coord, _ := startCluster(t, 2)
+	for _, tr := range testWorkload.Dataset.Trajectories[:4] {
+		if err := coord.Add(context.Background(), tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := coord.Search(ctx, testWorkload.Queries[0], 1, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Search = %v, want context.Canceled", err)
+	}
+	if err := coord.Add(ctx, testWorkload.Dataset.Trajectories[10]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Add = %v, want context.Canceled", err)
+	}
+}
+
+// TestClientRecoversAfterCancelledCall exercises the redial path: a call
+// abandoned mid-flight poisons the gob stream, and the next call on the
+// same client must transparently reconnect.
+func TestClientRecoversAfterCancelledCall(t *testing.T) {
+	coord, _ := startCluster(t, 1)
+	for _, tr := range testWorkload.Dataset.Trajectories[:4] {
+		if err := coord.Add(context.Background(), tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := coord.Search(ctx, testWorkload.Queries[0], 1, 0); err == nil {
+		t.Fatal("cancelled search should fail")
+	}
+	// A short stall that actually reaches the node, then gets abandoned.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	_, _, _ = coord.Search(ctx2, testWorkload.Queries[0], 1, 0)
+	cancel2()
+	got, _, err := coord.Search(context.Background(), testWorkload.Queries[0], 1, 0)
+	if err != nil {
+		t.Fatalf("search after abandoned call: %v", err)
+	}
+	if len(got) == 0 {
+		t.Error("recovered search returned nothing")
+	}
+}
+
+// TestAddRetryAfterFailure verifies that a failed (here: cancelled) Add
+// withdraws its directory entry, so the caller can retry the same
+// trajectory instead of being stuck on "already indexed".
+func TestAddRetryAfterFailure(t *testing.T) {
+	coord, _ := startCluster(t, 2)
+	tr := testWorkload.Dataset.Trajectories[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := coord.Add(ctx, tr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Add = %v, want context.Canceled", err)
+	}
+	if err := coord.Add(context.Background(), tr); err != nil {
+		t.Fatalf("retry after failed Add: %v", err)
+	}
+	got, _, err := coord.Search(context.Background(), tr, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0].ID != tr.ID {
+		t.Errorf("retried trajectory not retrievable: %+v", got)
+	}
+}
+
+// TestQueuedCallHonorsOwnDeadline pins the call-slot semantics: a call
+// with a deadline queued behind a stalled call (no deadline) must give up
+// when its own budget expires instead of blocking on the stalled call's
+// lock.
+func TestQueuedCallHonorsOwnDeadline(t *testing.T) {
+	coord := startStalledCoordinator(t)
+	background := make(chan struct{})
+	go func() {
+		defer close(background)
+		// Wedges until the coordinator is closed by test cleanup.
+		coord.Search(context.Background(), testWorkload.Queries[0], 1, 0)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the background search occupy the call slots
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := coord.Search(ctx, testWorkload.Queries[0], 1, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Search = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("queued Search took %v past its 100ms budget", elapsed)
+	}
+	coord.Close() // unblock the background search before the test ends
+	<-background
 }

@@ -1,11 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"geodabs/internal/bitmap"
+	"geodabs/internal/geo"
 	"geodabs/internal/index"
 	"geodabs/internal/shard"
 	"geodabs/internal/trajectory"
@@ -15,7 +16,8 @@ import (
 // trajectories, routes each term to the node owning its shard, and
 // scatter-gathers ranked queries. It also maintains the directory of
 // per-trajectory fingerprint cardinalities needed to turn partial
-// intersection counts into Jaccard distances.
+// intersection counts into Jaccard distances, plus the raw points for
+// exact re-ranking.
 //
 // Coordinator is safe for concurrent use.
 type Coordinator struct {
@@ -24,7 +26,19 @@ type Coordinator struct {
 	clients  []*client
 
 	mu        sync.RWMutex
-	directory map[trajectory.ID]int
+	directory map[trajectory.ID]docEntry
+}
+
+// docEntry is the coordinator's per-trajectory bookkeeping: the
+// fingerprint cardinality (for Jaccard ranking) and the raw points (a
+// slice header sharing the caller's backing array, for exact re-ranking).
+// A pending entry reserves the ID while its add is in flight — it
+// rejects duplicate Adds atomically but is skipped by ranking until the
+// scatter completes.
+type docEntry struct {
+	card    int
+	points  []geo.Point
+	pending bool
 }
 
 // NewCoordinator connects to the given node addresses. The strategy's
@@ -39,7 +53,7 @@ func NewCoordinator(ex index.Extractor, strategy shard.Strategy, addrs []string)
 	c := &Coordinator{
 		ex:        ex,
 		strategy:  strategy,
-		directory: make(map[trajectory.ID]int),
+		directory: make(map[trajectory.ID]docEntry),
 	}
 	for _, addr := range addrs {
 		cl, err := dial(addr)
@@ -63,51 +77,141 @@ func (c *Coordinator) Close() error {
 	return firstErr
 }
 
-// groupByNode splits a term set by owning node. Only nodes owning at
-// least one term appear in the result.
-func (c *Coordinator) groupByNode(set *bitmap.Bitmap) map[int][]uint32 {
+// fanOut runs one task per work item concurrently under a cancellable
+// child of parent — the coordinator's scatter protocol: the first error
+// cancels the sibling in-flight calls (whose deadline-poked I/O then
+// unwinds promptly), and the parent context's own error takes precedence
+// in the return so cancelled callers see context.Canceled, not a
+// secondary node error.
+func fanOut[T any](parent context.Context, items []T, task func(ctx context.Context, item T) error) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	errs := make(chan error, len(items))
+	var wg sync.WaitGroup
+	for _, item := range items {
+		wg.Add(1)
+		go func(item T) {
+			defer wg.Done()
+			errs <- task(ctx, item)
+		}(item)
+	}
+	go func() {
+		wg.Wait()
+		close(errs)
+	}()
+	var firstErr error
+	for err := range errs {
+		if err != nil && firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+	}
+	if firstErr != nil {
+		if err := parent.Err(); err != nil {
+			return err
+		}
+		return firstErr
+	}
+	return nil
+}
+
+// groupByNode splits a term set by owning node; only nodes owning at
+// least one term appear in the groups. A non-nil shardSet additionally
+// collects the distinct shards touched (the Search path's fan-out stat)
+// in the same pass; the Add path passes nil and skips that cost.
+func (c *Coordinator) groupByNode(set *bitmap.Bitmap, shardSet map[int]struct{}) map[int][]uint32 {
 	groups := make(map[int][]uint32)
 	set.Iterate(func(term uint32) bool {
-		n := c.strategy.NodeOfGeodab(term)
+		sh := c.strategy.ShardOf(term)
+		if shardSet != nil {
+			shardSet[sh] = struct{}{}
+		}
+		n := c.strategy.NodeOf(sh)
 		groups[n] = append(groups[n], term)
 		return true
 	})
 	return groups
 }
 
-// Add fingerprints the trajectory and routes its postings to the cluster.
-func (c *Coordinator) Add(t *trajectory.Trajectory) error {
+// Add fingerprints the trajectory and routes its postings to the cluster,
+// honoring ctx cancellation while waiting on the shard nodes. The first
+// node failure cancels the sibling calls, so one wedged node cannot hold
+// the add past another node's error.
+//
+// The ID is reserved with a pending directory entry before the fan-out
+// (duplicate Adds are rejected atomically) and published for ranking
+// only after every node accepted its postings: a search that reaches
+// the ranking step while the add is still in flight skips the pending
+// entry instead of ranking it on partial intersection counts. Adds are
+// eventually consistent, not snapshot-isolated — a search whose
+// scatter overlaps an add's fan-out window can still observe the add on
+// some nodes and not others, and ranks it on the partial count once the
+// entry publishes; quiescent data always matches a local Index exactly
+// (see ROADMAP for snapshot isolation). A failed add withdraws the
+// reservation and is retryable — postings already applied are re-added
+// idempotently — but until the retry happens they sit stranded on the
+// nodes; queries gather and then discard the orphaned IDs at the
+// directory check, and the wire protocol has no delete op to reclaim
+// them yet (see ROADMAP).
+func (c *Coordinator) Add(parent context.Context, t *trajectory.Trajectory) error {
+	if err := parent.Err(); err != nil {
+		return err
+	}
 	set := c.ex.Extract(t.Points)
 	c.mu.Lock()
 	if _, dup := c.directory[t.ID]; dup {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: trajectory %d already indexed", t.ID)
 	}
-	c.directory[t.ID] = set.Cardinality()
+	c.directory[t.ID] = docEntry{pending: true}
 	c.mu.Unlock()
 
-	groups := c.groupByNode(set)
-	errs := make(chan error, len(groups))
-	var wg sync.WaitGroup
-	for node, terms := range groups {
-		wg.Add(1)
-		go func(node int, terms []uint32) {
-			defer wg.Done()
-			_, err := c.clients[node].call(&request{
-				Op:  opAdd,
-				Add: &addRequest{ID: uint32(t.ID), Terms: terms},
-			})
-			errs <- err
-		}(node, terms)
+	groups := c.groupByNode(set, nil)
+	err := fanOut(parent, nodesOf(groups), func(ctx context.Context, node int) error {
+		_, err := c.clients[node].call(ctx, &request{
+			Op:  opAdd,
+			Add: &addRequest{ID: uint32(t.ID), Terms: groups[node]},
+		})
+		return err
+	})
+	c.mu.Lock()
+	if err != nil {
+		delete(c.directory, t.ID) // withdraw the reservation; retryable
+	} else {
+		c.directory[t.ID] = docEntry{card: set.Cardinality(), points: t.Points}
 	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
+	c.mu.Unlock()
+	return err
+}
+
+// nodesOf returns the keys of a node→terms grouping.
+func nodesOf(groups map[int][]uint32) []int {
+	nodes := make([]int, 0, len(groups))
+	for n := range groups {
+		nodes = append(nodes, n)
 	}
-	return nil
+	return nodes
+}
+
+// PointsOf returns the raw point sequence of a trajectory added through
+// this coordinator, or nil when unknown (or discarded).
+func (c *Coordinator) PointsOf(id trajectory.ID) []geo.Point {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.directory[id].points
+}
+
+// DiscardPoints releases every retained raw point sequence, shrinking
+// the directory to the cardinalities Jaccard ranking needs. Exact
+// re-ranking becomes unavailable for the trajectories added so far;
+// trajectories added afterwards are retained again.
+func (c *Coordinator) DiscardPoints() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, entry := range c.directory {
+		entry.points = nil
+		c.directory[id] = entry
+	}
 }
 
 // QueryStats reports the fan-out of the last analysis of a query set.
@@ -131,55 +235,73 @@ func (c *Coordinator) Analyze(q *trajectory.Trajectory) QueryStats {
 	return QueryStats{Shards: len(shards), Nodes: len(nodes)}
 }
 
-// Query scatter-gathers the ranked retrieval problem across the cluster
-// and merges partial intersection counts into Jaccard-ranked results,
-// equivalent to index.Inverted.Query on the same data.
-func (c *Coordinator) Query(q *trajectory.Trajectory, maxDistance float64, limit int) ([]index.Result, error) {
-	set := c.ex.Extract(q.Points)
-	groups := c.groupByNode(set)
-	type partial struct {
-		counts map[uint32]int
-		err    error
-	}
-	parts := make(chan partial, len(groups))
-	var wg sync.WaitGroup
-	for node, terms := range groups {
-		wg.Add(1)
-		go func(node int, terms []uint32) {
-			defer wg.Done()
-			resp, err := c.clients[node].call(&request{
-				Op:    opQuery,
-				Query: &queryRequest{Terms: terms},
-			})
-			if err != nil {
-				parts <- partial{err: err}
-				return
-			}
-			parts <- partial{counts: resp.Query.Partial}
-		}(node, terms)
-	}
-	wg.Wait()
-	close(parts)
+// SearchInfo reports what one distributed search touched.
+type SearchInfo struct {
+	// Candidates is the number of distinct trajectories seen across the
+	// partial intersection counts, before distance filtering.
+	Candidates int
+	// Shards and Nodes are the fan-out the query's terms incurred.
+	Shards int
+	Nodes  int
+}
 
+// Query scatter-gathers the ranked retrieval problem across the cluster,
+// equivalent to index.Inverted.Query on the same data.
+//
+// Deprecated: use Search, which takes a context and reports fan-out.
+func (c *Coordinator) Query(q *trajectory.Trajectory, maxDistance float64, limit int) ([]index.Result, error) {
+	results, _, err := c.Search(context.Background(), q, maxDistance, limit)
+	return results, err
+}
+
+// Search scatter-gathers the ranked retrieval problem across the cluster
+// and merges partial intersection counts into Jaccard-ranked results,
+// equivalent to index.Inverted.Search on the same data. Cancelling ctx
+// aborts the scatter-gather promptly and returns the context's error;
+// the first node failure cancels the sibling calls, so one wedged node
+// cannot hold the query past another node's error.
+func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, maxDistance float64, limit int) ([]index.Result, SearchInfo, error) {
+	if err := parent.Err(); err != nil {
+		return nil, SearchInfo{}, err
+	}
+	set := c.ex.Extract(q.Points)
+	shardSet := make(map[int]struct{}, 8)
+	groups := c.groupByNode(set, shardSet)
+	info := SearchInfo{
+		Shards: len(shardSet),
+		Nodes:  len(groups),
+	}
 	shared := make(map[uint32]int)
-	for p := range parts {
-		if p.err != nil {
-			return nil, p.err
+	var sharedMu sync.Mutex
+	err := fanOut(parent, nodesOf(groups), func(ctx context.Context, node int) error {
+		resp, err := c.clients[node].call(ctx, &request{
+			Op:    opQuery,
+			Query: &queryRequest{Terms: groups[node]},
+		})
+		if err != nil {
+			return err
 		}
-		for id, count := range p.counts {
+		sharedMu.Lock()
+		for id, count := range resp.Query.Partial {
 			shared[id] += count
 		}
+		sharedMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, info, err
 	}
+	info.Candidates = len(shared)
 
 	qCard := set.Cardinality()
 	c.mu.RLock()
 	results := make([]index.Result, 0, len(shared))
 	for id, inter := range shared {
-		docCard, ok := c.directory[trajectory.ID(id)]
-		if !ok {
-			continue // indexed by another coordinator; cannot rank
+		entry, ok := c.directory[trajectory.ID(id)]
+		if !ok || entry.pending {
+			continue // unknown or mid-add: cannot rank on partial counts
 		}
-		union := qCard + docCard - inter
+		union := qCard + entry.card - inter
 		d := 1.0
 		if union > 0 {
 			d = 1 - float64(inter)/float64(union)
@@ -190,34 +312,41 @@ func (c *Coordinator) Query(q *trajectory.Trajectory, maxDistance float64, limit
 	}
 	c.mu.RUnlock()
 
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Distance != results[j].Distance {
-			return results[i].Distance < results[j].Distance
-		}
-		return results[i].ID < results[j].ID
-	})
+	index.SortResults(results)
 	if limit > 0 && len(results) > limit {
 		results = results[:limit]
 	}
-	return results, nil
+	return results, info, nil
 }
 
-// Stats gathers per-node term and posting counts, index row i matching
-// node i.
-func (c *Coordinator) Stats() ([]statsOf, error) {
-	out := make([]statsOf, len(c.clients))
-	for i, cl := range c.clients {
-		resp, err := cl.call(&request{Op: opStats})
+// Stats gathers per-node term and posting counts in parallel, slice
+// index i matching node i. Cancelling ctx aborts the gather promptly;
+// the first node failure cancels the sibling calls.
+func (c *Coordinator) Stats(parent context.Context) ([]NodeStats, error) {
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]NodeStats, len(c.clients))
+	nodes := make([]int, len(c.clients))
+	for i := range nodes {
+		nodes[i] = i
+	}
+	err := fanOut(parent, nodes, func(ctx context.Context, i int) error {
+		resp, err := c.clients[i].call(ctx, &request{Op: opStats})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[i] = statsOf{Node: i, Terms: resp.Stats.Terms, Postings: resp.Stats.Postings}
+		out[i] = NodeStats{Node: i, Terms: resp.Stats.Terms, Postings: resp.Stats.Postings}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// statsOf is one node's shard statistics.
-type statsOf struct {
+// NodeStats is one node's shard statistics.
+type NodeStats struct {
 	Node     int
 	Terms    int
 	Postings int

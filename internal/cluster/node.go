@@ -9,12 +9,14 @@
 package cluster
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"geodabs/internal/bitmap"
 )
@@ -169,35 +171,130 @@ func (n *Node) stats() *statsResponse {
 }
 
 // client is the coordinator's connection to one node. Calls are
-// serialized per connection.
+// serialized by a one-slot semaphore acquired under the caller's context
+// (a plain mutex would let a call queued behind a stalled one block past
+// its own deadline); the connection pointers live under their own lock
+// (connMu) so close can tear down a stalled call's socket without
+// waiting for the call to finish. A call abandoned by context
+// cancellation poisons the gob stream, so the connection is dropped and
+// transparently redialed on the next call.
 type client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	addr string
+	sem  chan struct{} // capacity 1: serializes calls
+
+	connMu sync.Mutex // guards conn/enc/dec/closed
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
 }
 
 func dial(addr string) (*client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	c := &client{addr: addr, sem: make(chan struct{}, 1)}
+	if _, _, _, err := c.ensureConn(context.Background()); err != nil {
+		return nil, err
 	}
-	return &client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return c, nil
 }
 
-// call performs one request/response round trip.
-func (c *client) call(req *request) (*response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("cluster: send: %w", err)
+// ensureConn returns the live connection, redialing under ctx if a
+// previous call dropped it — a blackholed node then costs the caller its
+// deadline, not the OS connect timeout. The dial happens outside connMu
+// (the caller's slot in c.sem already serializes dials) so close stays
+// prompt during a slow connect.
+func (c *client) ensureConn(ctx context.Context) (net.Conn, *gob.Encoder, *gob.Decoder, error) {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return nil, nil, nil, fmt.Errorf("cluster: client to %s is closed", c.addr)
+	}
+	if c.conn != nil {
+		conn, enc, dec := c.conn, c.enc, c.dec
+		c.connMu.Unlock()
+		return conn, enc, dec, nil
+	}
+	c.connMu.Unlock()
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, nil, nil, ctxErr
+		}
+		return nil, nil, nil, fmt.Errorf("cluster: dial %s: %w", c.addr, err)
+	}
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed { // closed while we were dialing
+		conn.Close()
+		return nil, nil, nil, fmt.Errorf("cluster: client to %s is closed", c.addr)
+	}
+	c.conn, c.enc, c.dec = conn, gob.NewEncoder(conn), gob.NewDecoder(conn)
+	return c.conn, c.enc, c.dec, nil
+}
+
+// dropConn discards the given connection if it is still current: after an
+// encode/decode error the gob stream can be desynchronized, so the next
+// call must redial.
+func (c *client) dropConn(conn net.Conn) {
+	conn.Close()
+	c.connMu.Lock()
+	if c.conn == conn {
+		c.conn, c.enc, c.dec = nil, nil, nil
+	}
+	c.connMu.Unlock()
+}
+
+// call performs one request/response round trip. Cancelling ctx aborts
+// the in-flight I/O promptly (by poking the connection deadline) and
+// returns the context's error.
+func (c *client) call(ctx context.Context, req *request) (*response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-c.sem }()
+	conn, enc, dec, err := c.ensureConn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{}) // clear a deadline poked by an earlier cancellation
+	watchDone := make(chan struct{})
+	watchExited := make(chan struct{})
+	go func() {
+		defer close(watchExited)
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Now())
+		case <-watchDone:
+		}
+	}()
+	// Wait for the watcher to exit before returning: a stale watcher
+	// racing a cancellation could otherwise poke a deadline onto the
+	// connection after the next call has cleared it.
+	defer func() {
+		close(watchDone)
+		<-watchExited
+	}()
+	fail := func(err error) (*response, error) {
+		c.dropConn(conn)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	if err := enc.Encode(req); err != nil {
+		return fail(fmt.Errorf("cluster: send: %w", err))
 	}
 	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
+	if err := dec.Decode(&resp); err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, fmt.Errorf("cluster: node closed connection")
+			return fail(fmt.Errorf("cluster: node closed connection"))
 		}
-		return nil, fmt.Errorf("cluster: receive: %w", err)
+		return fail(fmt.Errorf("cluster: receive: %w", err))
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("cluster: node error: %s", resp.Err)
@@ -205,4 +302,14 @@ func (c *client) call(req *request) (*response, error) {
 	return &resp, nil
 }
 
-func (c *client) close() error { return c.conn.Close() }
+func (c *client) close() error {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.enc, c.dec = nil, nil, nil
+	return err
+}

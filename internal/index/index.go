@@ -5,6 +5,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -99,6 +100,11 @@ type Inverted struct {
 	mu       sync.RWMutex
 	postings map[uint32]*bitmap.Bitmap
 	docs     map[trajectory.ID]*bitmap.Bitmap
+	// points retains the raw point sequences of trajectories added through
+	// Add/AddAll (slice headers only, sharing the caller's backing arrays),
+	// so searches can re-rank candidates with an exact distance. Entries
+	// are absent for fingerprint-only insertions and snapshot loads.
+	points map[trajectory.ID][]geo.Point
 }
 
 // NewInverted returns an empty index using the given extractor.
@@ -107,6 +113,7 @@ func NewInverted(ex Extractor) *Inverted {
 		ex:       ex,
 		postings: make(map[uint32]*bitmap.Bitmap),
 		docs:     make(map[trajectory.ID]*bitmap.Bitmap),
+		points:   make(map[trajectory.ID][]geo.Point),
 	}
 }
 
@@ -115,18 +122,27 @@ func NewInverted(ex Extractor) *Inverted {
 // operation and keeping postings append-only keeps them compact).
 func (ix *Inverted) Add(t *trajectory.Trajectory) error {
 	set := ix.ex.Extract(t.Points)
-	return ix.AddFingerprints(t.ID, set)
+	return ix.insert(t.ID, set, t.Points)
 }
 
 // AddFingerprints inserts a pre-computed fingerprint set, which lets
 // callers reuse fingerprints across indexes and parallelize extraction.
+// The raw points are not available on this path, so the trajectory cannot
+// take part in exact re-ranking.
 func (ix *Inverted) AddFingerprints(id trajectory.ID, set *bitmap.Bitmap) error {
+	return ix.insert(id, set, nil)
+}
+
+func (ix *Inverted) insert(id trajectory.ID, set *bitmap.Bitmap, pts []geo.Point) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if _, dup := ix.docs[id]; dup {
 		return fmt.Errorf("index: trajectory %d already indexed", id)
 	}
 	ix.docs[id] = set
+	if pts != nil {
+		ix.points[id] = pts
+	}
 	set.Iterate(func(term uint32) bool {
 		p, ok := ix.postings[term]
 		if !ok {
@@ -140,43 +156,105 @@ func (ix *Inverted) AddFingerprints(id trajectory.ID, set *bitmap.Bitmap) error 
 }
 
 // AddAll indexes a dataset, fingerprinting with the given number of
-// parallel workers (minimum 1). It fails on the first duplicate ID.
-func (ix *Inverted) AddAll(d *trajectory.Dataset, workers int) error {
+// parallel workers (minimum 1). It fails fast: the first insertion error
+// (or context cancellation) stops job dispatch, and only the extractions
+// already in flight are drained before returning. AddAll is
+// all-or-nothing — on failure the trajectories it inserted are removed
+// again, so the caller can retry the same dataset after fixing the
+// cause.
+func (ix *Inverted) AddAll(ctx context.Context, d *trajectory.Dataset, workers int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if workers < 1 {
 		workers = 1
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type extracted struct {
 		id  trajectory.ID
 		set *bitmap.Bitmap
+		pts []geo.Point
 	}
 	jobs := make(chan *trajectory.Trajectory)
 	results := make(chan extracted)
+	go func() {
+		defer close(jobs)
+		for _, t := range d.Trajectories {
+			select {
+			case jobs <- t:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for t := range jobs {
-				results <- extracted{id: t.ID, set: ix.ex.Extract(t.Points)}
+				select {
+				case results <- extracted{id: t.ID, set: ix.ex.Extract(t.Points), pts: t.Points}:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
 	go func() {
-		for _, t := range d.Trajectories {
-			jobs <- t
-		}
-		close(jobs)
 		wg.Wait()
 		close(results)
 	}()
 	var firstErr error
+	var inserted []trajectory.ID
 	for r := range results {
-		if firstErr != nil {
-			continue // drain
+		if firstErr == nil {
+			firstErr = ctx.Err() // cancellation outranks in-flight results
 		}
-		firstErr = ix.AddFingerprints(r.id, r.set)
+		if firstErr != nil {
+			continue // dispatch is already cancelled; drain in-flight work
+		}
+		if err := ix.insert(r.id, r.set, r.pts); err != nil {
+			firstErr = err
+			cancel()
+		} else {
+			inserted = append(inserted, r.id)
+		}
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		// Roll back this call's insertions so a retry starts clean.
+		for _, id := range inserted {
+			ix.remove(id)
+		}
 	}
 	return firstErr
+}
+
+// remove undoes insert: it deletes the trajectory's document and point
+// entries and withdraws it from every posting list. Used by AddAll's
+// failure rollback.
+func (ix *Inverted) remove(id trajectory.ID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	set, ok := ix.docs[id]
+	if !ok {
+		return
+	}
+	delete(ix.docs, id)
+	delete(ix.points, id)
+	set.Iterate(func(term uint32) bool {
+		if p, ok := ix.postings[term]; ok {
+			p.Remove(uint32(id))
+			if p.IsEmpty() {
+				delete(ix.postings, term)
+			}
+		}
+		return true
+	})
 }
 
 // Len returns the number of indexed trajectories.
@@ -193,6 +271,25 @@ func (ix *Inverted) Fingerprints(id trajectory.ID) *bitmap.Bitmap {
 	return ix.docs[id]
 }
 
+// PointsOf returns the raw point sequence of a trajectory added through
+// Add/AddAll, or nil when the points are unavailable (fingerprint-only
+// insertion, snapshot load, discarded, unknown ID).
+func (ix *Inverted) PointsOf(id trajectory.ID) []geo.Point {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.points[id]
+}
+
+// DiscardPoints releases every retained raw point sequence, shrinking the
+// index to its bitmaps. Exact re-ranking becomes unavailable, as on a
+// snapshot-loaded index; trajectories added afterwards are retained
+// again.
+func (ix *Inverted) DiscardPoints() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.points = make(map[trajectory.ID][]geo.Point)
+}
+
 // Query returns the trajectories whose Jaccard distance to q is at most
 // maxDistance, ordered by increasing distance (ties by ID for
 // determinism), truncated to limit results (limit ≤ 0 means no limit).
@@ -204,6 +301,27 @@ func (ix *Inverted) Query(q *trajectory.Trajectory, maxDistance float64, limit i
 
 // QueryFingerprints ranks against a pre-computed fingerprint set.
 func (ix *Inverted) QueryFingerprints(set *bitmap.Bitmap, maxDistance float64, limit int) []Result {
+	results, _, _ := ix.SearchFingerprints(context.Background(), set, maxDistance, limit)
+	return results
+}
+
+// Search is the context-aware ranked retrieval entry point. Alongside the
+// ranked results it reports the size of the candidate set (the union of
+// the posting lists of the query's terms) before distance filtering.
+func (ix *Inverted) Search(ctx context.Context, q *trajectory.Trajectory, maxDistance float64, limit int) ([]Result, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return ix.SearchFingerprints(ctx, ix.ex.Extract(q.Points), maxDistance, limit)
+}
+
+// SearchFingerprints ranks against a pre-computed fingerprint set,
+// honoring context cancellation between the gather and ranking stages and
+// periodically inside the ranking loop.
+func (ix *Inverted) SearchFingerprints(ctx context.Context, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	// Gather candidates: the union of the posting lists of the query's
@@ -216,8 +334,18 @@ func (ix *Inverted) QueryFingerprints(set *bitmap.Bitmap, maxDistance float64, l
 		}
 		return true
 	})
-	results := make([]Result, 0, candidates.Cardinality())
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	numCandidates := candidates.Cardinality()
+	results := make([]Result, 0, numCandidates)
+	ranked := 0
+	cancelled := false
 	candidates.Iterate(func(idBits uint32) bool {
+		if ranked++; ranked%1024 == 0 && ctx.Err() != nil {
+			cancelled = true
+			return false
+		}
 		id := trajectory.ID(idBits)
 		doc := ix.docs[id]
 		shared := bitmap.AndCardinality(set, doc)
@@ -231,15 +359,20 @@ func (ix *Inverted) QueryFingerprints(set *bitmap.Bitmap, maxDistance float64, l
 		}
 		return true
 	})
-	sortResults(results)
+	if cancelled {
+		return nil, 0, ctx.Err()
+	}
+	SortResults(results)
 	if limit > 0 && len(results) > limit {
 		results = results[:limit]
 	}
-	return results
+	return results, numCandidates, nil
 }
 
-// sortResults orders by ascending distance, breaking ties by ID.
-func sortResults(results []Result) {
+// SortResults orders by ascending distance, breaking ties by ID — the
+// ranking contract shared by the local index, the cluster coordinator,
+// and the exact-rerank refinement.
+func SortResults(results []Result) {
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Distance != results[j].Distance {
 			return results[i].Distance < results[j].Distance

@@ -1,12 +1,16 @@
 package index
 
 import (
+	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"geodabs/internal/bitmap"
 	"geodabs/internal/core"
 	"geodabs/internal/gen"
+	"geodabs/internal/geo"
 	"geodabs/internal/geohash"
 	"geodabs/internal/roadnet"
 	"geodabs/internal/trajectory"
@@ -116,7 +120,7 @@ func TestAddAllParallelMatchesSequential(t *testing.T) {
 		}
 	}
 	par := newGeodabIndex(t)
-	if err := par.AddAll(testWorkload.Dataset, 8); err != nil {
+	if err := par.AddAll(context.Background(), testWorkload.Dataset, 8); err != nil {
 		t.Fatal(err)
 	}
 	if par.Len() != seq.Len() {
@@ -134,7 +138,7 @@ func TestAddAllParallelMatchesSequential(t *testing.T) {
 			}
 		}
 	}
-	if err := par.AddAll(testWorkload.Dataset, 4); err == nil {
+	if err := par.AddAll(context.Background(), testWorkload.Dataset, 4); err == nil {
 		t.Error("re-adding the dataset should fail on duplicates")
 	}
 }
@@ -203,7 +207,7 @@ func TestCellIndexReturnsBothDirections(t *testing.T) {
 		t.Fatal(err)
 	}
 	ix := NewInverted(ex)
-	if err := ix.AddAll(testWorkload.Dataset, 4); err != nil {
+	if err := ix.AddAll(context.Background(), testWorkload.Dataset, 4); err != nil {
 		t.Fatal(err)
 	}
 	q := testWorkload.Queries[0]
@@ -224,7 +228,7 @@ func TestCellIndexReturnsBothDirections(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	ix := newGeodabIndex(t)
-	if err := ix.AddAll(testWorkload.Dataset, 4); err != nil {
+	if err := ix.AddAll(context.Background(), testWorkload.Dataset, 4); err != nil {
 		t.Fatal(err)
 	}
 	s := ix.Stats()
@@ -238,7 +242,7 @@ func TestStats(t *testing.T) {
 
 func TestConcurrentQueries(t *testing.T) {
 	ix := newGeodabIndex(t)
-	if err := ix.AddAll(testWorkload.Dataset, 4); err != nil {
+	if err := ix.AddAll(context.Background(), testWorkload.Dataset, 4); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -257,12 +261,117 @@ func TestConcurrentQueries(t *testing.T) {
 
 func BenchmarkQuery(b *testing.B) {
 	ix := NewInverted(GeodabExtractor{core.MustFingerprinter(core.DefaultConfig())})
-	if err := ix.AddAll(testWorkload.Dataset, 8); err != nil {
+	if err := ix.AddAll(context.Background(), testWorkload.Dataset, 8); err != nil {
 		b.Fatal(err)
 	}
 	q := testWorkload.Queries[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = ix.Query(q, 1, 10)
+	}
+}
+
+// countingExtractor counts Extract calls, to observe how much work AddAll
+// dispatches before failing.
+type countingExtractor struct {
+	Extractor
+	n atomic.Int64
+}
+
+func (c *countingExtractor) Extract(points []geo.Point) *bitmap.Bitmap {
+	c.n.Add(1)
+	return c.Extractor.Extract(points)
+}
+
+// TestAddAllFailsFast plants a duplicate ID near the front of a dataset:
+// AddAll must stop dispatching fingerprint jobs shortly after the insert
+// fails instead of draining the whole dataset through the workers.
+func TestAddAllFailsFast(t *testing.T) {
+	ex := &countingExtractor{Extractor: GeodabExtractor{core.MustFingerprinter(core.DefaultConfig())}}
+	ix := NewInverted(ex)
+	src := testWorkload.Dataset.Trajectories
+	poisoned := &trajectory.Dataset{Trajectories: make([]*trajectory.Trajectory, 0, len(src)+1)}
+	poisoned.Trajectories = append(poisoned.Trajectories, src[0], src[0]) // duplicate ID
+	poisoned.Trajectories = append(poisoned.Trajectories, src[1:]...)
+	err := ix.AddAll(context.Background(), poisoned, 2)
+	if err == nil {
+		t.Fatal("duplicate ID should fail AddAll")
+	}
+	extracted := int(ex.n.Load())
+	if total := len(poisoned.Trajectories); extracted > total/2 {
+		t.Errorf("AddAll extracted %d of %d trajectories after the failure, want fail-fast", extracted, total)
+	}
+}
+
+func TestAddAllCancelledContext(t *testing.T) {
+	ix := newGeodabIndex(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ix.AddAll(ctx, testWorkload.Dataset, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AddAll on cancelled context = %v, want context.Canceled", err)
+	}
+	if ix.Len() != 0 {
+		t.Errorf("cancelled AddAll indexed %d trajectories", ix.Len())
+	}
+}
+
+func TestSearchCancelledContext(t *testing.T) {
+	ix := newGeodabIndex(t)
+	if err := ix.AddAll(context.Background(), testWorkload.Dataset, 4); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ix.Search(ctx, testWorkload.Queries[0], 1, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Search on cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+func TestPointsOf(t *testing.T) {
+	ix := newGeodabIndex(t)
+	tr := testWorkload.Dataset.Trajectories[0]
+	if err := ix.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.PointsOf(tr.ID); len(got) != len(tr.Points) {
+		t.Errorf("PointsOf returned %d points, want %d", len(got), len(tr.Points))
+	}
+	if ix.PointsOf(4242) != nil {
+		t.Error("PointsOf for unknown ID should be nil")
+	}
+	// Fingerprint-only insertion has no points.
+	other := testWorkload.Dataset.Trajectories[1]
+	if err := ix.AddFingerprints(other.ID, ix.Fingerprints(tr.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if ix.PointsOf(other.ID) != nil {
+		t.Error("PointsOf after AddFingerprints should be nil")
+	}
+}
+
+// TestAddAllRollsBackOnFailure pins the all-or-nothing contract: a
+// failed AddAll removes the trajectories it inserted, so retrying the
+// same (fixed) dataset starts clean instead of tripping on duplicates.
+func TestAddAllRollsBackOnFailure(t *testing.T) {
+	ix := newGeodabIndex(t)
+	src := testWorkload.Dataset.Trajectories
+	poisoned := &trajectory.Dataset{Trajectories: make([]*trajectory.Trajectory, 0, len(src)+1)}
+	poisoned.Trajectories = append(poisoned.Trajectories, src...)
+	poisoned.Trajectories = append(poisoned.Trajectories, src[0]) // duplicate ID at the tail
+	if err := ix.AddAll(context.Background(), poisoned, 4); err == nil {
+		t.Fatal("duplicate ID should fail AddAll")
+	}
+	if n := ix.Len(); n != 0 {
+		t.Fatalf("failed AddAll left %d trajectories indexed, want 0", n)
+	}
+	if got := ix.Query(testWorkload.Queries[0], 1, 0); len(got) != 0 {
+		t.Fatalf("rolled-back index still answers queries: %d hits", len(got))
+	}
+	// The retry with the clean dataset succeeds and matches a fresh build.
+	if err := ix.AddAll(context.Background(), testWorkload.Dataset, 4); err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	if ix.Len() != testWorkload.Dataset.Len() {
+		t.Fatalf("retry indexed %d of %d", ix.Len(), testWorkload.Dataset.Len())
 	}
 }

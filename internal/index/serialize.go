@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"geodabs/internal/bitmap"
+	"geodabs/internal/geo"
 	"geodabs/internal/trajectory"
 )
 
@@ -119,6 +120,9 @@ func (ix *Inverted) ReadFrom(r io.Reader) (int64, error) {
 	ix.mu.Lock()
 	ix.docs = docs
 	ix.postings = postings
+	// Raw points are not part of the snapshot: a loaded index serves
+	// fingerprint-ranked searches but cannot exactly re-rank.
+	ix.points = make(map[trajectory.ID][]geo.Point)
 	ix.mu.Unlock()
 	return n, nil
 }

@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"geodabs/internal/core"
@@ -9,7 +10,7 @@ import (
 
 func TestIndexSnapshotRoundTrip(t *testing.T) {
 	orig := newGeodabIndex(t)
-	if err := orig.AddAll(testWorkload.Dataset, 8); err != nil {
+	if err := orig.AddAll(context.Background(), testWorkload.Dataset, 8); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

@@ -1,0 +1,327 @@
+package geodabs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"geodabs/internal/index"
+	"math"
+	"sync"
+	"time"
+)
+
+// Searcher is the retrieval surface shared by the local *Index and the
+// distributed *Cluster: one fingerprint-based query model, identical
+// results (§IV of the paper). Search honors ctx cancellation and
+// deadlines; behavior is shaped by functional options:
+//
+//	res, err := s.Search(ctx, q,
+//		geodabs.WithMaxDistance(0.9),
+//		geodabs.WithLimit(10))
+//
+// With no options a search returns every trajectory sharing at least one
+// fingerprint with the query, most similar first.
+type Searcher interface {
+	Search(ctx context.Context, q *Trajectory, opts ...SearchOption) (*SearchResult, error)
+}
+
+// Compile-time proof that both retrieval engines present the one surface.
+var (
+	_ Searcher = (*Index)(nil)
+	_ Searcher = (*Cluster)(nil)
+)
+
+// RerankMetric is an exact trajectory distance used by WithExactRerank to
+// refine a fingerprint-ranked candidate set (the paper's §VI-C refinement
+// step). DTW and DFD satisfy it directly.
+type RerankMetric func(a, b []Point) float64
+
+// SearchOption configures one Search call.
+type SearchOption func(*searchOptions) error
+
+// searchOptions is the resolved option set. The zero value is completed
+// by newSearchOptions; fields are only reachable through options so the
+// defaulting rules stay in one place.
+type searchOptions struct {
+	maxDistance float64
+	limit       int
+	knn         int
+	haveKNN     bool
+	haveLimit   bool
+	rerank      RerankMetric
+}
+
+func newSearchOptions(opts []SearchOption) (searchOptions, error) {
+	o := searchOptions{maxDistance: 1}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return o, err
+		}
+	}
+	if o.haveKNN && o.haveLimit {
+		return o, errors.New("geodabs: WithKNN and WithLimit are mutually exclusive")
+	}
+	return o, nil
+}
+
+// resultLimit is the cap applied to the final ranking: k for kNN
+// searches, the explicit limit otherwise (0 = unlimited).
+func (o searchOptions) resultLimit() int {
+	if o.haveKNN {
+		return o.knn
+	}
+	return o.limit
+}
+
+// rerankShortlistFactor bounds the exact-rerank shortlist: the metric
+// scores the top limit×factor fingerprint-ranked hits, keeping the
+// polynomial-cost pass proportional to the requested result count.
+const rerankShortlistFactor = 8
+
+// fetchLimit is how many fingerprint-ranked hits to pull from the engine
+// before post-processing: the final cap when the ranking is final, an
+// enlarged shortlist when an exact rerank will re-order it, and the whole
+// range when no cap was requested.
+func (o searchOptions) fetchLimit() int {
+	limit := o.resultLimit()
+	if o.rerank == nil || limit <= 0 {
+		return limit
+	}
+	return limit * rerankShortlistFactor
+}
+
+// WithMaxDistance keeps only trajectories within Jaccard distance d of
+// the query (range semantics, the paper's Δmax). The default is 1: every
+// candidate sharing at least one fingerprint qualifies.
+func WithMaxDistance(d float64) SearchOption {
+	return func(o *searchOptions) error {
+		if math.IsNaN(d) || d < 0 || d > 1 {
+			return fmt.Errorf("geodabs: WithMaxDistance(%v) out of range [0, 1]", d)
+		}
+		o.maxDistance = d
+		return nil
+	}
+}
+
+// WithKNN returns up to the k most similar trajectories — fewer when
+// fewer than k indexed trajectories share a fingerprint with the query,
+// since anything sharing none has Jaccard distance 1 and is never a
+// candidate. Combine with WithMaxDistance for a ranged kNN. Mutually
+// exclusive with WithLimit, which expresses a plain truncation; today
+// both cap the same full ranking, but WithKNN is the seam where an
+// early-terminating kNN strategy plugs in without an API change.
+func WithKNN(k int) SearchOption {
+	return func(o *searchOptions) error {
+		if k < 1 {
+			return fmt.Errorf("geodabs: WithKNN(%d) must be at least 1", k)
+		}
+		o.knn = k
+		o.haveKNN = true
+		return nil
+	}
+}
+
+// WithLimit truncates the ranking to the first n hits (0 = no limit).
+// Mutually exclusive with WithKNN.
+func WithLimit(n int) SearchOption {
+	return func(o *searchOptions) error {
+		if n < 0 {
+			return fmt.Errorf("geodabs: WithLimit(%d) must not be negative", n)
+		}
+		o.limit = n
+		o.haveLimit = true
+		return nil
+	}
+}
+
+// WithExactRerank re-ranks a fingerprint-ranked shortlist by the exact
+// metric (ascending), the paper's §VI-C refinement: geodabs prune
+// cheaply, the polynomial-cost measure decides the final order. With a
+// result cap (WithKNN or WithLimit) the shortlist is the top cap×8
+// fingerprint hits; without one, the whole WithMaxDistance range is
+// scored — bound one or the other, or the rerank degenerates to the
+// brute-force scan it exists to avoid. Each hit's Distance is replaced
+// by the metric's value (meters for DTW/DFD). Re-ranking needs the raw
+// points of every hit, so it fails on indexes loaded from a snapshot,
+// after DiscardPoints, and on trajectories inserted as bare
+// fingerprints.
+func WithExactRerank(metric RerankMetric) SearchOption {
+	return func(o *searchOptions) error {
+		if metric == nil {
+			return errors.New("geodabs: WithExactRerank(nil) is not a metric")
+		}
+		o.rerank = metric
+		return nil
+	}
+}
+
+// SearchResult carries one search's ranked hits and execution statistics.
+type SearchResult struct {
+	// Hits are ordered most similar first, ties broken by ID. Distance is
+	// the Jaccard distance, unless WithExactRerank replaced it with the
+	// exact metric's value.
+	Hits []Result
+	// Stats describes what the search touched.
+	Stats SearchStats
+}
+
+// SearchStats summarizes one search execution.
+type SearchStats struct {
+	// Candidates is the number of trajectories sharing at least one
+	// fingerprint with the query, before distance filtering.
+	Candidates int
+	// ShardsTouched and NodesTouched report the distributed fan-out; both
+	// are zero for a local *Index search.
+	ShardsTouched int
+	NodesTouched  int
+	// Elapsed is the wall-clock duration of the search.
+	Elapsed time.Duration
+}
+
+// Search implements Searcher on the local index.
+func (ix *Index) Search(ctx context.Context, q *Trajectory, opts ...SearchOption) (*SearchResult, error) {
+	o, err := newSearchOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	hits, candidates, err := ix.inv.Search(ctx, q, o.maxDistance, o.fetchLimit())
+	if err != nil {
+		return nil, err
+	}
+	if hits, err = rerankHits(ctx, o, hits, q.Points, ix.inv.PointsOf); err != nil {
+		return nil, err
+	}
+	return &SearchResult{
+		Hits: hits,
+		Stats: SearchStats{
+			Candidates: candidates,
+			Elapsed:    time.Since(start),
+		},
+	}, nil
+}
+
+// SearchBatch runs many searches with the same options on the given
+// number of parallel workers, for throughput workloads. Results align
+// with qs by position. The first error cancels the remaining work.
+func (ix *Index) SearchBatch(ctx context.Context, qs []*Trajectory, workers int, opts ...SearchOption) ([]*SearchResult, error) {
+	return searchBatch(ctx, ix, qs, workers, opts)
+}
+
+// Search implements Searcher on the distributed cluster. A cancelled ctx
+// aborts the scatter-gather promptly with the context's error.
+func (c *Cluster) Search(ctx context.Context, q *Trajectory, opts ...SearchOption) (*SearchResult, error) {
+	o, err := newSearchOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	hits, info, err := c.coord.Search(ctx, q, o.maxDistance, o.fetchLimit())
+	if err != nil {
+		return nil, err
+	}
+	if hits, err = rerankHits(ctx, o, hits, q.Points, c.coord.PointsOf); err != nil {
+		return nil, err
+	}
+	return &SearchResult{
+		Hits: hits,
+		Stats: SearchStats{
+			Candidates:    info.Candidates,
+			ShardsTouched: info.Shards,
+			NodesTouched:  info.Nodes,
+			Elapsed:       time.Since(start),
+		},
+	}, nil
+}
+
+// SearchBatch runs many scatter-gather searches with the same options on
+// the given number of parallel workers. Results align with qs by
+// position. The first error cancels the remaining work. Effective
+// parallelism is currently bounded by one in-flight RPC per shard node
+// (the coordinator holds a single connection to each); a per-node
+// connection pool is the seam for raising that ceiling.
+func (c *Cluster) SearchBatch(ctx context.Context, qs []*Trajectory, workers int, opts ...SearchOption) ([]*SearchResult, error) {
+	return searchBatch(ctx, c, qs, workers, opts)
+}
+
+// rerankHits applies the exact refinement pass: score every hit with the
+// metric, re-sort ascending (ties by ID), truncate to the result limit.
+// A no-op when no rerank was requested.
+func rerankHits(ctx context.Context, o searchOptions, hits []Result, query []Point, pointsOf func(ID) []Point) ([]Result, error) {
+	if o.rerank == nil {
+		return hits, nil
+	}
+	for i := range hits {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pts := pointsOf(hits[i].ID)
+		if pts == nil {
+			return nil, fmt.Errorf("geodabs: cannot rerank: raw points of trajectory %d unavailable (DiscardPoints was called, snapshot-loaded index, or fingerprint-only insertion)", hits[i].ID)
+		}
+		hits[i].Distance = o.rerank(query, pts)
+	}
+	index.SortResults(hits)
+	if limit := o.resultLimit(); limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits, nil
+}
+
+// searchBatch fans qs out over a worker pool against any Searcher.
+func searchBatch(ctx context.Context, s Searcher, qs []*Trajectory, workers int, opts []SearchOption) ([]*SearchResult, error) {
+	// Validate options once up front so a bad option fails before any
+	// query runs, not on every worker.
+	if _, err := newSearchOptions(opts); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]*SearchResult, len(qs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := s.Search(ctx, qs[i], opts...)
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+dispatch:
+	for i := range qs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
