@@ -359,7 +359,8 @@ func BenchmarkIndexBuildParallel(b *testing.B) {
 // builtPublicIndex builds a public geodab index over the bench workload.
 func builtPublicIndex(b *testing.B) *geodabs.Index {
 	b.Helper()
-	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+	// Retention keeps the exact-rerank benchmark runnable.
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig(), geodabs.WithPointRetention())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -29,28 +29,50 @@ type QueryStats = cluster.QueryStats
 type NodeStats = cluster.NodeStats
 
 // Cluster is a distributed geodab index: a coordinator that routes
-// postings to shard nodes and scatter-gathers Jaccard-ranked queries.
-// Results are identical to a local Index over the same data; both
-// implement Searcher. Cluster is safe for concurrent use.
+// postings to shard nodes, fans out deletions, and scatter-gathers
+// Jaccard-ranked queries. Results are identical to a local Index over
+// the same data; both implement Searcher and Mutator. Reads are
+// snapshot-isolated against concurrent writes: every mutation carries an
+// epoch, every search takes the committed-epoch watermark before
+// scattering, and ranking admits a trajectory only when its last
+// mutation committed at or below that snapshot — so a search observes a
+// trajectory either fully (all its terms on every node) or not at all.
+// Cluster is safe for concurrent use.
 type Cluster struct {
 	coord *cluster.Coordinator
 }
 
 // NewCluster connects to the shard nodes at addrs. The strategy's Nodes
 // must equal len(addrs); strategy.PrefixBits must match cfg.PrefixBits.
-func NewCluster(cfg Config, strategy ShardStrategy, addrs []string) (*Cluster, error) {
+// WithPointRetention enables exact re-ranking; WithConnsPerNode sizes
+// the per-node connection pool.
+func NewCluster(cfg Config, strategy ShardStrategy, addrs []string, opts ...Option) (*Cluster, error) {
 	f, err := core.NewFingerprinter(cfg)
 	if err != nil {
 		return nil, err
 	}
-	coord, err := cluster.NewCoordinator(index.GeodabExtractor{Fingerprinter: f}, strategy, addrs)
+	o, err := newEngineOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	var coordOpts []cluster.Option
+	if o.retainPoints {
+		coordOpts = append(coordOpts, cluster.WithRetainPoints())
+	}
+	if o.connsPerNode > 0 {
+		coordOpts = append(coordOpts, cluster.WithPoolSize(o.connsPerNode))
+	}
+	coord, err := cluster.NewCoordinator(index.GeodabExtractor{Fingerprinter: f}, strategy, addrs, coordOpts...)
 	if err != nil {
 		return nil, err
 	}
 	return &Cluster{coord: coord}, nil
 }
 
-// Add fingerprints the trajectory and routes its postings to the cluster.
+// Add fingerprints the trajectory and routes its postings to the
+// cluster. IDs must be unique; use Upsert to replace an indexed
+// trajectory. A failed add reclaims the postings it already applied
+// (best-effort deletes to the nodes it touched) and is retryable.
 func (c *Cluster) Add(t *Trajectory) error {
 	return c.coord.Add(context.Background(), t)
 }
@@ -68,6 +90,10 @@ func (c *Cluster) Analyze(q *Trajectory) QueryStats { return c.coord.Analyze(q) 
 // re-ranking, shrinking the coordinator's directory to the fingerprint
 // cardinalities. After the call, WithExactRerank fails for the
 // trajectories added so far; fingerprint-ranked searches are unaffected.
+//
+// Deprecated: retention is now opt-in at construction — a cluster built
+// without WithPointRetention never pins point memory. DiscardPoints
+// remains for retaining clusters that want to drop points mid-lifetime.
 func (c *Cluster) DiscardPoints() { c.coord.DiscardPoints() }
 
 // Stats gathers per-node term and posting counts, slice index i matching

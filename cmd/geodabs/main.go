@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	geodabs gen   -out DIR [-routes N] [-seed N]     generate a dataset
-//	geodabs stats -data FILE                         index a dataset, print stats
-//	geodabs query -data FILE -queries FILE [-q N]    run a ranked query
-//	geodabs serve -addr HOST:PORT                    run a shard node
+//	geodabs gen    -out DIR [-routes N] [-seed N]     generate a dataset
+//	geodabs stats  -data FILE [-in SNAP] [-upsert]    index a dataset, print stats
+//	geodabs query  -data FILE -queries FILE [-q N]    run a ranked query
+//	geodabs delete -snapshot FILE ID...               delete trajectories from a snapshot
+//	geodabs serve  -addr HOST:PORT                    run a shard node
 package main
 
 import (
@@ -43,6 +44,8 @@ func run(args []string) error {
 		return cmdStats(args[1:])
 	case "query":
 		return cmdQuery(args[1:])
+	case "delete":
+		return cmdDelete(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
 	default:
@@ -51,7 +54,7 @@ func run(args []string) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: geodabs <gen|stats|query|serve> [flags]")
+	return fmt.Errorf("usage: geodabs <gen|stats|query|delete|serve> [flags]")
 }
 
 // cmdGen generates a synthetic dataset with held-out queries and ground
@@ -145,12 +148,18 @@ func writeTruth(path string, data *geodabs.DatasetOutput) error {
 }
 
 // cmdStats indexes a dataset and prints the index composition,
-// optionally snapshotting the built index for later queries.
+// optionally snapshotting the built index for later queries. With -in it
+// starts from an existing snapshot instead of empty, and with -upsert
+// the ingest replaces trajectories whose IDs are already indexed instead
+// of failing on duplicates — together they make a refresh pipeline:
+// load, upsert the new batch, snapshot.
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	dataPath := fs.String("data", "data/dataset.bin", "dataset file")
 	workers := fs.Int("workers", 8, "parallel fingerprinting workers")
 	snapshot := fs.String("snapshot", "", "write the built index to this file (load with query -snapshot)")
+	in := fs.String("in", "", "start from this index snapshot instead of an empty index")
+	upsert := fs.Bool("upsert", false, "replace already-indexed IDs instead of failing on duplicates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -164,8 +173,25 @@ func cmdStats(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		if _, err := idx.ReadFrom(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
 	start := time.Now()
-	if err := idx.AddAllContext(ctx, d, *workers); err != nil {
+	if *upsert {
+		for _, tr := range d.Trajectories {
+			if err := idx.Upsert(ctx, tr); err != nil {
+				return err
+			}
+		}
+	} else if err := idx.AddAllContext(ctx, d, *workers); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
@@ -288,7 +314,13 @@ func cmdQuery(args []string) error {
 			return err
 		}
 	} else {
-		if idx, err = geodabs.NewIndex(geodabs.DefaultConfig()); err != nil {
+		// Exact re-ranking needs the raw points, which retention keeps;
+		// plain fingerprint queries skip that memory cost.
+		var iopts []geodabs.Option
+		if *rerank != "" {
+			iopts = append(iopts, geodabs.WithPointRetention())
+		}
+		if idx, err = geodabs.NewIndex(geodabs.DefaultConfig(), iopts...); err != nil {
 			return err
 		}
 		if err := idx.AddAllContext(ctx, d, *workers); err != nil {
@@ -335,6 +367,75 @@ func cmdQuery(args []string) error {
 		fmt.Printf("%2d. trajectory %5d  %s=%.3f  shared=%3d  %s\n",
 			i+1, r.ID, unit, r.Distance, r.Shared, desc)
 	}
+	return nil
+}
+
+// cmdDelete removes trajectories from an index snapshot: load, delete
+// the IDs given as arguments (reclaiming their postings), write the
+// snapshot back.
+func cmdDelete(args []string) error {
+	fs := flag.NewFlagSet("delete", flag.ContinueOnError)
+	snapshot := fs.String("snapshot", "", "index snapshot to mutate (required)")
+	out := fs.String("out", "", "write the mutated snapshot here (default: overwrite -snapshot)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *snapshot == "" {
+		return fmt.Errorf("delete: -snapshot is required")
+	}
+	if len(fs.Args()) == 0 {
+		return fmt.Errorf("delete: no trajectory IDs given")
+	}
+	ids := make([]geodabs.ID, 0, len(fs.Args()))
+	for _, arg := range fs.Args() {
+		v, err := strconv.ParseUint(arg, 10, 32)
+		if err != nil {
+			return fmt.Errorf("delete: bad trajectory ID %q: %w", arg, err)
+		}
+		ids = append(ids, geodabs.ID(v))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	f, err := os.Open(*snapshot)
+	if err != nil {
+		return err
+	}
+	idx, err := geodabs.ReadIndex(geodabs.DefaultConfig(), f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	before := idx.Stats()
+	deleted, err := idx.DeleteAll(ctx, ids, 1)
+	if err != nil {
+		return err
+	}
+	after := idx.Stats()
+	if *out == "" {
+		*out = *snapshot
+	}
+	// Write to a sibling temp file and rename over the target, so a
+	// failed write never truncates the only copy of the snapshot.
+	w, err := os.CreateTemp(filepath.Dir(*out), filepath.Base(*out)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := w.Name()
+	if _, err := idx.WriteTo(w); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, *out); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	fmt.Printf("deleted %d of %d trajectories (%d unknown), postings %d → %d, wrote %s\n",
+		deleted, len(ids), len(ids)-deleted, before.Postings, after.Postings, *out)
 	return nil
 }
 

@@ -40,7 +40,9 @@ func main() {
 		log.Fatalf("generate fleet: %v", err)
 	}
 
-	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+	// Point retention keeps the raw drives available for the exact DTW
+	// re-ranking below; rerank-free workloads would omit it.
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig(), geodabs.WithPointRetention())
 	if err != nil {
 		log.Fatalf("new index: %v", err)
 	}

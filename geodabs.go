@@ -28,10 +28,18 @@
 // Search honors ctx cancellation and deadlines (a cluster scatter-gather
 // aborts promptly), reports execution statistics in res.Stats, and can
 // refine the fingerprint ranking with an exact distance
-// (geodabs.WithExactRerank(geodabs.DTW), the paper's §VI-C step).
-// SearchBatch fans a query batch out over a worker pool. For repeated
-// fingerprinting outside an index, construct one Fingerprinter and reuse
-// it. Indexes persist with Index.WriteTo and load with ReadIndex.
+// (geodabs.WithExactRerank(geodabs.DTW), the paper's §VI-C step — the
+// engine must be constructed with geodabs.WithPointRetention).
+// SearchBatch fans a query batch out over a worker pool.
+//
+// Writes go through the Mutator interface, the mutation-side mirror of
+// Searcher, implemented by both engines: Upsert replaces a trajectory in
+// place, Delete and DeleteAll reclaim postings, and every mutation is
+// atomic with respect to searches — on a Cluster, reads are
+// snapshot-isolated by mutation epochs, so a search never observes a
+// half-applied write. For repeated fingerprinting outside an index,
+// construct one Fingerprinter and reuse it. Indexes persist with
+// Index.WriteTo and load with ReadIndex.
 //
 // The subpackages under internal implement the substrates (geohash,
 // roaring bitmaps, road networks, map matching, the synthetic dataset
@@ -90,40 +98,59 @@ const (
 // on: 36-bit normalization grid, k = 6, t = 12, 16-bit shard prefixes.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// Index is an inverted trajectory index with Jaccard-ranked retrieval.
-// Create one with NewIndex (geodab fingerprints, the paper's method) or
-// NewGeohashIndex (bare geohash cells, the baseline of Figs 12-14).
-// Index is safe for concurrent use.
+// Index is an inverted trajectory index with Jaccard-ranked retrieval
+// and in-place mutation (see Mutator). Create one with NewIndex (geodab
+// fingerprints, the paper's method) or NewGeohashIndex (bare geohash
+// cells, the baseline of Figs 12-14). Index is safe for concurrent use:
+// mutations and searches interleave without a search ever observing a
+// half-applied write.
 //
-// Alongside the fingerprint bitmaps, Add and AddAll retain each
-// trajectory's raw point slice (a header sharing the caller's backing
-// array, not a copy) so searches can refine candidates with
-// WithExactRerank. Workloads that never re-rank and drop their dataset
-// after indexing can release that memory with DiscardPoints.
+// When constructed with WithPointRetention, Add, AddAll and Upsert also
+// retain each trajectory's raw point slice (a header sharing the
+// caller's backing array, not a copy) so searches can refine candidates
+// with WithExactRerank. Retention is off by default — rerank-free
+// workloads no longer pay the pinned point memory.
 type Index struct {
 	inv *index.Inverted
 }
 
 // NewIndex returns an empty geodab index.
-func NewIndex(cfg Config) (*Index, error) {
+func NewIndex(cfg Config, opts ...Option) (*Index, error) {
 	f, err := core.NewFingerprinter(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{inv: index.NewInverted(index.GeodabExtractor{Fingerprinter: f})}, nil
+	return newIndex(index.GeodabExtractor{Fingerprinter: f}, opts)
 }
 
 // NewGeohashIndex returns an empty baseline index whose terms are the
 // geohash cells a trajectory traverses, with no ordering information.
-func NewGeohashIndex(cfg Config) (*Index, error) {
+func NewGeohashIndex(cfg Config, opts ...Option) (*Index, error) {
 	ex, err := index.NewCellExtractor(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{inv: index.NewInverted(ex)}, nil
+	return newIndex(ex, opts)
 }
 
-// Add fingerprints and indexes a trajectory. IDs must be unique.
+// newIndex resolves construction options around an extractor.
+func newIndex(ex index.Extractor, opts []Option) (*Index, error) {
+	o, err := newEngineOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.localOnly(); err != nil {
+		return nil, err
+	}
+	var invOpts []index.InvertedOption
+	if o.retainPoints {
+		invOpts = append(invOpts, index.RetainPoints())
+	}
+	return &Index{inv: index.NewInverted(ex, invOpts...)}, nil
+}
+
+// Add fingerprints and indexes a trajectory. IDs must be unique; use
+// Upsert to replace an indexed trajectory in place.
 func (ix *Index) Add(t *Trajectory) error { return ix.inv.Add(t) }
 
 // AddAll indexes a whole dataset, fingerprinting on the given number of
@@ -164,6 +191,11 @@ func (ix *Index) Query(q *Trajectory, maxDistance float64, limit int) []Result {
 // re-ranking, shrinking the index to its fingerprint bitmaps. After the
 // call, WithExactRerank fails for the trajectories indexed so far (as on
 // a snapshot-loaded index); fingerprint-ranked searches are unaffected.
+//
+// Deprecated: retention is now opt-in at construction — an index built
+// without WithPointRetention never pins point memory, making the
+// all-or-nothing release unnecessary. DiscardPoints remains for
+// retaining indexes that want to drop their points mid-lifetime.
 func (ix *Index) DiscardPoints() { ix.inv.DiscardPoints() }
 
 // Len returns the number of indexed trajectories.

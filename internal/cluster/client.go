@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// nodeConn is one gob-framed TCP connection to a shard node. The encoder
+// and decoder are bound to the connection for its lifetime: a call
+// abandoned mid-flight desynchronizes the stream, so the connection is
+// discarded rather than reused.
+type nodeConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// client is the coordinator's connection pool to one node. In-flight
+// calls are bounded by a semaphore sized to the pool (default 1, raised
+// with WithPoolSize), acquired under the caller's context so a call
+// queued behind stalled ones gives up when its own deadline expires.
+// Idle connections are reused LIFO; a call that finds the pool empty
+// dials a fresh connection under its own context. Active connections are
+// tracked so close can tear down a stalled call's socket without waiting
+// for the call to finish, and a connection poisoned by an abandoned call
+// is dropped — the pool transparently redials on demand.
+type client struct {
+	addr string
+	sem  chan struct{} // capacity = pool size: bounds in-flight calls
+
+	mu     sync.Mutex // guards idle/active/closed
+	idle   []*nodeConn
+	active map[*nodeConn]struct{}
+	closed bool
+}
+
+// dial connects to a node with a single-connection pool.
+func dial(addr string) (*client, error) { return dialPool(addr, 1) }
+
+// dialPool connects to a node, establishing one connection eagerly so a
+// dead address fails at coordinator construction, and lazily growing up
+// to size connections under load.
+func dialPool(addr string, size int) (*client, error) {
+	if size < 1 {
+		size = 1
+	}
+	c := &client{
+		addr:   addr,
+		sem:    make(chan struct{}, size),
+		active: make(map[*nodeConn]struct{}),
+	}
+	nc, err := c.connect(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.idle = append(c.idle, nc)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// connect dials one fresh connection under ctx — a blackholed node then
+// costs the caller its deadline, not the OS connect timeout.
+func (c *client) connect(ctx context.Context) (*nodeConn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("cluster: dial %s: %w", c.addr, err)
+	}
+	return &nodeConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// checkout hands the caller a live connection: an idle one when
+// available, a fresh dial otherwise. The connection is registered as
+// active so close can tear it down mid-call.
+func (c *client) checkout(ctx context.Context) (*nodeConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: client to %s is closed", c.addr)
+	}
+	if n := len(c.idle); n > 0 {
+		nc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.active[nc] = struct{}{}
+		c.mu.Unlock()
+		return nc, nil
+	}
+	c.mu.Unlock()
+	nc, err := c.connect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed { // closed while we were dialing
+		c.mu.Unlock()
+		nc.conn.Close()
+		return nil, fmt.Errorf("cluster: client to %s is closed", c.addr)
+	}
+	c.active[nc] = struct{}{}
+	c.mu.Unlock()
+	return nc, nil
+}
+
+// checkin returns a healthy connection to the idle pool.
+func (c *client) checkin(nc *nodeConn) {
+	c.mu.Lock()
+	delete(c.active, nc)
+	if c.closed {
+		c.mu.Unlock()
+		nc.conn.Close()
+		return
+	}
+	c.idle = append(c.idle, nc)
+	c.mu.Unlock()
+}
+
+// discard drops a connection whose gob stream may be desynchronized; the
+// next call will dial afresh.
+func (c *client) discard(nc *nodeConn) {
+	nc.conn.Close()
+	c.mu.Lock()
+	delete(c.active, nc)
+	c.mu.Unlock()
+}
+
+// call performs one request/response round trip. Cancelling ctx aborts
+// the in-flight I/O promptly (by poking the connection deadline) and
+// returns the context's error.
+func (c *client) call(ctx context.Context, req *request) (*response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-c.sem }()
+	nc, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	nc.conn.SetDeadline(time.Time{}) // clear a deadline poked by an earlier cancellation
+	watchDone := make(chan struct{})
+	watchExited := make(chan struct{})
+	go func() {
+		defer close(watchExited)
+		select {
+		case <-ctx.Done():
+			nc.conn.SetDeadline(time.Now())
+		case <-watchDone:
+		}
+	}()
+	// Wait for the watcher to exit before returning: a stale watcher
+	// racing a cancellation could otherwise poke a deadline onto the
+	// connection after the next call has cleared it.
+	defer func() {
+		close(watchDone)
+		<-watchExited
+	}()
+	fail := func(err error) (*response, error) {
+		c.discard(nc)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	if err := nc.enc.Encode(req); err != nil {
+		return fail(fmt.Errorf("cluster: send: %w", err))
+	}
+	var resp response
+	if err := nc.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return fail(fmt.Errorf("cluster: node closed connection"))
+		}
+		return fail(fmt.Errorf("cluster: receive: %w", err))
+	}
+	c.checkin(nc)
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cluster: node error: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// close tears down every pooled connection, including those serving
+// in-flight calls — their I/O fails promptly instead of wedging.
+func (c *client) close() error {
+	c.mu.Lock()
+	c.closed = true
+	conns := make([]*nodeConn, 0, len(c.idle)+len(c.active))
+	conns = append(conns, c.idle...)
+	for nc := range c.active {
+		conns = append(conns, nc)
+	}
+	c.idle = nil
+	c.mu.Unlock()
+	var firstErr error
+	for _, nc := range conns {
+		if err := nc.conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

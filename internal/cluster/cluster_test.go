@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -410,4 +411,337 @@ func TestQueuedCallHonorsOwnDeadline(t *testing.T) {
 	}
 	coord.Close() // unblock the background search before the test ends
 	<-background
+}
+
+// totalPostings sums Stats.Postings across nodes — per-node term spaces
+// are disjoint, so the sum equals the indexed fingerprint cardinality.
+func totalPostings(t *testing.T, coord *Coordinator) int {
+	t.Helper()
+	stats, err := coord.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range stats {
+		total += s.Postings
+	}
+	return total
+}
+
+// TestClusterDeleteReclaimsPostings is the acceptance criterion for the
+// distributed delete: node postings shrink by exactly the deleted
+// trajectory's fingerprint cardinality, the trajectory vanishes from
+// rankings, and a re-delete reports ErrNotFound.
+func TestClusterDeleteReclaimsPostings(t *testing.T) {
+	coord, _ := startCluster(t, 3)
+	ctx := context.Background()
+	for _, tr := range testWorkload.Dataset.Trajectories[:10] {
+		if err := coord.Add(ctx, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := testWorkload.Dataset.Trajectories[0]
+	before := totalPostings(t, coord)
+	card := coord.ex.Extract(victim.Points).Cardinality()
+	if err := coord.Delete(ctx, victim.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	after := totalPostings(t, coord)
+	if after != before-card {
+		t.Errorf("postings after delete = %d, want %d − %d = %d", after, before, card, before-card)
+	}
+	if err := coord.Delete(ctx, victim.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("re-delete = %v, want ErrNotFound", err)
+	}
+	results, _, err := coord.Search(ctx, victim, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.ID == victim.ID {
+			t.Error("deleted trajectory still ranked")
+		}
+	}
+	// The fence tombstones are reclaimed once the watermark passes them:
+	// the Stats calls above already piggybacked it, so a fresh Stats sees
+	// no tombstones.
+	stats, err := coord.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stats {
+		if s.Tombstones != 0 {
+			t.Errorf("node %d still holds %d tombstones after compaction", s.Node, s.Tombstones)
+		}
+	}
+	// The ID is free for re-use.
+	if err := coord.Add(ctx, victim); err != nil {
+		t.Errorf("re-add after delete: %v", err)
+	}
+}
+
+// TestClusterUpsertReplaces verifies in-place replacement across the
+// cluster: same ID, new geometry, old postings reclaimed on every node.
+func TestClusterUpsertReplaces(t *testing.T) {
+	coord, _ := startCluster(t, 2)
+	ctx := context.Background()
+	old := testWorkload.Dataset.Trajectories[0]
+	if err := coord.Add(ctx, old); err != nil {
+		t.Fatal(err)
+	}
+	replacement := &trajectory.Trajectory{ID: old.ID, Points: testWorkload.Dataset.Trajectories[5].Points}
+	if err := coord.Upsert(ctx, replacement); err != nil {
+		t.Fatalf("Upsert: %v", err)
+	}
+	if got, want := totalPostings(t, coord), coord.ex.Extract(replacement.Points).Cardinality(); got != want {
+		t.Errorf("postings after upsert = %d, want the replacement's %d", got, want)
+	}
+	// The replacement ranks as an exact match of its own geometry.
+	results, _, err := coord.Search(ctx, replacement, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ID != old.ID || results[0].Distance != 0 {
+		t.Errorf("search for the replacement returned %+v", results)
+	}
+	// Upsert of an unknown ID is a plain insert.
+	novel := testWorkload.Dataset.Trajectories[7]
+	if err := coord.Upsert(ctx, novel); err != nil {
+		t.Errorf("insert-upsert: %v", err)
+	}
+}
+
+func TestClusterDeleteAll(t *testing.T) {
+	coord, _ := startCluster(t, 2)
+	ctx := context.Background()
+	for _, tr := range testWorkload.Dataset.Trajectories[:8] {
+		if err := coord.Add(ctx, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := []trajectory.ID{
+		testWorkload.Dataset.Trajectories[0].ID,
+		testWorkload.Dataset.Trajectories[1].ID,
+		testWorkload.Dataset.Trajectories[2].ID,
+		99999, // unknown: skipped, not an error
+	}
+	deleted, err := coord.DeleteAll(ctx, ids, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 3 {
+		t.Errorf("DeleteAll deleted %d, want 3", deleted)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := coord.DeleteAll(cancelled, ids, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("DeleteAll on cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+// TestFailedAddLeavesNoOrphans is the acceptance criterion for the
+// failed-add cleanup: an Add that dies on one node must reclaim the
+// postings it already applied to the others instead of stranding them.
+func TestFailedAddLeavesNoOrphans(t *testing.T) {
+	coord, nodes := startCluster(t, 2)
+	ctx := context.Background()
+	// Pick a trajectory whose terms span both nodes, so the surviving
+	// node really does apply postings the cleanup must reclaim.
+	var victim *trajectory.Trajectory
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		if coord.Analyze(tr).Nodes == 2 {
+			victim = tr
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no trajectory spans both nodes in this workload")
+	}
+	nodes[1].Close()
+	if err := coord.Add(ctx, victim); err == nil {
+		t.Fatal("Add against a half-dead cluster should fail")
+	}
+	// Ask the surviving node directly: the cleanup must have deleted
+	// whatever the failed add applied there.
+	cl, err := dial(nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.close()
+	resp, err := cl.call(ctx, &request{Op: opStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.Postings != 0 {
+		t.Errorf("surviving node holds %d orphaned postings after failed Add", resp.Stats.Postings)
+	}
+	if resp.Stats.Docs != 0 {
+		t.Errorf("surviving node holds %d live docs after failed Add", resp.Stats.Docs)
+	}
+}
+
+// TestClusterSnapshotIsolationUnderChurn is the interleaving acceptance
+// criterion: searches racing adds, upserts and deletes must never rank a
+// trajectory on a partial intersection count. Every writer churns exact
+// clones of the query, so any hit in the churned ID range must surface
+// at distance exactly 0 — a partially-visible clone would surface at an
+// intermediate distance. Run with -race for the memory-model half.
+func TestClusterSnapshotIsolationUnderChurn(t *testing.T) {
+	coord, _ := startCluster(t, 3)
+	ctx := context.Background()
+	q := testWorkload.Queries[0]
+	// A stable background population keeps searches non-trivial.
+	for _, tr := range testWorkload.Dataset.Trajectories[:8] {
+		if err := coord.Add(ctx, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const churnBase = trajectory.ID(50000)
+	const writers, rounds = 3, 15
+	stop := make(chan struct{})
+	errc := make(chan error, writers+2)
+	var searchWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		searchWG.Add(1)
+		go func() {
+			defer searchWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				results, _, err := coord.Search(ctx, q, 1, 0)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for _, r := range results {
+					if r.ID >= churnBase && r.Distance != 0 {
+						errc <- fmt.Errorf("partially visible trajectory %d at distance %v (shared %d)", r.ID, r.Distance, r.Shared)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var writeWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			id := churnBase + trajectory.ID(w)
+			clone := &trajectory.Trajectory{ID: id, Points: q.Points}
+			for r := 0; r < rounds; r++ {
+				if err := coord.Upsert(ctx, clone); err != nil {
+					errc <- fmt.Errorf("upsert %d: %w", id, err)
+					return
+				}
+				if err := coord.Delete(ctx, id); err != nil && !errors.Is(err, ErrNotFound) {
+					errc <- fmt.Errorf("delete %d: %w", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(stop)
+	searchWG.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestPoolParallelSearches exercises the per-node connection pool: with
+// size 4, concurrent searches genuinely overlap per node and all return
+// the same ranking as a sequential pass.
+func TestPoolParallelSearches(t *testing.T) {
+	nodes := make([]*Node, 2)
+	addrs := make([]string, 2)
+	for i := range nodes {
+		node, err := StartNode("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		addrs[i] = node.Addr()
+		t.Cleanup(func() { node.Close() })
+	}
+	ex := index.GeodabExtractor{Fingerprinter: core.MustFingerprinter(core.DefaultConfig())}
+	strategy := shard.Strategy{PrefixBits: 16, Shards: 10000, Nodes: 2}
+	coord, err := NewCoordinator(ex, strategy, addrs, WithPoolSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	ctx := context.Background()
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		if err := coord.Add(ctx, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type ranked struct {
+		qi  int
+		res []index.Result
+	}
+	want := make([][]index.Result, len(testWorkload.Queries))
+	for i, q := range testWorkload.Queries {
+		res, _, err := coord.Search(ctx, q, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	out := make(chan ranked, 4*len(testWorkload.Queries))
+	var wg sync.WaitGroup
+	for rep := 0; rep < 4; rep++ {
+		for i, q := range testWorkload.Queries {
+			wg.Add(1)
+			go func(i int, q *trajectory.Trajectory) {
+				defer wg.Done()
+				res, _, err := coord.Search(ctx, q, 1, 0)
+				if err != nil {
+					t.Errorf("pooled search: %v", err)
+					return
+				}
+				out <- ranked{i, res}
+			}(i, q)
+		}
+	}
+	wg.Wait()
+	close(out)
+	for r := range out {
+		if len(r.res) != len(want[r.qi]) {
+			t.Fatalf("query %d: pooled search returned %d results, sequential %d", r.qi, len(r.res), len(want[r.qi]))
+		}
+		for i := range r.res {
+			if r.res[i] != want[r.qi][i] {
+				t.Fatalf("query %d result %d: %+v vs %+v", r.qi, i, r.res[i], want[r.qi][i])
+			}
+		}
+	}
+}
+
+// TestNodeRejectsMalformedDelete extends the malformed-request coverage
+// to the new op.
+func TestNodeRejectsMalformedDelete(t *testing.T) {
+	node, err := StartNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	cl, err := dial(node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.close()
+	if _, err := cl.call(context.Background(), &request{Op: opDelete}); err == nil {
+		t.Error("delete without payload should error")
+	}
+	// The connection survives the protocol error.
+	if _, err := cl.call(context.Background(), &request{Op: opStats}); err != nil {
+		t.Errorf("stats after malformed delete: %v", err)
+	}
 }

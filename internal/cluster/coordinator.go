@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"geodabs/internal/bitmap"
 	"geodabs/internal/geo"
@@ -12,38 +15,100 @@ import (
 	"geodabs/internal/trajectory"
 )
 
+// ErrNotFound reports a mutation aimed at a trajectory the cluster does
+// not hold.
+var ErrNotFound = errors.New("cluster: trajectory not found")
+
+// addCleanupTimeout bounds the posting-reclaim pass that runs when an
+// Add's fan-out fails: the cleanup deletes run under a detached context
+// (the failure cause is often the caller's own cancelled context), so a
+// wedged node cannot hold the error return forever.
+var addCleanupTimeout = 5 * time.Second
+
 // Coordinator fronts a cluster of shard nodes: it fingerprints
-// trajectories, routes each term to the node owning its shard, and
-// scatter-gathers ranked queries. It also maintains the directory of
-// per-trajectory fingerprint cardinalities needed to turn partial
-// intersection counts into Jaccard distances, plus the raw points for
-// exact re-ranking.
+// trajectories, routes each term to the node owning its shard, fans out
+// deletions, and scatter-gathers ranked queries. It maintains the
+// directory of per-trajectory fingerprint cardinalities needed to turn
+// partial intersection counts into Jaccard distances (plus, when point
+// retention is on, the raw points for exact re-ranking).
+//
+// Every mutation is assigned a monotone epoch, and every search takes a
+// snapshot — the epoch below which no mutation is still in flight —
+// before scattering. Ranking admits a trajectory only when its mutation
+// committed at or below the snapshot, so a search observes a trajectory
+// either fully (all its terms on every node) or not at all, never on a
+// partial intersection count; quiescent data matches a local Index
+// exactly.
 //
 // Coordinator is safe for concurrent use.
 type Coordinator struct {
 	ex       index.Extractor
 	strategy shard.Strategy
 	clients  []*client
+	retain   bool
+	poolSize int
 
 	mu        sync.RWMutex
 	directory map[trajectory.ID]docEntry
+	// epoch is the last assigned mutation epoch; inFlight holds the epochs
+	// of mutations whose node fan-out has not completed. The watermark
+	// derived from them (min in-flight − 1) is both the searches' snapshot
+	// and the compaction bound piggybacked to the nodes.
+	epoch    uint64
+	inFlight map[uint64]struct{}
 }
 
+// entryState tracks a directory entry through its mutation lifecycle.
+type entryState uint8
+
+const (
+	// statePending reserves an ID while its add is in flight: duplicate
+	// adds are rejected atomically, ranking skips the entry.
+	statePending entryState = iota
+	// stateLive is a committed trajectory, rankable by searches whose
+	// snapshot covers its epoch.
+	stateLive
+	// stateDeleting marks a delete in flight (or failed, pending retry):
+	// the trajectory is withdrawn from ranking, its ID still reserved.
+	stateDeleting
+)
+
 // docEntry is the coordinator's per-trajectory bookkeeping: the
-// fingerprint cardinality (for Jaccard ranking) and the raw points (a
-// slice header sharing the caller's backing array, for exact re-ranking).
-// A pending entry reserves the ID while its add is in flight — it
-// rejects duplicate Adds atomically but is skipped by ranking until the
-// scatter completes.
+// fingerprint cardinality (for Jaccard ranking), the raw points when
+// retention is on (a slice header sharing the caller's backing array),
+// the lifecycle state, and the epoch of the trajectory's last mutation.
 type docEntry struct {
-	card    int
-	points  []geo.Point
-	pending bool
+	card   int
+	points []geo.Point
+	state  entryState
+	epoch  uint64
+}
+
+// Option configures a Coordinator at construction.
+type Option func(*Coordinator)
+
+// WithRetainPoints makes Add keep each trajectory's raw point slice in
+// the directory so searches can re-rank candidates with an exact
+// distance. Off by default: ingest-heavy workloads that never re-rank no
+// longer pay the pinned point memory.
+func WithRetainPoints() Option {
+	return func(c *Coordinator) { c.retain = true }
+}
+
+// WithPoolSize sets how many connections the coordinator pools per shard
+// node (default 1). A larger pool lets that many RPCs be in flight to
+// the same node, raising SearchBatch throughput.
+func WithPoolSize(n int) Option {
+	return func(c *Coordinator) {
+		if n > 0 {
+			c.poolSize = n
+		}
+	}
 }
 
 // NewCoordinator connects to the given node addresses. The strategy's
 // Nodes must equal len(addrs).
-func NewCoordinator(ex index.Extractor, strategy shard.Strategy, addrs []string) (*Coordinator, error) {
+func NewCoordinator(ex index.Extractor, strategy shard.Strategy, addrs []string, opts ...Option) (*Coordinator, error) {
 	if err := strategy.Validate(); err != nil {
 		return nil, err
 	}
@@ -53,10 +118,15 @@ func NewCoordinator(ex index.Extractor, strategy shard.Strategy, addrs []string)
 	c := &Coordinator{
 		ex:        ex,
 		strategy:  strategy,
+		poolSize:  1,
 		directory: make(map[trajectory.ID]docEntry),
+		inFlight:  make(map[uint64]struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
 	}
 	for _, addr := range addrs {
-		cl, err := dial(addr)
+		cl, err := dialPool(addr, c.poolSize)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -75,6 +145,40 @@ func (c *Coordinator) Close() error {
 		}
 	}
 	return firstErr
+}
+
+// beginMutationLocked assigns the next mutation epoch and marks it in
+// flight. Callers must hold the write lock.
+func (c *Coordinator) beginMutationLocked() uint64 {
+	c.epoch++
+	c.inFlight[c.epoch] = struct{}{}
+	return c.epoch
+}
+
+// endMutation retires a mutation epoch, letting the watermark advance.
+func (c *Coordinator) endMutation(e uint64) {
+	c.mu.Lock()
+	delete(c.inFlight, e)
+	c.mu.Unlock()
+}
+
+// watermarkLocked returns the epoch below which no mutation is still in
+// flight. Callers must hold the lock (read or write).
+func (c *Coordinator) watermarkLocked() uint64 {
+	w := c.epoch
+	for e := range c.inFlight {
+		if e-1 < w {
+			w = e - 1
+		}
+	}
+	return w
+}
+
+// watermark is watermarkLocked under a read lock.
+func (c *Coordinator) watermark() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.watermarkLocked()
 }
 
 // fanOut runs one task per work item concurrently under a cancellable
@@ -139,20 +243,16 @@ func (c *Coordinator) groupByNode(set *bitmap.Bitmap, shardSet map[int]struct{})
 // the add past another node's error.
 //
 // The ID is reserved with a pending directory entry before the fan-out
-// (duplicate Adds are rejected atomically) and published for ranking
-// only after every node accepted its postings: a search that reaches
-// the ranking step while the add is still in flight skips the pending
-// entry instead of ranking it on partial intersection counts. Adds are
-// eventually consistent, not snapshot-isolated — a search whose
-// scatter overlaps an add's fan-out window can still observe the add on
-// some nodes and not others, and ranks it on the partial count once the
-// entry publishes; quiescent data always matches a local Index exactly
-// (see ROADMAP for snapshot isolation). A failed add withdraws the
-// reservation and is retryable — postings already applied are re-added
-// idempotently — but until the retry happens they sit stranded on the
-// nodes; queries gather and then discard the orphaned IDs at the
-// directory check, and the wire protocol has no delete op to reclaim
-// them yet (see ROADMAP).
+// (duplicate Adds are rejected atomically) and published for ranking only
+// after every node accepted its postings; searches additionally admit it
+// only once their snapshot covers its epoch, so a search never ranks a
+// trajectory on a partial intersection count. A failed add reclaims the
+// postings it already applied by fanning out deletes to the nodes it
+// touched (epoch fencing makes the cleanup safe against the abandoned add
+// racing it onto a node), withdraws the reservation, and is retryable.
+// Cleanup is best-effort under its own timeout: if a node is unreachable,
+// its stranded postings stay hidden behind the directory check until an
+// Upsert or re-Add of the ID replaces them.
 func (c *Coordinator) Add(parent context.Context, t *trajectory.Trajectory) error {
 	if err := parent.Err(); err != nil {
 		return err
@@ -163,25 +263,183 @@ func (c *Coordinator) Add(parent context.Context, t *trajectory.Trajectory) erro
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: trajectory %d already indexed", t.ID)
 	}
-	c.directory[t.ID] = docEntry{pending: true}
+	e := c.beginMutationLocked()
+	c.directory[t.ID] = docEntry{state: statePending, epoch: e}
+	below := c.watermarkLocked()
 	c.mu.Unlock()
 
 	groups := c.groupByNode(set, nil)
-	err := fanOut(parent, nodesOf(groups), func(ctx context.Context, node int) error {
+	nodes := nodesOf(groups)
+	err := fanOut(parent, nodes, func(ctx context.Context, node int) error {
 		_, err := c.clients[node].call(ctx, &request{
-			Op:  opAdd,
-			Add: &addRequest{ID: uint32(t.ID), Terms: groups[node]},
+			Op:           opAdd,
+			CompactBelow: below,
+			Add:          &addRequest{ID: uint32(t.ID), Terms: groups[node], Epoch: e},
+		})
+		return err
+	})
+	if err != nil {
+		c.cleanupFailedAdd(t.ID, nodes)
+		c.mu.Lock()
+		delete(c.directory, t.ID) // withdraw the reservation; retryable
+		delete(c.inFlight, e)
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Lock()
+	entry := docEntry{card: set.Cardinality(), state: stateLive, epoch: e}
+	if c.retain {
+		entry.points = t.Points
+	}
+	c.directory[t.ID] = entry
+	delete(c.inFlight, e)
+	c.mu.Unlock()
+	return nil
+}
+
+// cleanupFailedAdd reclaims the postings a failed Add already applied by
+// fanning a delete to the nodes it touched. The delete's fresh epoch
+// fences the failed add: even if an abandoned add call lands on a node
+// after the cleanup, the node ignores it as stale. Errors are swallowed —
+// the directory check already hides the ID, so a missed cleanup costs
+// memory on an unreachable node, not correctness.
+func (c *Coordinator) cleanupFailedAdd(id trajectory.ID, nodes []int) {
+	c.mu.Lock()
+	e := c.beginMutationLocked()
+	below := c.watermarkLocked()
+	c.mu.Unlock()
+	defer c.endMutation(e)
+	ctx, cancel := context.WithTimeout(context.Background(), addCleanupTimeout)
+	defer cancel()
+	fanOut(ctx, nodes, func(ctx context.Context, node int) error {
+		_, err := c.clients[node].call(ctx, &request{
+			Op:           opDelete,
+			CompactBelow: below,
+			Delete:       &deleteRequest{ID: uint32(id), Epoch: e},
+		})
+		return err
+	})
+}
+
+// Delete withdraws a trajectory from the cluster and reclaims its
+// postings on every node, honoring ctx cancellation while waiting on the
+// shard nodes. It returns ErrNotFound when the ID is not indexed.
+//
+// The directory entry flips to a deleting state up front, so the
+// trajectory vanishes from ranking atomically — concurrent searches see
+// it fully or not at all, never on the partial counts of a half-applied
+// delete. A failed Delete keeps the entry in the deleting state: the
+// trajectory stays withdrawn from results, duplicate Adds stay rejected,
+// and retrying the Delete reclaims whatever postings remain (node-side
+// deletion is idempotent).
+func (c *Coordinator) Delete(parent context.Context, id trajectory.ID) error {
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	entry, ok := c.directory[id]
+	if !ok {
+		c.mu.Unlock()
+		return ErrNotFound
+	}
+	if entry.state == statePending {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: trajectory %d has an add in flight", id)
+	}
+	entry.state = stateDeleting
+	c.directory[id] = entry
+	e := c.beginMutationLocked()
+	below := c.watermarkLocked()
+	c.mu.Unlock()
+
+	// Broadcast: the coordinator does not track which nodes own the
+	// trajectory's terms, but each node knows the terms it holds per ID,
+	// and deleting an absent ID is a cheap no-op.
+	err := fanOut(parent, allNodes(len(c.clients)), func(ctx context.Context, node int) error {
+		_, err := c.clients[node].call(ctx, &request{
+			Op:           opDelete,
+			CompactBelow: below,
+			Delete:       &deleteRequest{ID: uint32(id), Epoch: e},
 		})
 		return err
 	})
 	c.mu.Lock()
-	if err != nil {
-		delete(c.directory, t.ID) // withdraw the reservation; retryable
-	} else {
-		c.directory[t.ID] = docEntry{card: set.Cardinality(), points: t.Points}
+	if err == nil {
+		delete(c.directory, id)
 	}
+	delete(c.inFlight, e)
 	c.mu.Unlock()
 	return err
+}
+
+// Upsert replaces a trajectory: an indexed ID is deleted first, then the
+// new version is added under a fresh epoch. During the swap the ID is
+// absent from results — searches observe the old version, nothing, or
+// the new version, never a mixture.
+func (c *Coordinator) Upsert(ctx context.Context, t *trajectory.Trajectory) error {
+	if err := c.Delete(ctx, t.ID); err != nil && !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	return c.Add(ctx, t)
+}
+
+// DeleteAll deletes a batch of IDs on the given number of parallel
+// workers (minimum 1) and reports how many were actually indexed.
+// Unknown IDs are skipped, so the call is idempotent; the first hard
+// error cancels the remaining work.
+func (c *Coordinator) DeleteAll(parent context.Context, ids []trajectory.ID, workers int) (int, error) {
+	if err := parent.Err(); err != nil {
+		return 0, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	var deleted atomic.Int64
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	jobs := make(chan trajectory.ID)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range jobs {
+				switch err := c.Delete(ctx, id); {
+				case err == nil:
+					deleted.Add(1)
+				case errors.Is(err, ErrNotFound):
+					// Idempotent skip.
+				default:
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+dispatch:
+	for _, id := range ids {
+		select {
+		case jobs <- id:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return int(deleted.Load()), firstErr
+	}
+	return int(deleted.Load()), parent.Err()
 }
 
 // nodesOf returns the keys of a node→terms grouping.
@@ -193,8 +451,18 @@ func nodesOf(groups map[int][]uint32) []int {
 	return nodes
 }
 
+// allNodes returns the node indices 0..n-1.
+func allNodes(n int) []int {
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return nodes
+}
+
 // PointsOf returns the raw point sequence of a trajectory added through
-// this coordinator, or nil when unknown (or discarded).
+// this coordinator with point retention on, or nil when unknown (or
+// discarded, or retention is off).
 func (c *Coordinator) PointsOf(id trajectory.ID) []geo.Point {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -204,7 +472,7 @@ func (c *Coordinator) PointsOf(id trajectory.ID) []geo.Point {
 // DiscardPoints releases every retained raw point sequence, shrinking
 // the directory to the cardinalities Jaccard ranking needs. Exact
 // re-ranking becomes unavailable for the trajectories added so far;
-// trajectories added afterwards are retained again.
+// with retention on, trajectories added afterwards are retained again.
 func (c *Coordinator) DiscardPoints() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -260,11 +528,19 @@ func (c *Coordinator) Query(q *trajectory.Trajectory, maxDistance float64, limit
 // aborts the scatter-gather promptly and returns the context's error;
 // the first node failure cancels the sibling calls, so one wedged node
 // cannot hold the query past another node's error.
+//
+// The search is snapshot-isolated against concurrent mutations: it takes
+// the mutation watermark before scattering and ranks only trajectories
+// whose last mutation committed at or below it. A trajectory whose add
+// or delete overlaps the search is either fully visible (the mutation
+// committed before the snapshot, so every node answered with its terms)
+// or fully invisible — never ranked on a partial intersection count.
 func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, maxDistance float64, limit int) ([]index.Result, SearchInfo, error) {
 	if err := parent.Err(); err != nil {
 		return nil, SearchInfo{}, err
 	}
 	set := c.ex.Extract(q.Points)
+	snap := c.watermark()
 	shardSet := make(map[int]struct{}, 8)
 	groups := c.groupByNode(set, shardSet)
 	info := SearchInfo{
@@ -275,8 +551,9 @@ func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, m
 	var sharedMu sync.Mutex
 	err := fanOut(parent, nodesOf(groups), func(ctx context.Context, node int) error {
 		resp, err := c.clients[node].call(ctx, &request{
-			Op:    opQuery,
-			Query: &queryRequest{Terms: groups[node]},
+			Op:           opQuery,
+			CompactBelow: snap,
+			Query:        &queryRequest{Terms: groups[node]},
 		})
 		if err != nil {
 			return err
@@ -298,8 +575,8 @@ func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, m
 	results := make([]index.Result, 0, len(shared))
 	for id, inter := range shared {
 		entry, ok := c.directory[trajectory.ID(id)]
-		if !ok || entry.pending {
-			continue // unknown or mid-add: cannot rank on partial counts
+		if !ok || entry.state != stateLive || entry.epoch > snap {
+			continue // unknown, mid-mutation, or newer than the snapshot
 		}
 		union := qCard + entry.card - inter
 		d := 1.0
@@ -321,22 +598,27 @@ func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, m
 
 // Stats gathers per-node term and posting counts in parallel, slice
 // index i matching node i. Cancelling ctx aborts the gather promptly;
-// the first node failure cancels the sibling calls.
+// the first node failure cancels the sibling calls. The request
+// piggybacks the mutation watermark, so a Stats call also lets nodes
+// reclaim dead tombstones before reporting.
 func (c *Coordinator) Stats(parent context.Context) ([]NodeStats, error) {
 	if err := parent.Err(); err != nil {
 		return nil, err
 	}
+	below := c.watermark()
 	out := make([]NodeStats, len(c.clients))
-	nodes := make([]int, len(c.clients))
-	for i := range nodes {
-		nodes[i] = i
-	}
-	err := fanOut(parent, nodes, func(ctx context.Context, i int) error {
-		resp, err := c.clients[i].call(ctx, &request{Op: opStats})
+	err := fanOut(parent, allNodes(len(c.clients)), func(ctx context.Context, i int) error {
+		resp, err := c.clients[i].call(ctx, &request{Op: opStats, CompactBelow: below})
 		if err != nil {
 			return err
 		}
-		out[i] = NodeStats{Node: i, Terms: resp.Stats.Terms, Postings: resp.Stats.Postings}
+		out[i] = NodeStats{
+			Node:       i,
+			Terms:      resp.Stats.Terms,
+			Postings:   resp.Stats.Postings,
+			Docs:       resp.Stats.Docs,
+			Tombstones: resp.Stats.Tombstones,
+		}
 		return nil
 	})
 	if err != nil {
@@ -350,4 +632,8 @@ type NodeStats struct {
 	Node     int
 	Terms    int
 	Postings int
+	// Docs is the number of live trajectories with postings on the node;
+	// Tombstones counts delete fences not yet reclaimed by compaction.
+	Docs       int
+	Tombstones int
 }

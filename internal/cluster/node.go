@@ -1,25 +1,32 @@
 // Package cluster implements the paper's distributed index (§III-A4,
 // §VI-E) as a real client/server system on TCP: shard nodes own disjoint
 // ranges of the geodab term space and serve posting lookups; a coordinator
-// routes additions and scatter-gathers queries, merging partial
-// intersection counts into Jaccard-ranked results.
+// routes additions and deletions and scatter-gathers queries, merging
+// partial intersection counts into Jaccard-ranked results.
 //
 // Everything speaks length-delimited gob — no dependencies beyond the
 // standard library.
 package cluster
 
 import (
-	"context"
 	"encoding/gob"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"geodabs/internal/bitmap"
 )
+
+// nodeDoc is a node's per-trajectory bookkeeping: the terms it owns for
+// the trajectory and the epoch of the last mutation applied to it. A nil
+// Terms slice is a tombstone — the trajectory was deleted at Epoch, and
+// the entry lingers only to fence stale adds until the coordinator's
+// compaction watermark passes the epoch.
+type nodeDoc struct {
+	terms []uint32
+	epoch uint64
+}
 
 // Node is a shard server holding the posting lists of the terms routed to
 // it. Start it with StartNode; stop it with Close.
@@ -28,6 +35,16 @@ type Node struct {
 
 	mu       sync.RWMutex
 	postings map[uint32]*bitmap.Bitmap
+	docs     map[uint32]nodeDoc
+	// tombstones counts docs entries with nil terms, so compaction sweeps
+	// can be skipped when there is nothing to reclaim.
+	tombstones int
+	// compactedBelow is the highest compaction watermark seen, so a sweep
+	// runs only when the watermark advances. Atomic so the per-request
+	// fast path stays off the write lock — pooled queries must not
+	// serialize through a lock acquisition just to re-check the
+	// watermark.
+	compactedBelow atomic.Uint64
 
 	connWG    sync.WaitGroup
 	closing   chan struct{}
@@ -44,6 +61,7 @@ func StartNode(addr string) (*Node, error) {
 	n := &Node{
 		ln:       ln,
 		postings: make(map[uint32]*bitmap.Bitmap),
+		docs:     make(map[uint32]nodeDoc),
 		closing:  make(chan struct{}),
 	}
 	n.connWG.Add(1)
@@ -113,12 +131,19 @@ func (n *Node) serve(conn net.Conn) {
 }
 
 func (n *Node) handle(req *request) *response {
+	n.compact(req.CompactBelow)
 	switch req.Op {
 	case opAdd:
 		if req.Add == nil {
 			return &response{Err: "add request missing payload"}
 		}
 		n.add(req.Add)
+		return &response{}
+	case opDelete:
+		if req.Delete == nil {
+			return &response{Err: "delete request missing payload"}
+		}
+		n.delete(req.Delete)
 		return &response{}
 	case opQuery:
 		if req.Query == nil {
@@ -132,9 +157,20 @@ func (n *Node) handle(req *request) *response {
 	}
 }
 
+// add applies a trajectory's terms, replacing whatever the node held for
+// the ID. An add at or below the ID's last applied epoch is stale — an
+// abandoned call that lost to its own cleanup delete, or a duplicate
+// retry — and is ignored, so cleanup deletes cannot be undone by the
+// failed add racing them onto the node.
 func (n *Node) add(req *addRequest) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if doc, ok := n.docs[req.ID]; ok {
+		if doc.epoch >= req.Epoch {
+			return // stale or duplicate mutation
+		}
+		n.stripLocked(req.ID, doc)
+	}
 	for _, term := range req.Terms {
 		p, ok := n.postings[term]
 		if !ok {
@@ -142,6 +178,69 @@ func (n *Node) add(req *addRequest) {
 			n.postings[term] = p
 		}
 		p.Add(req.ID)
+	}
+	n.docs[req.ID] = nodeDoc{terms: req.Terms, epoch: req.Epoch}
+}
+
+// delete withdraws a trajectory's postings and leaves a tombstone at the
+// delete's epoch to fence stale adds. Deleting an unknown ID still
+// plants the fence: the cleanup of a failed add may reach the node
+// before the add itself does.
+func (n *Node) delete(req *deleteRequest) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if doc, ok := n.docs[req.ID]; ok {
+		if doc.epoch > req.Epoch {
+			return // a newer mutation already superseded this delete
+		}
+		n.stripLocked(req.ID, doc)
+	}
+	n.docs[req.ID] = nodeDoc{epoch: req.Epoch}
+	n.tombstones++
+}
+
+// stripLocked removes the doc's postings from the term bitmaps,
+// compacting away posting lists left empty, and retires its tombstone
+// accounting. Callers must hold the write lock and must re-assign or
+// delete n.docs[id] afterwards.
+func (n *Node) stripLocked(id uint32, doc nodeDoc) {
+	for _, term := range doc.terms {
+		if p, ok := n.postings[term]; ok {
+			p.Remove(id)
+			if p.IsEmpty() {
+				delete(n.postings, term)
+			}
+		}
+	}
+	if doc.terms == nil {
+		n.tombstones--
+	}
+}
+
+// compact reclaims tombstones at or below the coordinator's watermark:
+// no mutation that old can still be tracked in flight, so the fences are
+// (almost certainly — see the caveat in the protocol doc) dead weight.
+// Runs only when the watermark advances past the last sweep; the
+// watermark test is lock-free so the query hot path never contends the
+// write lock here.
+func (n *Node) compact(below uint64) {
+	if below == 0 || below <= n.compactedBelow.Load() {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if below <= n.compactedBelow.Load() {
+		return // another request swept past this watermark meanwhile
+	}
+	n.compactedBelow.Store(below)
+	if n.tombstones == 0 {
+		return
+	}
+	for id, doc := range n.docs {
+		if doc.terms == nil && doc.epoch <= below {
+			delete(n.docs, id)
+			n.tombstones--
+		}
 	}
 }
 
@@ -163,153 +262,13 @@ func (n *Node) query(req *queryRequest) *queryResponse {
 func (n *Node) stats() *statsResponse {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	s := &statsResponse{Terms: len(n.postings)}
+	s := &statsResponse{
+		Terms:      len(n.postings),
+		Docs:       len(n.docs) - n.tombstones,
+		Tombstones: n.tombstones,
+	}
 	for _, p := range n.postings {
 		s.Postings += p.Cardinality()
 	}
 	return s
-}
-
-// client is the coordinator's connection to one node. Calls are
-// serialized by a one-slot semaphore acquired under the caller's context
-// (a plain mutex would let a call queued behind a stalled one block past
-// its own deadline); the connection pointers live under their own lock
-// (connMu) so close can tear down a stalled call's socket without
-// waiting for the call to finish. A call abandoned by context
-// cancellation poisons the gob stream, so the connection is dropped and
-// transparently redialed on the next call.
-type client struct {
-	addr string
-	sem  chan struct{} // capacity 1: serializes calls
-
-	connMu sync.Mutex // guards conn/enc/dec/closed
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	closed bool
-}
-
-func dial(addr string) (*client, error) {
-	c := &client{addr: addr, sem: make(chan struct{}, 1)}
-	if _, _, _, err := c.ensureConn(context.Background()); err != nil {
-		return nil, err
-	}
-	return c, nil
-}
-
-// ensureConn returns the live connection, redialing under ctx if a
-// previous call dropped it — a blackholed node then costs the caller its
-// deadline, not the OS connect timeout. The dial happens outside connMu
-// (the caller's slot in c.sem already serializes dials) so close stays
-// prompt during a slow connect.
-func (c *client) ensureConn(ctx context.Context) (net.Conn, *gob.Encoder, *gob.Decoder, error) {
-	c.connMu.Lock()
-	if c.closed {
-		c.connMu.Unlock()
-		return nil, nil, nil, fmt.Errorf("cluster: client to %s is closed", c.addr)
-	}
-	if c.conn != nil {
-		conn, enc, dec := c.conn, c.enc, c.dec
-		c.connMu.Unlock()
-		return conn, enc, dec, nil
-	}
-	c.connMu.Unlock()
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
-	if err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, nil, nil, ctxErr
-		}
-		return nil, nil, nil, fmt.Errorf("cluster: dial %s: %w", c.addr, err)
-	}
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	if c.closed { // closed while we were dialing
-		conn.Close()
-		return nil, nil, nil, fmt.Errorf("cluster: client to %s is closed", c.addr)
-	}
-	c.conn, c.enc, c.dec = conn, gob.NewEncoder(conn), gob.NewDecoder(conn)
-	return c.conn, c.enc, c.dec, nil
-}
-
-// dropConn discards the given connection if it is still current: after an
-// encode/decode error the gob stream can be desynchronized, so the next
-// call must redial.
-func (c *client) dropConn(conn net.Conn) {
-	conn.Close()
-	c.connMu.Lock()
-	if c.conn == conn {
-		c.conn, c.enc, c.dec = nil, nil, nil
-	}
-	c.connMu.Unlock()
-}
-
-// call performs one request/response round trip. Cancelling ctx aborts
-// the in-flight I/O promptly (by poking the connection deadline) and
-// returns the context's error.
-func (c *client) call(ctx context.Context, req *request) (*response, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	select {
-	case c.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-	defer func() { <-c.sem }()
-	conn, enc, dec, err := c.ensureConn(ctx)
-	if err != nil {
-		return nil, err
-	}
-	conn.SetDeadline(time.Time{}) // clear a deadline poked by an earlier cancellation
-	watchDone := make(chan struct{})
-	watchExited := make(chan struct{})
-	go func() {
-		defer close(watchExited)
-		select {
-		case <-ctx.Done():
-			conn.SetDeadline(time.Now())
-		case <-watchDone:
-		}
-	}()
-	// Wait for the watcher to exit before returning: a stale watcher
-	// racing a cancellation could otherwise poke a deadline onto the
-	// connection after the next call has cleared it.
-	defer func() {
-		close(watchDone)
-		<-watchExited
-	}()
-	fail := func(err error) (*response, error) {
-		c.dropConn(conn)
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
-		}
-		return nil, err
-	}
-	if err := enc.Encode(req); err != nil {
-		return fail(fmt.Errorf("cluster: send: %w", err))
-	}
-	var resp response
-	if err := dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			return fail(fmt.Errorf("cluster: node closed connection"))
-		}
-		return fail(fmt.Errorf("cluster: receive: %w", err))
-	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("cluster: node error: %s", resp.Err)
-	}
-	return &resp, nil
-}
-
-func (c *client) close() error {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	c.closed = true
-	if c.conn == nil {
-		return nil
-	}
-	err := c.conn.Close()
-	c.conn, c.enc, c.dec = nil, nil, nil
-	return err
 }

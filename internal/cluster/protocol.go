@@ -2,7 +2,17 @@ package cluster
 
 // Wire protocol: length-delimited gob over TCP. Each connection carries a
 // sequential stream of request/response pairs; the coordinator serializes
-// requests per connection and fans out across connections.
+// requests per connection and fans out across connections (and across the
+// per-node connection pool).
+//
+// Mutations carry a per-mutation epoch assigned by the coordinator.
+// Nodes use it to fence stale writes: a delete leaves a tombstone at its
+// epoch, and an add whose epoch is not newer than the trajectory's last
+// applied mutation is ignored. That makes the coordinator's failed-add
+// cleanup safe against the abandoned add racing it onto the node, and
+// makes retries idempotent. Every request also piggybacks the
+// coordinator's compaction watermark — the epoch below which no mutation
+// is still in flight — letting nodes reclaim tombstones lazily.
 
 // op discriminates request types.
 type op uint8
@@ -11,12 +21,26 @@ const (
 	opAdd op = iota + 1
 	opQuery
 	opStats
+	opDelete
 )
 
-// addRequest routes the terms a node owns for one trajectory.
+// addRequest routes the terms a node owns for one trajectory. Epoch is
+// the mutation's coordinator-assigned epoch; a node ignores the add if it
+// already applied a mutation for the ID at an equal or newer epoch, and
+// otherwise replaces whatever it held for the ID.
 type addRequest struct {
 	ID    uint32
 	Terms []uint32
+	Epoch uint64
+}
+
+// deleteRequest withdraws a trajectory's postings from the node. The node
+// does not need the term list — it tracks the terms it owns per ID — and
+// it leaves a tombstone at Epoch to fence stale adds until the
+// coordinator's compaction watermark passes it.
+type deleteRequest struct {
+	ID    uint32
+	Epoch uint64
 }
 
 // queryRequest carries the query terms owned by the node.
@@ -35,13 +59,29 @@ type queryResponse struct {
 type statsResponse struct {
 	Terms    int
 	Postings int
+	// Docs is the number of live trajectories with postings on the node;
+	// Tombstones counts delete fences not yet reclaimed by compaction.
+	Docs       int
+	Tombstones int
 }
 
-// request is the envelope sent from coordinator to node.
+// request is the envelope sent from coordinator to node. CompactBelow is
+// the coordinator's compaction watermark: no mutation at or below it is
+// still tracked as in flight by the coordinator, so the node reclaims
+// tombstones at or below it. One residual race remains: the coordinator
+// stops tracking an abandoned add when its call returns, not when its
+// last request byte is provably dead, so a node wedged long enough for
+// the watermark to advance can in principle apply a stale add after its
+// fence was pruned. The stranded postings that result are invisible to
+// searches (the coordinator's directory check drops them) and are
+// replaced by any later add/upsert of the ID; see the ROADMAP
+// anti-entropy item for full reclaim.
 type request struct {
-	Op    op
-	Add   *addRequest
-	Query *queryRequest
+	Op           op
+	CompactBelow uint64
+	Add          *addRequest
+	Delete       *deleteRequest
+	Query        *queryRequest
 }
 
 // response is the envelope sent back. Err is non-empty on failure.

@@ -92,10 +92,15 @@ type Result struct {
 }
 
 // Inverted is an in-memory inverted index over trajectory fingerprints.
-// It is safe for concurrent use: Add takes a write lock, Query a read
-// lock.
+// It is safe for concurrent use: mutations (Add, Delete, Upsert) take a
+// write lock, queries a read lock, so every search observes the index
+// at a single mutation epoch — a trajectory is either fully visible or
+// not at all.
 type Inverted struct {
 	ex Extractor
+	// retain records whether insertions keep the raw point sequences for
+	// exact re-ranking (opt-in at construction via RetainPoints).
+	retain bool
 
 	mu       sync.RWMutex
 	postings map[uint32]*bitmap.Bitmap
@@ -103,23 +108,41 @@ type Inverted struct {
 	// points retains the raw point sequences of trajectories added through
 	// Add/AddAll (slice headers only, sharing the caller's backing arrays),
 	// so searches can re-rank candidates with an exact distance. Entries
-	// are absent for fingerprint-only insertions and snapshot loads.
+	// are absent when retention is off, for fingerprint-only insertions
+	// and for snapshot loads.
 	points map[trajectory.ID][]geo.Point
+	// epoch counts mutations (inserts, deletes, upserts). It is persisted
+	// by WriteTo/ReadFrom so snapshot lineages stay ordered.
+	epoch uint64
+}
+
+// InvertedOption configures an index at construction.
+type InvertedOption func(*Inverted)
+
+// RetainPoints makes insertions keep each trajectory's raw point slice
+// (a header sharing the caller's backing array, not a copy) so searches
+// can re-rank candidates with an exact distance. Off by default:
+// workloads that never re-rank no longer pay the pinned point memory.
+func RetainPoints() InvertedOption {
+	return func(ix *Inverted) { ix.retain = true }
 }
 
 // NewInverted returns an empty index using the given extractor.
-func NewInverted(ex Extractor) *Inverted {
-	return &Inverted{
+func NewInverted(ex Extractor, opts ...InvertedOption) *Inverted {
+	ix := &Inverted{
 		ex:       ex,
 		postings: make(map[uint32]*bitmap.Bitmap),
 		docs:     make(map[trajectory.ID]*bitmap.Bitmap),
 		points:   make(map[trajectory.ID][]geo.Point),
 	}
+	for _, opt := range opts {
+		opt(ix)
+	}
+	return ix
 }
 
-// Add fingerprints the trajectory and inserts it. Re-adding an ID replaces
-// nothing: the caller must use distinct IDs (replacement is not a paper
-// operation and keeping postings append-only keeps them compact).
+// Add fingerprints the trajectory and inserts it. Re-adding an ID fails;
+// use Upsert to replace an indexed trajectory in place.
 func (ix *Inverted) Add(t *trajectory.Trajectory) error {
 	set := ix.ex.Extract(t.Points)
 	return ix.insert(t.ID, set, t.Points)
@@ -139,8 +162,14 @@ func (ix *Inverted) insert(id trajectory.ID, set *bitmap.Bitmap, pts []geo.Point
 	if _, dup := ix.docs[id]; dup {
 		return fmt.Errorf("index: trajectory %d already indexed", id)
 	}
+	ix.insertLocked(id, set, pts)
+	return nil
+}
+
+// insertLocked applies an insertion under an already-held write lock.
+func (ix *Inverted) insertLocked(id trajectory.ID, set *bitmap.Bitmap, pts []geo.Point) {
 	ix.docs[id] = set
-	if pts != nil {
+	if ix.retain && pts != nil {
 		ix.points[id] = pts
 	}
 	set.Iterate(func(term uint32) bool {
@@ -152,7 +181,7 @@ func (ix *Inverted) insert(id trajectory.ID, set *bitmap.Bitmap, pts []geo.Point
 		p.Add(uint32(id))
 		return true
 	})
-	return nil
+	ix.epoch++
 }
 
 // AddAll indexes a dataset, fingerprinting with the given number of
@@ -228,21 +257,29 @@ func (ix *Inverted) AddAll(ctx context.Context, d *trajectory.Dataset, workers i
 	if firstErr != nil {
 		// Roll back this call's insertions so a retry starts clean.
 		for _, id := range inserted {
-			ix.remove(id)
+			ix.Delete(id)
 		}
 	}
 	return firstErr
 }
 
-// remove undoes insert: it deletes the trajectory's document and point
-// entries and withdraws it from every posting list. Used by AddAll's
-// failure rollback.
-func (ix *Inverted) remove(id trajectory.ID) {
+// Delete removes a trajectory and reclaims its postings: the document
+// and point entries are deleted, the trajectory is withdrawn from every
+// posting list, and posting lists left empty are compacted away. It
+// reports whether the trajectory was indexed. Deletion is applied
+// eagerly under the write lock — no tombstones linger, so Stats and
+// snapshots immediately reflect the shrunken index.
+func (ix *Inverted) Delete(id trajectory.ID) bool {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	return ix.deleteLocked(id)
+}
+
+// deleteLocked applies a deletion under an already-held write lock.
+func (ix *Inverted) deleteLocked(id trajectory.ID) bool {
 	set, ok := ix.docs[id]
 	if !ok {
-		return
+		return false
 	}
 	delete(ix.docs, id)
 	delete(ix.points, id)
@@ -255,6 +292,47 @@ func (ix *Inverted) remove(id trajectory.ID) {
 		}
 		return true
 	})
+	ix.epoch++
+	return true
+}
+
+// Upsert fingerprints the trajectory and inserts it, replacing any
+// previously indexed trajectory with the same ID. The swap is atomic
+// under the write lock: a concurrent search observes either the old or
+// the new version in full, never a mixture.
+func (ix *Inverted) Upsert(t *trajectory.Trajectory) {
+	set := ix.ex.Extract(t.Points)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.deleteLocked(t.ID)
+	ix.insertLocked(t.ID, set, t.Points)
+}
+
+// DeleteAll deletes a batch of IDs, honoring ctx cancellation between
+// deletions, and returns how many were actually indexed. Unknown IDs
+// are skipped, so the call is idempotent.
+func (ix *Inverted) DeleteAll(ctx context.Context, ids []trajectory.ID) (int, error) {
+	deleted := 0
+	for i, id := range ids {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return deleted, err
+			}
+		}
+		if ix.Delete(id) {
+			deleted++
+		}
+	}
+	return deleted, ctx.Err()
+}
+
+// Epoch returns the index's mutation epoch: a monotone counter bumped by
+// every insert, delete and upsert, persisted in snapshots so lineages of
+// a mutated index stay ordered.
+func (ix *Inverted) Epoch() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.epoch
 }
 
 // Len returns the number of indexed trajectories.
@@ -282,8 +360,8 @@ func (ix *Inverted) PointsOf(id trajectory.ID) []geo.Point {
 
 // DiscardPoints releases every retained raw point sequence, shrinking the
 // index to its bitmaps. Exact re-ranking becomes unavailable, as on a
-// snapshot-loaded index; trajectories added afterwards are retained
-// again.
+// snapshot-loaded index; on an index constructed with RetainPoints,
+// trajectories added afterwards are retained again.
 func (ix *Inverted) DiscardPoints() {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()

@@ -3,6 +3,7 @@ package index
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -328,7 +329,7 @@ func TestSearchCancelledContext(t *testing.T) {
 }
 
 func TestPointsOf(t *testing.T) {
-	ix := newGeodabIndex(t)
+	ix := NewInverted(GeodabExtractor{core.MustFingerprinter(core.DefaultConfig())}, RetainPoints())
 	tr := testWorkload.Dataset.Trajectories[0]
 	if err := ix.Add(tr); err != nil {
 		t.Fatal(err)
@@ -346,6 +347,14 @@ func TestPointsOf(t *testing.T) {
 	}
 	if ix.PointsOf(other.ID) != nil {
 		t.Error("PointsOf after AddFingerprints should be nil")
+	}
+	// Retention is opt-in: a default index keeps no points.
+	bare := newGeodabIndex(t)
+	if err := bare.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	if bare.PointsOf(tr.ID) != nil {
+		t.Error("PointsOf on a non-retaining index should be nil")
 	}
 }
 
@@ -373,5 +382,205 @@ func TestAddAllRollsBackOnFailure(t *testing.T) {
 	}
 	if ix.Len() != testWorkload.Dataset.Len() {
 		t.Fatalf("retry indexed %d of %d", ix.Len(), testWorkload.Dataset.Len())
+	}
+}
+
+// TestDeleteReclaimsPostings pins the posting-reclaiming contract of the
+// promoted Delete: the trajectory's document, points and postings all
+// go, and posting lists left empty are compacted out of the term map.
+func TestDeleteReclaimsPostings(t *testing.T) {
+	ix := NewInverted(GeodabExtractor{core.MustFingerprinter(core.DefaultConfig())}, RetainPoints())
+	a, b := testWorkload.Dataset.Trajectories[0], testWorkload.Dataset.Trajectories[1]
+	if err := ix.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	withA := ix.Stats()
+	if err := ix.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Delete(b.ID) {
+		t.Fatal("Delete of an indexed trajectory returned false")
+	}
+	got := ix.Stats()
+	if got != withA {
+		t.Errorf("stats after add+delete = %+v, want the pre-add %+v", got, withA)
+	}
+	if ix.Fingerprints(b.ID) != nil || ix.PointsOf(b.ID) != nil {
+		t.Error("deleted trajectory still has fingerprints or points")
+	}
+	if ix.Delete(b.ID) {
+		t.Error("second Delete of the same ID returned true")
+	}
+	// The deleted trajectory is gone from rankings, the survivor is not.
+	hitIDs := map[trajectory.ID]bool{}
+	for _, r := range ix.Query(b, 1, 0) {
+		hitIDs[r.ID] = true
+	}
+	if hitIDs[b.ID] {
+		t.Error("deleted trajectory still ranked")
+	}
+	// Deleting everything leaves a truly empty index.
+	if !ix.Delete(a.ID) {
+		t.Fatal("Delete of the survivor returned false")
+	}
+	if s := ix.Stats(); s.Trajectories != 0 || s.Terms != 0 || s.Postings != 0 {
+		t.Errorf("stats after deleting all: %+v, want zeros", s)
+	}
+	// The ID is free for re-use.
+	if err := ix.Add(b); err != nil {
+		t.Errorf("re-add after delete: %v", err)
+	}
+}
+
+// TestUpsertReplaces verifies in-place replacement: same ID, new
+// geometry, old postings reclaimed.
+func TestUpsertReplaces(t *testing.T) {
+	ix := NewInverted(GeodabExtractor{core.MustFingerprinter(core.DefaultConfig())}, RetainPoints())
+	old := testWorkload.Dataset.Trajectories[0]
+	if err := ix.Add(old); err != nil {
+		t.Fatal(err)
+	}
+	// Re-shape the trajectory under the same ID.
+	replacement := &trajectory.Trajectory{ID: old.ID, Points: testWorkload.Dataset.Trajectories[5].Points}
+	ix.Upsert(replacement)
+	if ix.Len() != 1 {
+		t.Fatalf("Len after upsert = %d, want 1", ix.Len())
+	}
+	// A fresh index over only the replacement must look identical.
+	want := NewInverted(GeodabExtractor{core.MustFingerprinter(core.DefaultConfig())}, RetainPoints())
+	if err := want.Add(replacement); err != nil {
+		t.Fatal(err)
+	}
+	if g, w := ix.Stats(), want.Stats(); g != w {
+		t.Errorf("upserted index stats %+v, fresh build %+v", g, w)
+	}
+	if got := ix.PointsOf(old.ID); len(got) != len(replacement.Points) {
+		t.Errorf("PointsOf after upsert returned %d points, want %d", len(got), len(replacement.Points))
+	}
+	// Upsert of an unknown ID is a plain insert.
+	novel := testWorkload.Dataset.Trajectories[7]
+	ix.Upsert(novel)
+	if ix.Len() != 2 {
+		t.Errorf("Len after insert-upsert = %d, want 2", ix.Len())
+	}
+}
+
+func TestDeleteAllBatch(t *testing.T) {
+	ix := newGeodabIndex(t)
+	if err := ix.AddAll(context.Background(), testWorkload.Dataset, 4); err != nil {
+		t.Fatal(err)
+	}
+	ids := []trajectory.ID{
+		testWorkload.Dataset.Trajectories[0].ID,
+		testWorkload.Dataset.Trajectories[1].ID,
+		99999, // unknown: skipped, not an error
+	}
+	deleted, err := ix.DeleteAll(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 2 {
+		t.Errorf("DeleteAll deleted %d, want 2", deleted)
+	}
+	if ix.Len() != testWorkload.Dataset.Len()-2 {
+		t.Errorf("Len = %d after deleting 2 of %d", ix.Len(), testWorkload.Dataset.Len())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.DeleteAll(ctx, ids); !errors.Is(err, context.Canceled) {
+		t.Errorf("DeleteAll on cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+// TestEpochAdvances pins the mutation-epoch contract: every insert,
+// delete and upsert bumps it; misses (unknown delete) do not.
+func TestEpochAdvances(t *testing.T) {
+	ix := newGeodabIndex(t)
+	if ix.Epoch() != 0 {
+		t.Fatalf("fresh index epoch = %d", ix.Epoch())
+	}
+	tr := testWorkload.Dataset.Trajectories[0]
+	if err := ix.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Epoch() != 1 {
+		t.Errorf("epoch after add = %d, want 1", ix.Epoch())
+	}
+	ix.Delete(99999) // miss
+	if ix.Epoch() != 1 {
+		t.Errorf("epoch after missed delete = %d, want 1", ix.Epoch())
+	}
+	ix.Upsert(tr) // delete + insert
+	if ix.Epoch() != 3 {
+		t.Errorf("epoch after upsert = %d, want 3", ix.Epoch())
+	}
+	ix.Delete(tr.ID)
+	if ix.Epoch() != 4 {
+		t.Errorf("epoch after delete = %d, want 4", ix.Epoch())
+	}
+}
+
+// TestConcurrentMutateAndSearch interleaves adds, upserts, deletes and
+// searches; run under -race it is the local half of the snapshot
+// acceptance criterion. Every writer works a clone of the query
+// trajectory, so any hit over the churned ID range must be an exact
+// match (distance 0) — a partially-visible trajectory would surface as
+// an intermediate distance.
+func TestConcurrentMutateAndSearch(t *testing.T) {
+	ix := newGeodabIndex(t)
+	q := testWorkload.Queries[0]
+	// A stable background population keeps searches non-trivial.
+	for _, tr := range testWorkload.Dataset.Trajectories[:10] {
+		if err := ix.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const churnBase = trajectory.ID(50000)
+	const writers, rounds = 4, 50
+	stop := make(chan struct{})
+	var searchErr atomic.Value
+	var searchWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		searchWG.Add(1)
+		go func() {
+			defer searchWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				results, _, err := ix.Search(context.Background(), q, 1, 0)
+				if err != nil {
+					searchErr.Store(err)
+					return
+				}
+				for _, r := range results {
+					if r.ID >= churnBase && r.Distance != 0 {
+						searchErr.Store(fmt.Errorf("partially visible trajectory %d at distance %v", r.ID, r.Distance))
+						return
+					}
+				}
+			}
+		}()
+	}
+	var writeWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			id := churnBase + trajectory.ID(w)
+			clone := &trajectory.Trajectory{ID: id, Points: q.Points}
+			for r := 0; r < rounds; r++ {
+				ix.Upsert(clone)
+				ix.Delete(id)
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(stop)
+	searchWG.Wait()
+	if err := searchErr.Load(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -14,18 +14,24 @@ import (
 // Index snapshot format (little endian):
 //
 //	magic   uint32  "GDIX" (0x58494447)
-//	version uint8   1
+//	version uint8   2
 //	docs    uint32
+//	epoch   uint64  (version ≥ 2)
 //	per document:
 //	  id    uint32
 //	  fingerprint set (bitmap serialization)
 //
 // Posting lists are not stored: they are the exact inverse of the document
 // sets and are rebuilt on load, which halves the snapshot size and cannot
-// desynchronize.
+// desynchronize. Deletions are applied eagerly (no tombstones survive in
+// memory), so a mutated index round-trips as exactly its live documents;
+// the mutation epoch is persisted so snapshot lineages of a mutated index
+// stay ordered. Version 1 snapshots (pre-mutation-API) load with epoch 0.
 const (
-	indexMagic   = 0x58494447
-	indexVersion = 1
+	indexMagic      = 0x58494447
+	indexVersion    = 2
+	indexVersionV1  = 1
+	indexHeaderSize = 9
 )
 
 // WriteTo snapshots the index. It implements io.WriterTo. The extractor is
@@ -39,10 +45,11 @@ func (ix *Inverted) WriteTo(w io.Writer) (int64, error) {
 	writeErr := func(err error) (int64, error) {
 		return n, fmt.Errorf("index: write: %w", err)
 	}
-	hdr := make([]byte, 9)
+	hdr := make([]byte, indexHeaderSize+8)
 	binary.LittleEndian.PutUint32(hdr[0:4], indexMagic)
 	hdr[4] = indexVersion
 	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(ix.docs)))
+	binary.LittleEndian.PutUint64(hdr[9:17], ix.epoch)
 	if _, err := bw.Write(hdr); err != nil {
 		return writeErr(err)
 	}
@@ -75,7 +82,7 @@ func (ix *Inverted) ReadFrom(r io.Reader) (int64, error) {
 	readErr := func(err error) (int64, error) {
 		return n, fmt.Errorf("index: read: %w", err)
 	}
-	hdr := make([]byte, 9)
+	hdr := make([]byte, indexHeaderSize)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return readErr(err)
 	}
@@ -83,10 +90,19 @@ func (ix *Inverted) ReadFrom(r io.Reader) (int64, error) {
 	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != indexMagic {
 		return n, fmt.Errorf("index: bad magic %#x", m)
 	}
-	if hdr[4] != indexVersion {
+	if hdr[4] != indexVersion && hdr[4] != indexVersionV1 {
 		return n, fmt.Errorf("index: unsupported version %d", hdr[4])
 	}
 	count := binary.LittleEndian.Uint32(hdr[5:9])
+	var epoch uint64
+	if hdr[4] >= indexVersion {
+		var epochBuf [8]byte
+		if _, err := io.ReadFull(br, epochBuf[:]); err != nil {
+			return readErr(err)
+		}
+		n += 8
+		epoch = binary.LittleEndian.Uint64(epochBuf[:])
+	}
 
 	docs := make(map[trajectory.ID]*bitmap.Bitmap, count)
 	postings := make(map[uint32]*bitmap.Bitmap)
@@ -120,6 +136,7 @@ func (ix *Inverted) ReadFrom(r io.Reader) (int64, error) {
 	ix.mu.Lock()
 	ix.docs = docs
 	ix.postings = postings
+	ix.epoch = epoch
 	// Raw points are not part of the snapshot: a loaded index serves
 	// fingerprint-ranked searches but cannot exactly re-rank.
 	ix.points = make(map[trajectory.ID][]geo.Point)

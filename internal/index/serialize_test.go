@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"geodabs/internal/core"
+	"geodabs/internal/trajectory"
 )
 
 func TestIndexSnapshotRoundTrip(t *testing.T) {
@@ -105,5 +106,90 @@ func TestIndexSnapshotRejectsGarbage(t *testing.T) {
 				t.Error("ReadFrom should fail")
 			}
 		})
+	}
+}
+
+// TestMutatedSnapshotRoundTrip is the delete → snapshot → ReadFrom
+// acceptance path: a mutated index round-trips as exactly its live
+// documents (deletes leave nothing behind), and the mutation epoch
+// survives so snapshot lineages stay ordered.
+func TestMutatedSnapshotRoundTrip(t *testing.T) {
+	orig := newGeodabIndex(t)
+	if err := orig.AddAll(context.Background(), testWorkload.Dataset, 8); err != nil {
+		t.Fatal(err)
+	}
+	victims := []trajectory.ID{
+		testWorkload.Dataset.Trajectories[0].ID,
+		testWorkload.Dataset.Trajectories[3].ID,
+		testWorkload.Dataset.Trajectories[9].ID,
+	}
+	for _, id := range victims {
+		if !orig.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+	orig.Upsert(testWorkload.Dataset.Trajectories[5]) // replacement rides along
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := newGeodabIndex(t)
+	if _, err := loaded.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("loaded %d docs, want %d", loaded.Len(), orig.Len())
+	}
+	if loaded.Epoch() != orig.Epoch() {
+		t.Errorf("loaded epoch %d, want %d", loaded.Epoch(), orig.Epoch())
+	}
+	for _, id := range victims {
+		if loaded.Fingerprints(id) != nil {
+			t.Errorf("deleted trajectory %d resurrected by the snapshot", id)
+		}
+	}
+	if g, w := loaded.Stats(), orig.Stats(); g.Terms != w.Terms || g.Postings != w.Postings {
+		t.Errorf("stats diverge after mutated round-trip: %+v vs %+v", g, w)
+	}
+	for _, q := range testWorkload.Queries[:5] {
+		want := orig.Query(q, 1, 10)
+		got := loaded.Query(q, 1, 10)
+		if len(got) != len(want) {
+			t.Fatalf("result count %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("result %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotReadsV1 pins backward compatibility: a version-1 snapshot
+// (pre-mutation-API, no epoch field) still loads, with epoch 0.
+func TestSnapshotReadsV1(t *testing.T) {
+	orig := newGeodabIndex(t)
+	if err := orig.Add(testWorkload.Dataset.Trajectories[0]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v2 snapshot as v1: flip the version byte and splice out
+	// the 8-byte epoch field that follows the 9-byte header.
+	v2 := buf.Bytes()
+	v1 := append([]byte{}, v2[:indexHeaderSize]...)
+	v1[4] = indexVersionV1
+	v1 = append(v1, v2[indexHeaderSize+8:]...)
+	loaded := newGeodabIndex(t)
+	if _, err := loaded.ReadFrom(bytes.NewReader(v1)); err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("v1 snapshot loaded %d docs, want 1", loaded.Len())
+	}
+	if loaded.Epoch() != 0 {
+		t.Errorf("v1 snapshot epoch = %d, want 0", loaded.Epoch())
 	}
 }

@@ -1,0 +1,65 @@
+package geodabs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Option configures an Index or Cluster at construction.
+//
+//	idx, err := geodabs.NewIndex(cfg, geodabs.WithPointRetention())
+//	cl, err := geodabs.NewCluster(cfg, strategy, addrs,
+//		geodabs.WithPointRetention(), geodabs.WithConnsPerNode(4))
+type Option func(*engineOptions) error
+
+// engineOptions is the resolved construction option set shared by the
+// local and distributed engines.
+type engineOptions struct {
+	retainPoints bool
+	connsPerNode int
+}
+
+func newEngineOptions(opts []Option) (engineOptions, error) {
+	var o engineOptions
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return o, err
+		}
+	}
+	return o, nil
+}
+
+// WithPointRetention makes Add/AddAll/Upsert keep each trajectory's raw
+// point slice (a header sharing the caller's backing array, not a copy)
+// so searches can refine candidates with WithExactRerank. Retention is
+// off by default: workloads that never re-rank no longer pay the pinned
+// point memory, and WithExactRerank fails with a clear error unless the
+// engine was constructed with this option.
+func WithPointRetention() Option {
+	return func(o *engineOptions) error {
+		o.retainPoints = true
+		return nil
+	}
+}
+
+// WithConnsPerNode sets how many connections a Cluster pools per shard
+// node (default 1). A larger pool lets that many RPCs be in flight to
+// the same node, raising SearchBatch throughput. It applies only to
+// NewCluster; NewIndex and NewGeohashIndex reject it.
+func WithConnsPerNode(n int) Option {
+	return func(o *engineOptions) error {
+		if n < 1 {
+			return fmt.Errorf("geodabs: WithConnsPerNode(%d) must be at least 1", n)
+		}
+		o.connsPerNode = n
+		return nil
+	}
+}
+
+// localOnly rejects cluster-only options on local index constructors.
+func (o engineOptions) localOnly() error {
+	if o.connsPerNode != 0 {
+		return errors.New("geodabs: WithConnsPerNode applies to clusters, not local indexes")
+	}
+	return nil
+}

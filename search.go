@@ -142,9 +142,9 @@ func WithLimit(n int) SearchOption {
 // scored — bound one or the other, or the rerank degenerates to the
 // brute-force scan it exists to avoid. Each hit's Distance is replaced
 // by the metric's value (meters for DTW/DFD). Re-ranking needs the raw
-// points of every hit, so it fails on indexes loaded from a snapshot,
-// after DiscardPoints, and on trajectories inserted as bare
-// fingerprints.
+// points of every hit, so it requires an engine constructed with
+// WithPointRetention and fails on indexes loaded from a snapshot, after
+// DiscardPoints, and on trajectories inserted as bare fingerprints.
 func WithExactRerank(metric RerankMetric) SearchOption {
 	return func(o *searchOptions) error {
 		if metric == nil {
@@ -237,9 +237,9 @@ func (c *Cluster) Search(ctx context.Context, q *Trajectory, opts ...SearchOptio
 // SearchBatch runs many scatter-gather searches with the same options on
 // the given number of parallel workers. Results align with qs by
 // position. The first error cancels the remaining work. Effective
-// parallelism is currently bounded by one in-flight RPC per shard node
-// (the coordinator holds a single connection to each); a per-node
-// connection pool is the seam for raising that ceiling.
+// parallelism is bounded by the per-node connection pool (one in-flight
+// RPC per pooled connection); size it with WithConnsPerNode at
+// construction to match the worker count.
 func (c *Cluster) SearchBatch(ctx context.Context, qs []*Trajectory, workers int, opts ...SearchOption) ([]*SearchResult, error) {
 	return searchBatch(ctx, c, qs, workers, opts)
 }
@@ -257,7 +257,7 @@ func rerankHits(ctx context.Context, o searchOptions, hits []Result, query []Poi
 		}
 		pts := pointsOf(hits[i].ID)
 		if pts == nil {
-			return nil, fmt.Errorf("geodabs: cannot rerank: raw points of trajectory %d unavailable (DiscardPoints was called, snapshot-loaded index, or fingerprint-only insertion)", hits[i].ID)
+			return nil, fmt.Errorf("geodabs: cannot rerank: raw points of trajectory %d unavailable (index built without WithPointRetention, DiscardPoints was called, snapshot-loaded index, or fingerprint-only insertion)", hits[i].ID)
 		}
 		hits[i].Distance = o.rerank(query, pts)
 	}

@@ -12,11 +12,12 @@ import (
 	"geodabs"
 )
 
-// builtTestIndex indexes the shared test dataset into a fresh geodab index.
+// builtTestIndex indexes the shared test dataset into a fresh geodab
+// index. Points are retained so the rerank tests can run against it.
 func builtTestIndex(t *testing.T) *geodabs.Index {
 	t.Helper()
 	_, w := testWorld()
-	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig(), geodabs.WithPointRetention())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,8 @@ func builtTestIndex(t *testing.T) *geodabs.Index {
 }
 
 // builtTestCluster starts nodes, fronts them with a coordinator and
-// indexes the shared test dataset.
+// indexes the shared test dataset. Points are retained so the rerank
+// tests can run against it.
 func builtTestCluster(t *testing.T, nodes int) *geodabs.Cluster {
 	t.Helper()
 	_, w := testWorld()
@@ -41,7 +43,8 @@ func builtTestCluster(t *testing.T, nodes int) *geodabs.Cluster {
 		addrs = append(addrs, n.Addr())
 	}
 	cfg := geodabs.DefaultConfig()
-	cl, err := geodabs.NewCluster(cfg, geodabs.ShardStrategy{PrefixBits: cfg.PrefixBits, Shards: 1000, Nodes: nodes}, addrs)
+	cl, err := geodabs.NewCluster(cfg, geodabs.ShardStrategy{PrefixBits: cfg.PrefixBits, Shards: 1000, Nodes: nodes}, addrs,
+		geodabs.WithPointRetention())
 	if err != nil {
 		t.Fatal(err)
 	}
