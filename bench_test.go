@@ -402,6 +402,45 @@ func BenchmarkSearchBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchCore measures the ranked-retrieval core alone: the
+// term-at-a-time counting merge over a pre-extracted query fingerprint
+// set, appending into a recycled result buffer. In steady state this path
+// performs zero heap allocations (report: allocs/op).
+func BenchmarkSearchCore(b *testing.B) {
+	ix := builtIndex(b, geodabEx())
+	set := geodabEx().Extract(benchWorkload().Queries[0].Points)
+	ctx := context.Background()
+	buf := make([]index.Result, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, _, err := ix.AppendSearchFingerprints(ctx, buf[:0], set, 1, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = results[:0]
+	}
+}
+
+// BenchmarkSearchCoreKNN is the core under a tight distance cutoff and a
+// top-k cap, where threshold pruning and the rising heap bar do real
+// work.
+func BenchmarkSearchCoreKNN(b *testing.B) {
+	ix := builtIndex(b, geodabEx())
+	set := geodabEx().Extract(benchWorkload().Queries[0].Points)
+	ctx := context.Background()
+	buf := make([]index.Result, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, _, err := ix.AppendSearchFingerprints(ctx, buf[:0], set, 0.5, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = results[:0]
+	}
+}
+
 // BenchmarkSearchExactRerank measures the §VI-C refinement: fingerprint
 // pruning plus a DTW pass over the shortlist.
 func BenchmarkSearchExactRerank(b *testing.B) {

@@ -1,0 +1,212 @@
+// Command bench pins the repository's performance trajectory: it runs the
+// headline retrieval benchmarks — public Search, the zero-alloc counting
+// core, SearchBatch, and a live three-node cluster scatter-gather — via
+// testing.Benchmark and writes the results, together with the threshold
+// pruning statistics of a pinned query, to a JSON file.
+//
+// Regenerate the committed snapshot with:
+//
+//	go run ./cmd/bench -out BENCH_3.json
+//
+// The workload is deterministic (seeded synthetic city, 50 routes), so
+// ns/op moves only with the hardware and the code.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"geodabs"
+
+	"geodabs/internal/core"
+	"geodabs/internal/gen"
+	"geodabs/internal/index"
+	"geodabs/internal/roadnet"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Ops         int     `json:"ops"`
+}
+
+type pruningStats struct {
+	MaxDistance float64 `json:"max_distance"`
+	KNN         int     `json:"knn"`
+	Candidates  int     `json:"candidates"`
+	Pruned      int     `json:"pruned"`
+	Hits        int     `json:"hits"`
+}
+
+type report struct {
+	Issue      int            `json:"issue"`
+	Regenerate string         `json:"regenerate"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Workload   string         `json:"workload"`
+	Benches    []benchResult  `json:"benches"`
+	Pruning    []pruningStats `json:"pruning"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	flag.Parse()
+
+	city, err := roadnet.GenerateCity(roadnet.CityConfig{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := gen.DefaultConfig()
+	cfg.Routes = 50
+	cfg.Seed = 7
+	workload, err := gen.Generate(city, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := idx.AddAll(workload.Dataset, 8); err != nil {
+		log.Fatal(err)
+	}
+	queries := workload.Queries
+	q := queries[0]
+
+	var results []benchResult
+	record := func(name string, r testing.BenchmarkResult) {
+		results = append(results, benchResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Ops:         r.N,
+		})
+		fmt.Printf("%-24s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	record("Search", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.Search(ctx, q, geodabs.WithMaxDistance(1), geodabs.WithLimit(10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// The counting core alone: pre-extracted query set, recycled result
+	// buffer — the allocation-free steady state.
+	cf := core.MustFingerprinter(core.DefaultConfig())
+	inv := index.NewInverted(index.GeodabExtractor{Fingerprinter: cf})
+	if err := inv.AddAll(ctx, workload.Dataset, 8); err != nil {
+		log.Fatal(err)
+	}
+	set := cf.FingerprintSet(q.Points)
+	record("SearchCore", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]index.Result, 0, 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, _, err := inv.AppendSearchFingerprints(ctx, buf[:0], set, 1, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out[:0]
+		}
+	}))
+
+	for _, workers := range []int{1, 8} {
+		record(fmt.Sprintf("SearchBatch/w%d", workers), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.SearchBatch(ctx, queries, workers, geodabs.WithLimit(10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	// A live three-node cluster on loopback: the scatter-gather inherits
+	// the counting core through the shard nodes' query handlers.
+	const nodes = 3
+	strategy := geodabs.ShardStrategy{PrefixBits: 16, Shards: 256, Nodes: nodes}
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		n, err := geodabs.StartShardNode("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+		addrs[i] = n.Addr()
+	}
+	cl, err := geodabs.NewCluster(geodabs.DefaultConfig(), strategy, addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	for _, t := range workload.Dataset.Trajectories {
+		if err := cl.Add(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	record("ClusterSearch", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Search(ctx, q, geodabs.WithMaxDistance(1), geodabs.WithLimit(10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Pruning statistics of pinned queries: how much of the candidate set
+	// the threshold bounds discard before scoring.
+	var pruning []pruningStats
+	for _, p := range []struct {
+		maxDistance float64
+		knn         int
+	}{{0.5, 5}, {0.9, 10}, {1, 10}} {
+		res, err := idx.Search(ctx, q, geodabs.WithMaxDistance(p.maxDistance), geodabs.WithKNN(p.knn))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pruning = append(pruning, pruningStats{
+			MaxDistance: p.maxDistance,
+			KNN:         p.knn,
+			Candidates:  res.Stats.Candidates,
+			Pruned:      res.Stats.Pruned,
+			Hits:        len(res.Hits),
+		})
+		fmt.Printf("pruning maxDist=%.2f k=%-3d candidates=%d pruned=%d hits=%d\n",
+			p.maxDistance, p.knn, res.Stats.Candidates, res.Stats.Pruned, len(res.Hits))
+	}
+
+	rep := report{
+		Issue:      3,
+		Regenerate: "go run ./cmd/bench -out BENCH_3.json",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   "synthetic city seed 7, 50 routes, default fingerprint config",
+		Benches:    results,
+		Pruning:    pruning,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -7,6 +7,15 @@
 // so that the Jaccard coefficient between a query and a candidate reduces
 // to cheap bitwise intersections (§IV-A). JaccardDistance below is exactly
 // the δ used to rank retrieval results.
+//
+// Beyond the classic set algebra (And, Or, AndCardinality, …) the package
+// provides the primitives of the index's term-at-a-time counting merge:
+// Counter accumulates per-value occurrence counts across a stream of
+// bitmaps in one container pass each (counter.go), OrInPlace unions
+// without materializing a third bitmap, and Iterator.NextMany decodes
+// values in caller-buffered batches with no per-value callback. Together
+// they let a ranked search touch each posting list exactly once and run
+// allocation-free in steady state.
 package bitmap
 
 import "sort"
@@ -128,13 +137,54 @@ func (b *Bitmap) Iterate(f func(uint32) bool) {
 	}
 }
 
+// Iterator is a buffered many-at-a-time cursor over a bitmap. Unlike
+// Iterate it has no per-value callback: NextMany decodes values in batches
+// into a caller-owned buffer, which keeps hot loops (term streaming in the
+// counting search core) free of both closure dispatch and allocation. The
+// zero value is exhausted; obtain one with Bitmap.Iterator. The bitmap
+// must not be mutated while an Iterator is live.
+type Iterator struct {
+	b     *Bitmap
+	chunk int    // index of the current chunk
+	state uint32 // container-specific resume state
+}
+
+// Iterator returns a cursor positioned before the bitmap's first value.
+func (b *Bitmap) Iterator() Iterator { return Iterator{b: b} }
+
+// NextMany fills buf with the next values in ascending order and returns
+// how many it wrote. It returns 0 when the iterator is exhausted (and only
+// then, for non-empty buf).
+func (it *Iterator) NextMany(buf []uint32) int {
+	if it.b == nil || len(buf) == 0 {
+		return 0
+	}
+	total := 0
+	for it.chunk < len(it.b.keys) && total < len(buf) {
+		base := uint32(it.b.keys[it.chunk]) << 16
+		n, next, done := it.b.containers[it.chunk].fillMany(base, it.state, buf[total:])
+		total += n
+		if done {
+			it.chunk++
+			it.state = 0
+		} else {
+			it.state = next
+		}
+	}
+	return total
+}
+
 // ToSlice returns all values in ascending order.
 func (b *Bitmap) ToSlice() []uint32 {
-	out := make([]uint32, 0, b.Cardinality())
-	b.Iterate(func(v uint32) bool {
-		out = append(out, v)
-		return true
-	})
+	out := make([]uint32, b.Cardinality())
+	it := b.Iterator()
+	for n := 0; n < len(out); {
+		m := it.NextMany(out[n:])
+		if m == 0 {
+			return out[:n]
+		}
+		n += m
+	}
 	return out
 }
 
@@ -207,6 +257,71 @@ func binaryOp(a, b *Bitmap, onlyA, onlyB bool, both func(container, container) c
 		}
 	}
 	return out
+}
+
+// OrInPlace adds every value of o to b without materializing a third
+// bitmap: chunks present in both operands are merged with the receiver's
+// container replaced, chunks only in o are cloned in, chunks only in b are
+// kept as-is. o is not modified. This is the allocation-lean union for
+// accumulation loops, which would otherwise clone every surviving chunk of
+// the accumulator per operand (the cost of the binary Or).
+func (b *Bitmap) OrInPlace(o *Bitmap) {
+	if o.IsEmpty() {
+		return
+	}
+	// Fast path: every chunk of o already exists in b — merge in place with
+	// no slice reshuffling at all.
+	fresh := 0
+	i, j := 0, 0
+	for j < len(o.keys) {
+		switch {
+		case i < len(b.keys) && b.keys[i] < o.keys[j]:
+			i++
+		case i < len(b.keys) && b.keys[i] == o.keys[j]:
+			i++
+			j++
+		default:
+			fresh++
+			j++
+		}
+	}
+	if fresh == 0 {
+		i = 0
+		for j = 0; j < len(o.keys); j++ {
+			for b.keys[i] != o.keys[j] {
+				i++
+			}
+			b.containers[i] = b.containers[i].or(o.containers[j])
+		}
+		return
+	}
+	keys := make([]uint16, 0, len(b.keys)+fresh)
+	containers := make([]container, 0, len(b.keys)+fresh)
+	i, j = 0, 0
+	for i < len(b.keys) && j < len(o.keys) {
+		switch {
+		case b.keys[i] < o.keys[j]:
+			keys = append(keys, b.keys[i])
+			containers = append(containers, b.containers[i])
+			i++
+		case b.keys[i] > o.keys[j]:
+			keys = append(keys, o.keys[j])
+			containers = append(containers, o.containers[j].clone())
+			j++
+		default:
+			keys = append(keys, b.keys[i])
+			containers = append(containers, b.containers[i].or(o.containers[j]))
+			i++
+			j++
+		}
+	}
+	keys = append(keys, b.keys[i:]...)
+	containers = append(containers, b.containers[i:]...)
+	for ; j < len(o.keys); j++ {
+		keys = append(keys, o.keys[j])
+		containers = append(containers, o.containers[j].clone())
+	}
+	b.keys, b.containers = keys, containers
 }
 
 // And returns the intersection of a and b as a new bitmap.

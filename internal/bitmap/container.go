@@ -24,6 +24,21 @@ type container interface {
 	// false; it reports whether iteration ran to completion.
 	iterate(f func(uint16) bool) bool
 
+	// countInto bumps counts[v] for every value v in the container. A value
+	// whose count transitions 0→1 is appended (as base|v) to cands, whose
+	// updated slice is returned — this is the term-at-a-time counting merge
+	// primitive: accumulating a posting list into a per-query counter takes
+	// one pass over the container with no per-value callback and no
+	// intermediate bitmap.
+	countInto(base uint32, counts []uint16, cands []uint32) []uint32
+
+	// fillMany appends the container's values ≥ state (offset by base) to
+	// buf until buf is full or the container is exhausted, returning the
+	// new buf length, the resume state for the next call, and whether the
+	// container is exhausted. It backs the bitmap's buffered many-at-a-time
+	// iterator.
+	fillMany(base uint32, state uint32, buf []uint32) (n int, next uint32, done bool)
+
 	// runOptimize returns the most compact representation of the container.
 	runOptimize() container
 

@@ -55,6 +55,27 @@ func (a *arrayContainer) iterate(f func(uint16) bool) bool {
 	return true
 }
 
+func (a *arrayContainer) countInto(base uint32, counts []uint16, cands []uint32) []uint32 {
+	for _, v := range a.values {
+		if counts[v] == 0 {
+			cands = append(cands, base|uint32(v))
+		}
+		counts[v]++
+	}
+	return cands
+}
+
+// fillMany: state is the index of the next unconsumed value.
+func (a *arrayContainer) fillMany(base uint32, state uint32, buf []uint32) (int, uint32, bool) {
+	i := int(state)
+	n := 0
+	for ; i < len(a.values) && n < len(buf); i++ {
+		buf[n] = base | uint32(a.values[i])
+		n++
+	}
+	return n, uint32(i), i >= len(a.values)
+}
+
 func (a *arrayContainer) clone() container {
 	return &arrayContainer{values: append([]uint16(nil), a.values...)}
 }

@@ -81,6 +81,45 @@ func (b *bitmapContainer) clone() container {
 	return &out
 }
 
+func (b *bitmapContainer) countInto(base uint32, counts []uint16, cands []uint32) []uint32 {
+	for w, word := range b.words {
+		for word != 0 {
+			v := uint16(w<<6 + bits.TrailingZeros64(word))
+			if counts[v] == 0 {
+				cands = append(cands, base|uint32(v))
+			}
+			counts[v]++
+			word &= word - 1
+		}
+	}
+	return cands
+}
+
+// fillMany: state is the next value to examine (0 … 65535); the done flag
+// disambiguates the wrap after consuming 65535.
+func (b *bitmapContainer) fillMany(base uint32, state uint32, buf []uint32) (int, uint32, bool) {
+	n := 0
+	w := int(state >> 6)
+	// Mask off the bits below the resume position in the first word.
+	word := b.words[w] &^ (uint64(1)<<(state&63) - 1)
+	for {
+		for word != 0 {
+			if n == len(buf) {
+				return n, uint32(w<<6 + bits.TrailingZeros64(word)), false
+			}
+			t := bits.TrailingZeros64(word)
+			buf[n] = base | uint32(w<<6+t)
+			n++
+			word &= word - 1
+		}
+		w++
+		if w == bitmapWords {
+			return n, 0, true
+		}
+		word = b.words[w]
+	}
+}
+
 func (b *bitmapContainer) and(o container) container {
 	switch other := o.(type) {
 	case *bitmapContainer:

@@ -150,4 +150,35 @@ func (r *runContainer) andCardinalityRuns(o *runContainer) int {
 	return n
 }
 
+func (r *runContainer) countInto(base uint32, counts []uint16, cands []uint32) []uint32 {
+	for _, iv := range r.runs {
+		for v := int(iv.start); v <= int(iv.last()); v++ {
+			if counts[v] == 0 {
+				cands = append(cands, base|uint32(v))
+			}
+			counts[v]++
+		}
+	}
+	return cands
+}
+
+// fillMany: state packs the run index in the high 16 bits and the offset
+// within the run in the low 16.
+func (r *runContainer) fillMany(base uint32, state uint32, buf []uint32) (int, uint32, bool) {
+	ri, off := int(state>>16), int(state&0xffff)
+	n := 0
+	for ; ri < len(r.runs); ri++ {
+		iv := r.runs[ri]
+		for v := int(iv.start) + off; v <= int(iv.last()); v++ {
+			if n == len(buf) {
+				return n, uint32(ri)<<16 | uint32(v-int(iv.start)), false
+			}
+			buf[n] = base | uint32(v)
+			n++
+		}
+		off = 0
+	}
+	return n, 0, true
+}
+
 func (r *runContainer) runOptimize() container { return r }

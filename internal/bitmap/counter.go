@@ -1,0 +1,114 @@
+package bitmap
+
+// Counter accumulates per-value occurrence counts across a stream of
+// bitmaps — the term-at-a-time counting merge at the heart of ranked
+// retrieval: feeding every posting list of a query's terms through Add
+// leaves, for each candidate trajectory, the shared-term count |F ∩ G|,
+// with no candidate-union bitmap and no per-candidate intersection.
+//
+// Counts are chunked like the bitmaps themselves: a 65536-entry uint16
+// count array per high-16-bit chunk, allocated lazily on first touch and
+// recycled across Reset calls, plus a direct-index chunk table so the
+// per-container accumulation path has no map lookups. Values seen for the
+// first time are recorded in a candidate list, so enumerating the result
+// costs O(|candidates|), not a scan of the count arrays.
+//
+// Counts are 16-bit and wrap past 65535 Adds of one value; callers stream
+// at most that many bitmaps between Resets (ranked retrieval is bounded by
+// the query's term count, which the index core checks before choosing this
+// path). A Counter is not safe for concurrent use. The zero value is not
+// usable; construct with NewCounter and reuse via Reset — a steady-state
+// Add/Reset cycle performs no allocations.
+type Counter struct {
+	slot   []int32 // 65536 entries: chunk key → index into chunks, -1 absent
+	keys   []uint16
+	chunks [][]uint16 // parallel to keys; each 65536 counts
+	free   [][]uint16 // zeroed chunk arrays recycled by Reset
+	cands  []uint32   // values with count ≥ 1, in first-touch order
+}
+
+// NewCounter returns an empty counter ready for Add.
+func NewCounter() *Counter {
+	c := &Counter{slot: make([]int32, 1<<16)}
+	for i := range c.slot {
+		c.slot[i] = -1
+	}
+	return c
+}
+
+// chunkFor returns the count array of the chunk with the given key,
+// creating it on first touch.
+func (c *Counter) chunkFor(key uint16) []uint16 {
+	if i := c.slot[key]; i >= 0 {
+		return c.chunks[i]
+	}
+	var counts []uint16
+	if n := len(c.free); n > 0 {
+		counts = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		counts = make([]uint16, 1<<16)
+	}
+	c.slot[key] = int32(len(c.chunks))
+	c.keys = append(c.keys, key)
+	c.chunks = append(c.chunks, counts)
+	return counts
+}
+
+// Add bumps the count of every value in b by one.
+func (c *Counter) Add(b *Bitmap) {
+	for i, key := range b.keys {
+		c.cands = b.containers[i].countInto(uint32(key)<<16, c.chunkFor(key), c.cands)
+	}
+}
+
+// AddN bumps the count of a single value by n (no-op for n ≤ 0). The
+// cluster coordinator uses it to sum the partial counts returned by shard
+// nodes, whose term spaces are disjoint.
+func (c *Counter) AddN(v uint32, n int) {
+	if n <= 0 {
+		return
+	}
+	counts := c.chunkFor(uint16(v >> 16))
+	if counts[uint16(v)] == 0 {
+		c.cands = append(c.cands, v)
+	}
+	counts[uint16(v)] += uint16(n)
+}
+
+// Count returns the accumulated count of v, 0 when never seen.
+func (c *Counter) Count(v uint32) int {
+	if i := c.slot[uint16(v>>16)]; i >= 0 {
+		return int(c.chunks[i][uint16(v)])
+	}
+	return 0
+}
+
+// Candidates returns the values counted at least once, in first-touch
+// order. The slice is owned by the counter and valid until Reset.
+func (c *Counter) Candidates() []uint32 { return c.cands }
+
+// Reset clears the counter for reuse, keeping the touched chunk arrays
+// for recycling. Sparse accumulations (the common retrieval case) zero
+// exactly the slots the candidate list names; dense ones fall back to
+// clearing whole chunks, which is cheaper past a few thousand touches.
+func (c *Counter) Reset() {
+	if len(c.cands) < 4096*len(c.chunks) {
+		for _, v := range c.cands {
+			c.chunks[c.slot[uint16(v>>16)]][uint16(v)] = 0
+		}
+	} else {
+		for i := range c.chunks {
+			clear(c.chunks[i])
+		}
+	}
+	for i, key := range c.keys {
+		c.slot[key] = -1
+		c.free = append(c.free, c.chunks[i])
+		c.chunks[i] = nil
+	}
+	c.keys = c.keys[:0]
+	c.chunks = c.chunks[:0]
+	c.cands = c.cands[:0]
+}

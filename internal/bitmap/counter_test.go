@@ -1,0 +1,176 @@
+package bitmap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomBitmap builds a bitmap whose representation exercises all three
+// container types: sparse arrays, dense bitsets, and (after RunOptimize)
+// run containers.
+func randomBitmap(rng *rand.Rand) *Bitmap {
+	b := New()
+	switch rng.Intn(3) {
+	case 0: // sparse array chunks
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			b.Add(rng.Uint32() % (3 << 16))
+		}
+	case 1: // a dense chunk that converts to a bitset
+		base := uint32(rng.Intn(2)) << 16
+		n := arrayMaxSize + rng.Intn(4096)
+		for i := 0; i < n; i++ {
+			b.Add(base | uint32(rng.Intn(1<<16)))
+		}
+	default: // contiguous runs
+		base := uint32(rng.Intn(2)) << 16
+		start := uint32(rng.Intn(1 << 15))
+		for v := start; v < start+uint32(rng.Intn(500))+1; v++ {
+			b.Add(base | v)
+		}
+		b.RunOptimize()
+	}
+	return b
+}
+
+func TestCounterMatchesIterate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		c := NewCounter()
+		want := make(map[uint32]int)
+		nBitmaps := 1 + rng.Intn(8)
+		for i := 0; i < nBitmaps; i++ {
+			b := randomBitmap(rng)
+			c.Add(b)
+			b.Iterate(func(v uint32) bool {
+				want[v]++
+				return true
+			})
+		}
+		cands := c.Candidates()
+		if len(cands) != len(want) {
+			t.Fatalf("trial %d: %d candidates, want %d", trial, len(cands), len(want))
+		}
+		seen := make(map[uint32]bool, len(cands))
+		for _, v := range cands {
+			if seen[v] {
+				t.Fatalf("trial %d: candidate %d listed twice", trial, v)
+			}
+			seen[v] = true
+			if got := c.Count(v); got != want[v] {
+				t.Fatalf("trial %d: Count(%d) = %d, want %d", trial, v, got, want[v])
+			}
+		}
+		if got := c.Count(0xdeadbeef); got != want[0xdeadbeef] {
+			t.Fatalf("trial %d: absent value count = %d, want %d", trial, got, want[0xdeadbeef])
+		}
+		// Reset and reuse: the recycled counter must count from scratch.
+		c.Reset()
+		if len(c.Candidates()) != 0 {
+			t.Fatalf("trial %d: candidates survive Reset", trial)
+		}
+		b := randomBitmap(rng)
+		c.Add(b)
+		b.Iterate(func(v uint32) bool {
+			if c.Count(v) != 1 {
+				t.Fatalf("trial %d: post-Reset count of %d = %d, want 1", trial, v, c.Count(v))
+			}
+			return true
+		})
+	}
+}
+
+func TestCounterAddN(t *testing.T) {
+	c := NewCounter()
+	c.AddN(70000, 3)
+	c.AddN(70000, 2)
+	c.AddN(5, 1)
+	c.AddN(6, 0)
+	c.AddN(7, -2)
+	if got := c.Count(70000); got != 5 {
+		t.Fatalf("Count(70000) = %d, want 5", got)
+	}
+	if got := c.Count(5); got != 1 {
+		t.Fatalf("Count(5) = %d, want 1", got)
+	}
+	if got := len(c.Candidates()); got != 2 {
+		t.Fatalf("%d candidates, want 2", got)
+	}
+}
+
+func TestOrInPlaceMatchesOr(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		a, b := randomBitmap(rng), randomBitmap(rng)
+		want := Or(a, b)
+		bBefore := b.ToSlice()
+		a.OrInPlace(b)
+		if !a.Equals(want) {
+			t.Fatalf("trial %d: OrInPlace differs from Or", trial)
+		}
+		got := b.ToSlice()
+		if len(got) != len(bBefore) {
+			t.Fatalf("trial %d: OrInPlace mutated its operand", trial)
+		}
+		for i := range got {
+			if got[i] != bBefore[i] {
+				t.Fatalf("trial %d: OrInPlace mutated its operand", trial)
+			}
+		}
+		// The receiver must stay independently mutable.
+		a.Add(12345)
+		if !a.Contains(12345) {
+			t.Fatalf("trial %d: receiver not mutable after OrInPlace", trial)
+		}
+	}
+	// Empty-operand edges.
+	e := New()
+	e.OrInPlace(New())
+	if !e.IsEmpty() {
+		t.Fatal("empty OrInPlace empty should stay empty")
+	}
+	f := FromSlice([]uint32{1, 2, 3})
+	e.OrInPlace(f)
+	if !e.Equals(f) {
+		t.Fatal("empty receiver should copy the operand")
+	}
+	f.OrInPlace(New())
+	if f.Cardinality() != 3 {
+		t.Fatal("empty operand should be a no-op")
+	}
+}
+
+func TestIteratorNextMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		b := randomBitmap(rng)
+		want := b.ToSlice()
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, bufSize := range []int{1, 3, 64, 100000} {
+			it := b.Iterator()
+			buf := make([]uint32, bufSize)
+			var got []uint32
+			for {
+				n := it.NextMany(buf)
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d buf %d: %d values, want %d", trial, bufSize, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d buf %d: value %d = %d, want %d", trial, bufSize, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// Exhausted and zero-value iterators return 0.
+	var zero Iterator
+	if zero.NextMany(make([]uint32, 4)) != 0 {
+		t.Fatal("zero iterator should be exhausted")
+	}
+}

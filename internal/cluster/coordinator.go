@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -508,6 +509,9 @@ type SearchInfo struct {
 	// Candidates is the number of distinct trajectories seen across the
 	// partial intersection counts, before distance filtering.
 	Candidates int
+	// Pruned is how many candidates the coordinator's threshold bounds
+	// skipped before scoring.
+	Pruned int
 	// Shards and Nodes are the fan-out the query's terms incurred.
 	Shards int
 	Nodes  int
@@ -547,7 +551,23 @@ func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, m
 		Shards: len(shardSet),
 		Nodes:  len(groups),
 	}
-	shared := make(map[uint32]int)
+	qCard := set.Cardinality()
+	var acc partialAccumulator
+	if qCard <= math.MaxUint16 {
+		// The same pool feeds the shard nodes' query handlers; a
+		// coordinator embedded in a node process shares it.
+		counter := counterPool.Get().(*bitmap.Counter)
+		defer func() {
+			counter.Reset()
+			counterPool.Put(counter)
+		}()
+		acc = (*counterAccumulator)(counter)
+	} else {
+		// Degenerate term count: partial sums could wrap the counter's
+		// 16-bit counts, so merge into a map instead (mirrors the shard
+		// nodes' own wide fallback).
+		acc = mapAccumulator{}
+	}
 	var sharedMu sync.Mutex
 	err := fanOut(parent, nodesOf(groups), func(ctx context.Context, node int) error {
 		resp, err := c.clients[node].call(ctx, &request{
@@ -558,42 +578,89 @@ func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, m
 		if err != nil {
 			return err
 		}
+		// Node term spaces are disjoint, so summing partial counts yields
+		// the exact |F ∩ G| — the distributed half of the counting merge.
 		sharedMu.Lock()
-		for id, count := range resp.Query.Partial {
-			shared[id] += count
-		}
+		acc.addPartial(resp.Query.IDs, resp.Query.Counts)
 		sharedMu.Unlock()
 		return nil
 	})
 	if err != nil {
 		return nil, info, err
 	}
-	info.Candidates = len(shared)
+	info.Candidates = acc.candidates()
 
-	qCard := set.Cardinality()
+	// Rank through the same threshold-pruning core as the local index, so
+	// the cluster inherits its bounds, its top-k heap, and its
+	// byte-identical (distance, ID) contract.
+	var ranker index.Ranker
 	c.mu.RLock()
-	results := make([]index.Result, 0, len(shared))
-	for id, inter := range shared {
+	ranker.Init(qCard, maxDistance, limit)
+	acc.forEach(func(id uint32, shared int) {
 		entry, ok := c.directory[trajectory.ID(id)]
 		if !ok || entry.state != stateLive || entry.epoch > snap {
-			continue // unknown, mid-mutation, or newer than the snapshot
+			return // unknown, mid-mutation, or newer than the snapshot
 		}
-		union := qCard + entry.card - inter
-		d := 1.0
-		if union > 0 {
-			d = 1 - float64(inter)/float64(union)
-		}
-		if d <= maxDistance {
-			results = append(results, index.Result{ID: trajectory.ID(id), Distance: d, Shared: inter})
-		}
-	}
+		ranker.Consider(trajectory.ID(id), entry.card, shared)
+	})
 	c.mu.RUnlock()
-
-	index.SortResults(results)
-	if limit > 0 && len(results) > limit {
-		results = results[:limit]
-	}
+	results := ranker.Finish(make([]index.Result, 0, limitCap(limit, info.Candidates)))
+	info.Pruned = ranker.Pruned()
 	return results, info, nil
+}
+
+// partialAccumulator is the merge target of a scatter-gather: it sums the
+// nodes' partial intersection counts and enumerates the result. The two
+// implementations differ only in count width.
+type partialAccumulator interface {
+	addPartial(ids []uint32, counts []uint32)
+	candidates() int
+	forEach(f func(id uint32, shared int))
+}
+
+// counterAccumulator adapts the pooled bitmap.Counter — the fast path.
+type counterAccumulator bitmap.Counter
+
+func (a *counterAccumulator) addPartial(ids []uint32, counts []uint32) {
+	c := (*bitmap.Counter)(a)
+	for i, id := range ids {
+		c.AddN(id, int(counts[i]))
+	}
+}
+
+func (a *counterAccumulator) candidates() int { return len((*bitmap.Counter)(a).Candidates()) }
+
+func (a *counterAccumulator) forEach(f func(id uint32, shared int)) {
+	c := (*bitmap.Counter)(a)
+	for _, v := range c.Candidates() {
+		f(v, c.Count(v))
+	}
+}
+
+// mapAccumulator is the wide fallback, immune to 16-bit count wrap.
+type mapAccumulator map[uint32]int
+
+func (a mapAccumulator) addPartial(ids []uint32, counts []uint32) {
+	for i, id := range ids {
+		a[id] += int(counts[i])
+	}
+}
+
+func (a mapAccumulator) candidates() int { return len(a) }
+
+func (a mapAccumulator) forEach(f func(id uint32, shared int)) {
+	for id, shared := range a {
+		f(id, shared)
+	}
+}
+
+// limitCap sizes the result allocation: the cap when one applies, the
+// candidate count otherwise.
+func limitCap(limit, candidates int) int {
+	if limit > 0 && limit < candidates {
+		return limit
+	}
+	return candidates
 }
 
 // Stats gathers per-node term and posting counts in parallel, slice

@@ -11,6 +11,7 @@ package cluster
 import (
 	"encoding/gob"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -244,9 +245,45 @@ func (n *Node) compact(below uint64) {
 	}
 }
 
+// counterPool recycles the per-query counting-merge state across query
+// requests, keeping the node's hot path free of per-query count-array
+// allocations.
+var counterPool = sync.Pool{New: func() any { return bitmap.NewCounter() }}
+
+// query runs the same term-at-a-time counting merge as the local index's
+// search core: each owned posting list streams once into a pooled
+// counter, leaving the node's partial |F ∩ G| per candidate — no
+// candidate union, no per-candidate intersection. Queries with more terms
+// than the counter's 16-bit counts can hold fall back to map-based
+// counting (no real fingerprint set is that large, but the node must not
+// wrap counts on a malformed request).
 func (n *Node) query(req *queryRequest) *queryResponse {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	if len(req.Terms) > math.MaxUint16 {
+		return n.queryWide(req)
+	}
+	c := counterPool.Get().(*bitmap.Counter)
+	defer func() {
+		c.Reset()
+		counterPool.Put(c)
+	}()
+	for _, term := range req.Terms {
+		if p, ok := n.postings[term]; ok {
+			c.Add(p)
+		}
+	}
+	cands := c.Candidates()
+	resp := &queryResponse{IDs: make([]uint32, len(cands)), Counts: make([]uint32, len(cands))}
+	for i, v := range cands {
+		resp.IDs[i] = v
+		resp.Counts[i] = uint32(c.Count(v))
+	}
+	return resp
+}
+
+// queryWide is the uncapped fallback for degenerate term counts.
+func (n *Node) queryWide(req *queryRequest) *queryResponse {
 	partial := make(map[uint32]int)
 	for _, term := range req.Terms {
 		if p, ok := n.postings[term]; ok {
@@ -256,7 +293,12 @@ func (n *Node) query(req *queryRequest) *queryResponse {
 			})
 		}
 	}
-	return &queryResponse{Partial: partial}
+	resp := &queryResponse{IDs: make([]uint32, 0, len(partial)), Counts: make([]uint32, 0, len(partial))}
+	for id, count := range partial {
+		resp.IDs = append(resp.IDs, id)
+		resp.Counts = append(resp.Counts, uint32(count))
+	}
+	return resp
 }
 
 func (n *Node) stats() *statsResponse {

@@ -49,10 +49,13 @@ type queryRequest struct {
 }
 
 // queryResponse returns, for every candidate trajectory seen on this node,
-// the number of query terms it shares. Term spaces of different nodes are
-// disjoint, so the coordinator can sum partial counts.
+// the number of query terms it shares, as parallel ID/count slices —
+// flat slices gob-encode in one pass where the former map paid a per-entry
+// reflection walk. Term spaces of different nodes are disjoint, so the
+// coordinator can sum partial counts.
 type queryResponse struct {
-	Partial map[uint32]int
+	IDs    []uint32
+	Counts []uint32
 }
 
 // statsResponse summarizes a node's shard contents.

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"geodabs/internal/bitmap"
 	"geodabs/internal/geo"
@@ -133,11 +134,25 @@ type Fingerprint struct {
 	Set *bitmap.Bitmap
 }
 
-// Fingerprinter turns trajectories into geodab fingerprints. It is
-// immutable and safe for concurrent use.
+// Fingerprinter turns trajectories into geodab fingerprints. Its
+// configuration is immutable and it is safe for concurrent use (the
+// FingerprintSet hot path draws per-call scratch from an internal pool).
 type Fingerprinter struct {
 	cfg        Config
 	suffixMask uint32
+	scratch    sync.Pool // *fpScratch
+}
+
+// fpScratch is the pooled working state of the set-only fingerprint path:
+// the smoothed point buffer, the normalized cell-hash sequence, the
+// unwinnowed geodab candidates, and the winnowed positions. Pooling them
+// keeps steady-state query fingerprinting free of the per-call slice
+// allocations the full Fingerprint pipeline pays.
+type fpScratch struct {
+	smooth     []geo.Point
+	hashes     []geohash.Hash
+	candidates []uint32
+	positions  []int
 }
 
 // NewFingerprinter validates cfg and returns a Fingerprinter.
@@ -145,10 +160,12 @@ func NewFingerprinter(cfg Config) (*Fingerprinter, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Fingerprinter{
+	f := &Fingerprinter{
 		cfg:        cfg,
 		suffixMask: uint32(1)<<(GeodabBits-cfg.PrefixBits) - 1,
-	}, nil
+	}
+	f.scratch.New = func() any { return &fpScratch{} }
+	return f, nil
 }
 
 // MustFingerprinter is NewFingerprinter for configurations known to be
@@ -200,8 +217,9 @@ func (f *Fingerprinter) Normalize(points []geo.Point) []Cell {
 			pending.count = 0
 		}
 	}
+	enc := geohash.NewEncoder(f.cfg.NormDepth)
 	for i, p := range points {
-		h := geohash.Encode(p, f.cfg.NormDepth)
+		h := enc.Encode(p)
 		if n := len(cells); n > 0 && cells[n-1].Hash == h {
 			// Returned to the committed cell: the excursion was jitter.
 			flush(i - 1)
@@ -264,19 +282,41 @@ func (f *Fingerprinter) prefix(kgram []Cell) uint32 {
 // permuting a k-gram changes the geodab: this is what lets geodabs
 // discriminate the direction of travel, unlike bare geohashes.
 func (f *Fingerprinter) suffix(kgram []Cell) uint32 {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
+	h := uint32(fnvOffset32)
 	for _, c := range kgram {
-		bits := c.Hash.Bits
-		for shift := 56; shift >= 0; shift -= 8 {
-			h ^= uint32(bits >> uint(shift) & 0xff)
-			h *= prime32
-		}
+		h = fnvCell(h, c.Hash.Bits)
 	}
 	return h & f.suffixMask
+}
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// fnvPrime32Cubed is fnvPrime32³ mod 2³²: folding a zero byte is
+// h = (h^0)·p = h·p, so three leading zero bytes collapse to one multiply.
+const fnvPrime32Cubed uint32 = (fnvPrime32 * fnvPrime32 % (1 << 32)) * fnvPrime32 % (1 << 32)
+
+// fnvCell folds one cell id (big-endian bytes, matching the historical
+// byte loop) into a running FNV-1a state. Hand-unrolled: this fold runs
+// K times per k-gram and dominates geodab derivation. Cell ids are
+// NormDepth ≤ 60 bits; the ≤ 40-bit grids the paper evaluates leave the
+// top three bytes zero, which fold to a single multiply.
+func fnvCell(h uint32, bits uint64) uint32 {
+	if bits < 1<<40 {
+		h *= fnvPrime32Cubed
+	} else {
+		h = (h ^ uint32(bits>>56&0xff)) * fnvPrime32
+		h = (h ^ uint32(bits>>48&0xff)) * fnvPrime32
+		h = (h ^ uint32(bits>>40&0xff)) * fnvPrime32
+	}
+	h = (h ^ uint32(bits>>32&0xff)) * fnvPrime32
+	h = (h ^ uint32(bits>>24&0xff)) * fnvPrime32
+	h = (h ^ uint32(bits>>16&0xff)) * fnvPrime32
+	h = (h ^ uint32(bits>>8&0xff)) * fnvPrime32
+	h = (h ^ uint32(bits&0xff)) * fnvPrime32
+	return h
 }
 
 // GeodabSequence computes the unwinnowed geodab of every k-gram of the
@@ -313,6 +353,141 @@ func (f *Fingerprinter) Fingerprint(points []geo.Point) *Fingerprint {
 	}
 	fp.Set.AddMany(fp.Geodabs)
 	return fp
+}
+
+// FingerprintSet computes only the deduplicated fingerprint set of a
+// trajectory — the ranked-retrieval hot path, where the positional
+// metadata of the full Fingerprint (Geodabs, Positions, Cells) is dead
+// weight. It runs the same normalize → k-gram → winnow pipeline and
+// returns a set identical to Fingerprint(points).Set, but works in pooled
+// scratch buffers, skips the per-cell center decode the PrefixCover
+// strategy never reads, and allocates only the returned bitmap.
+// PrefixCentroid configurations (an ablation) fall back to the full
+// pipeline, which has the cell centers at hand.
+func (f *Fingerprinter) FingerprintSet(points []geo.Point) *bitmap.Bitmap {
+	if f.cfg.Strategy != PrefixCover {
+		return f.Fingerprint(points).Set
+	}
+	sc := f.scratch.Get().(*fpScratch)
+	defer f.scratch.Put(sc)
+	pts := points
+	if f.cfg.SmoothWindow > 1 && len(points) > 0 {
+		// Smoothing is active: the buffer is the scratch's, not the
+		// caller's (smoothInto returns its input untouched otherwise).
+		sc.smooth = smoothInto(sc.smooth[:0], points, f.cfg.SmoothWindow)
+		pts = sc.smooth
+	}
+	sc.hashes = f.normalizeHashesInto(sc.hashes[:0], pts)
+	sc.candidates = f.geodabsInto(sc.candidates[:0], sc.hashes)
+	if f.cfg.KeepShort {
+		sc.positions = winnow.SelectShortInto(sc.positions[:0], sc.candidates, f.cfg.Window())
+	} else {
+		sc.positions = winnow.SelectInto(sc.positions[:0], sc.candidates, f.cfg.Window())
+	}
+	set := bitmap.New()
+	for _, p := range sc.positions {
+		set.Add(sc.candidates[p])
+	}
+	return set
+}
+
+// normalizeHashesInto is Normalize reduced to the cell-hash sequence: the
+// same smoothing-free debounce state machine, with no cell centers and no
+// raw-point ranges. It must stay in lockstep with Normalize — the
+// equivalence is pinned by TestFingerprintSetMatchesFingerprint.
+func (f *Fingerprinter) normalizeHashesInto(hashes []geohash.Hash, points []geo.Point) []geohash.Hash {
+	commit := func(h geohash.Hash) {
+		if n := len(hashes); n == 0 || hashes[n-1] != h {
+			hashes = append(hashes, h)
+		}
+	}
+	debounce := max(f.cfg.MinCellPoints, 1)
+	var pending struct {
+		hash  geohash.Hash
+		count int
+	}
+	flush := func() {
+		if pending.count > 0 {
+			if len(hashes) == 0 {
+				commit(pending.hash)
+			}
+			pending.count = 0
+		}
+	}
+	enc := geohash.NewEncoder(f.cfg.NormDepth)
+	for _, p := range points {
+		h := enc.Encode(p)
+		if n := len(hashes); n > 0 && hashes[n-1] == h {
+			// Returned to the committed cell: the excursion was jitter.
+			flush()
+			continue
+		}
+		if pending.count > 0 && pending.hash == h {
+			pending.count++
+		} else {
+			flush()
+			pending.hash, pending.count = h, 1
+		}
+		if pending.count >= debounce || (len(hashes) == 0 && debounce == 1) {
+			commit(pending.hash)
+			pending.count = 0
+		}
+	}
+	flush()
+	return hashes
+}
+
+// geodabsInto appends the geodab of every k-gram of the hash sequence —
+// GeodabSequence on the hash-only representation, PrefixCover strategy.
+func (f *Fingerprinter) geodabsInto(dst []uint32, hashes []geohash.Hash) []uint32 {
+	k := f.cfg.K
+	if len(hashes) < k {
+		return dst
+	}
+	p := f.cfg.PrefixBits
+	shift := GeodabBits - p
+	for i := 0; i+k <= len(hashes); i++ {
+		kgram := hashes[i : i+k]
+		// Covering prefix, as in prefix().
+		cover := kgram[0]
+		for _, h := range kgram[1:] {
+			if cover.Depth < p {
+				break
+			}
+			cover = geohash.CommonPrefix(cover, h)
+		}
+		if cover.Depth < p {
+			cover = kgram[0]
+		}
+		// Order-sensitive suffix, as in suffix().
+		s := uint32(fnvOffset32)
+		for _, h := range kgram {
+			s = fnvCell(s, h.Bits)
+		}
+		dst = append(dst, uint32(cover.Prefix(p).Bits)<<shift|s&f.suffixMask)
+	}
+	return dst
+}
+
+// smoothInto is Smooth appending into dst (same arithmetic, same float
+// rounding), so the hot path can recycle the smoothed-point buffer.
+// Windows of 0 or 1 return the input slice unchanged.
+func smoothInto(dst []geo.Point, points []geo.Point, window int) []geo.Point {
+	if window <= 1 || len(points) == 0 {
+		return points
+	}
+	half := window / 2
+	for i := range points {
+		lo, hi := max(0, i-half), min(len(points), i+half+1)
+		var lat, lon float64
+		for _, p := range points[lo:hi] {
+			lat += p.Lat
+			lon += p.Lon
+		}
+		n := float64(hi - lo)
+		dst = append(dst, geo.Point{Lat: lat / n, Lon: lon / n})
+	}
+	return dst
 }
 
 // Smooth returns the trajectory filtered with a centered moving average of

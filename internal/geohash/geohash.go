@@ -82,6 +82,51 @@ func spread(v uint32) uint64 {
 	return x
 }
 
+// Encoder encodes a stream of points at one fixed depth, exploiting the
+// spatial coherence of trajectories: the cell of a point is a pure
+// function of the top (depth+1)/2 bits of its fixed-point longitude and
+// depth/2 bits of its latitude, so when those match the previous point's
+// — the common case, points being meters apart and cells tens of meters
+// wide — the previous hash is returned without re-running the bit
+// interleave. Results are bit-identical to Encode. The zero value is not
+// valid; construct with NewEncoder. An Encoder is not safe for concurrent
+// use.
+type Encoder struct {
+	depth              uint8
+	lonShift, latShift uint8
+	x, y               uint32
+	last               Hash
+	primed             bool
+}
+
+// NewEncoder returns an encoder producing depth-bit hashes. It panics if
+// depth exceeds MaxDepth.
+func NewEncoder(depth uint8) Encoder {
+	if depth > MaxDepth {
+		panic(fmt.Sprintf("geohash: depth %d exceeds MaxDepth %d", depth, MaxDepth))
+	}
+	nLon, nLat := (depth+1)/2, depth/2
+	return Encoder{depth: depth, lonShift: 32 - nLon, latShift: 32 - nLat}
+}
+
+// Encode returns the depth-bit geohash of the cell containing p,
+// equal to Encode(p, depth).
+func (e *Encoder) Encode(p geo.Point) Hash {
+	x, y := lonBits(p.Lon), latBits(p.Lat)
+	// Shifts of 32 (depth 0, or latitude at depth 1) must discard all
+	// bits; uint32>>32 would be a no-op on some targets, so mask via
+	// 64-bit shift semantics.
+	xTop := uint64(x) >> e.lonShift
+	yTop := uint64(y) >> e.latShift
+	if e.primed && xTop == uint64(e.x) && yTop == uint64(e.y) {
+		return e.last
+	}
+	e.x, e.y = uint32(xTop), uint32(yTop)
+	e.last = Hash{Bits: interleave(x, y) >> (64 - e.depth), Depth: e.depth}
+	e.primed = true
+	return e.last
+}
+
 // compact is the inverse of spread: it extracts every other bit, bit 2i of
 // v becoming bit i of the result.
 func compact(v uint64) uint32 {

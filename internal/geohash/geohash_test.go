@@ -300,3 +300,32 @@ func BenchmarkCover6Points(b *testing.B) {
 		_ = Cover(pts, 36)
 	}
 }
+
+// TestEncoderMatchesEncode pins the streaming encoder's fast path to the
+// one-shot Encode across depths, including cell-boundary hops and repeats.
+func TestEncoderMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, depth := range []uint8{0, 1, 2, 5, 16, 36, 40, 60} {
+		enc := NewEncoder(depth)
+		lat, lon := 51.5, -0.12
+		for i := 0; i < 2000; i++ {
+			// Mostly tiny steps (same-cell hits), occasional jumps.
+			step := 0.000001
+			if rng.Intn(20) == 0 {
+				step = 0.3
+			}
+			lat += (rng.Float64() - 0.5) * step
+			lon += (rng.Float64() - 0.5) * step
+			p := geo.Point{Lat: lat, Lon: lon}
+			if got, want := enc.Encode(p), Encode(p, depth); got != want {
+				t.Fatalf("depth %d point %v: Encoder %v, Encode %v", depth, p, got, want)
+			}
+		}
+		// Domain edges (clamping paths).
+		for _, p := range []geo.Point{{Lat: 90, Lon: 180}, {Lat: -90, Lon: -180}, {Lat: 0, Lon: 0}} {
+			if got, want := enc.Encode(p), Encode(p, depth); got != want {
+				t.Fatalf("depth %d edge %v: Encoder %v, Encode %v", depth, p, got, want)
+			}
+		}
+	}
+}

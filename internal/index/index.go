@@ -2,12 +2,26 @@
 // terms are fingerprints (geodabs, or bare geohash cells for the baseline),
 // posting lists are roaring bitmaps of trajectory identifiers, and queries
 // are ranked by Jaccard distance between fingerprint sets (§III-A2).
+//
+// Ranked retrieval runs as a term-at-a-time counting merge (search.go):
+// each query term's posting list streams once into a pooled chunked
+// counter, so the shared count |F ∩ G| falls out of the merge directly —
+// no candidate-union bitmap, no per-candidate intersection — and cached
+// document cardinalities close the Jaccard formula in O(1) per candidate.
+// Total cost is O(Σ|postings| + |candidates|) versus the document-at-a-
+// time O(Σ|postings| + |candidates|·(|F|+|G|)). Threshold pruning (a
+// cardinality window and a shared-count bar derived from the distance
+// cutoff, tightened by the rising top-k heap bar under a result cap)
+// skips candidates that provably cannot qualify, while conservative
+// slack plus an exact final comparison keep rankings byte-identical to
+// the full-sort contract: distance ascending, ID tiebreak. The same
+// Ranker drives the cluster coordinator, so local and distributed
+// rankings cannot drift.
 package index
 
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"geodabs/internal/bitmap"
@@ -30,9 +44,11 @@ type GeodabExtractor struct {
 	*core.Fingerprinter
 }
 
-// Extract implements Extractor.
+// Extract implements Extractor via the set-only fingerprint fast path:
+// ranked retrieval needs no positional metadata, so the pooled
+// FingerprintSet pipeline is used instead of the full Fingerprint.
 func (e GeodabExtractor) Extract(points []geo.Point) *bitmap.Bitmap {
-	return e.Fingerprint(points).Set
+	return e.FingerprintSet(points)
 }
 
 // CellExtractor is the baseline the paper compares against (Figs 12–14):
@@ -105,6 +121,10 @@ type Inverted struct {
 	mu       sync.RWMutex
 	postings map[uint32]*bitmap.Bitmap
 	docs     map[trajectory.ID]*bitmap.Bitmap
+	// cards caches each document's fingerprint cardinality |G| beside docs,
+	// so ranking computes the Jaccard union |F|+|G|−|F∩G| in O(1) instead
+	// of walking the document bitmap's containers per candidate.
+	cards map[trajectory.ID]int
 	// points retains the raw point sequences of trajectories added through
 	// Add/AddAll (slice headers only, sharing the caller's backing arrays),
 	// so searches can re-rank candidates with an exact distance. Entries
@@ -133,6 +153,7 @@ func NewInverted(ex Extractor, opts ...InvertedOption) *Inverted {
 		ex:       ex,
 		postings: make(map[uint32]*bitmap.Bitmap),
 		docs:     make(map[trajectory.ID]*bitmap.Bitmap),
+		cards:    make(map[trajectory.ID]int),
 		points:   make(map[trajectory.ID][]geo.Point),
 	}
 	for _, opt := range opts {
@@ -169,6 +190,7 @@ func (ix *Inverted) insert(id trajectory.ID, set *bitmap.Bitmap, pts []geo.Point
 // insertLocked applies an insertion under an already-held write lock.
 func (ix *Inverted) insertLocked(id trajectory.ID, set *bitmap.Bitmap, pts []geo.Point) {
 	ix.docs[id] = set
+	ix.cards[id] = set.Cardinality()
 	if ix.retain && pts != nil {
 		ix.points[id] = pts
 	}
@@ -255,10 +277,13 @@ func (ix *Inverted) AddAll(ctx context.Context, d *trajectory.Dataset, workers i
 		firstErr = ctx.Err()
 	}
 	if firstErr != nil {
-		// Roll back this call's insertions so a retry starts clean.
+		// Roll back this call's insertions so a retry starts clean, under
+		// one write-lock acquisition instead of re-locking per ID.
+		ix.mu.Lock()
 		for _, id := range inserted {
-			ix.Delete(id)
+			ix.deleteLocked(id)
 		}
+		ix.mu.Unlock()
 	}
 	return firstErr
 }
@@ -282,6 +307,7 @@ func (ix *Inverted) deleteLocked(id trajectory.ID) bool {
 		return false
 	}
 	delete(ix.docs, id)
+	delete(ix.cards, id)
 	delete(ix.points, id)
 	set.Iterate(func(term uint32) bool {
 		if p, ok := ix.postings[term]; ok {
@@ -308,18 +334,22 @@ func (ix *Inverted) Upsert(t *trajectory.Trajectory) {
 	ix.insertLocked(t.ID, set, t.Points)
 }
 
-// DeleteAll deletes a batch of IDs, honoring ctx cancellation between
-// deletions, and returns how many were actually indexed. Unknown IDs
-// are skipped, so the call is idempotent.
+// DeleteAll deletes a batch of IDs under a single write-lock acquisition
+// (re-locking per ID would pay the lock's contended fast path once per
+// deletion and let readers interleave partial batches), honoring ctx
+// cancellation every 256 deletions. It returns how many of the IDs were
+// actually indexed; unknown IDs are skipped, so the call is idempotent.
 func (ix *Inverted) DeleteAll(ctx context.Context, ids []trajectory.ID) (int, error) {
 	deleted := 0
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	for i, id := range ids {
 		if i%256 == 0 {
 			if err := ctx.Err(); err != nil {
 				return deleted, err
 			}
 		}
-		if ix.Delete(id) {
+		if ix.deleteLocked(id) {
 			deleted++
 		}
 	}
@@ -381,82 +411,6 @@ func (ix *Inverted) Query(q *trajectory.Trajectory, maxDistance float64, limit i
 func (ix *Inverted) QueryFingerprints(set *bitmap.Bitmap, maxDistance float64, limit int) []Result {
 	results, _, _ := ix.SearchFingerprints(context.Background(), set, maxDistance, limit)
 	return results
-}
-
-// Search is the context-aware ranked retrieval entry point. Alongside the
-// ranked results it reports the size of the candidate set (the union of
-// the posting lists of the query's terms) before distance filtering.
-func (ix *Inverted) Search(ctx context.Context, q *trajectory.Trajectory, maxDistance float64, limit int) ([]Result, int, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, 0, err
-	}
-	return ix.SearchFingerprints(ctx, ix.ex.Extract(q.Points), maxDistance, limit)
-}
-
-// SearchFingerprints ranks against a pre-computed fingerprint set,
-// honoring context cancellation between the gather and ranking stages and
-// periodically inside the ranking loop.
-func (ix *Inverted) SearchFingerprints(ctx context.Context, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, int, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, 0, err
-	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	// Gather candidates: the union of the posting lists of the query's
-	// terms. Everything else has distance 1 and cannot beat maxDistance
-	// unless maxDistance ≥ 1, in which case it is still irrelevant noise.
-	candidates := bitmap.New()
-	set.Iterate(func(term uint32) bool {
-		if p, ok := ix.postings[term]; ok {
-			candidates = bitmap.Or(candidates, p)
-		}
-		return true
-	})
-	if err := ctx.Err(); err != nil {
-		return nil, 0, err
-	}
-	numCandidates := candidates.Cardinality()
-	results := make([]Result, 0, numCandidates)
-	ranked := 0
-	cancelled := false
-	candidates.Iterate(func(idBits uint32) bool {
-		if ranked++; ranked%1024 == 0 && ctx.Err() != nil {
-			cancelled = true
-			return false
-		}
-		id := trajectory.ID(idBits)
-		doc := ix.docs[id]
-		shared := bitmap.AndCardinality(set, doc)
-		union := set.Cardinality() + doc.Cardinality() - shared
-		d := 1.0
-		if union > 0 {
-			d = 1 - float64(shared)/float64(union)
-		}
-		if d <= maxDistance {
-			results = append(results, Result{ID: id, Distance: d, Shared: shared})
-		}
-		return true
-	})
-	if cancelled {
-		return nil, 0, ctx.Err()
-	}
-	SortResults(results)
-	if limit > 0 && len(results) > limit {
-		results = results[:limit]
-	}
-	return results, numCandidates, nil
-}
-
-// SortResults orders by ascending distance, breaking ties by ID — the
-// ranking contract shared by the local index, the cluster coordinator,
-// and the exact-rerank refinement.
-func SortResults(results []Result) {
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Distance != results[j].Distance {
-			return results[i].Distance < results[j].Distance
-		}
-		return results[i].ID < results[j].ID
-	})
 }
 
 // Stats summarizes the index composition.

@@ -1,0 +1,371 @@
+package index
+
+import (
+	"context"
+	"math"
+	"slices"
+	"sync"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/trajectory"
+)
+
+// This file is the ranked-retrieval core: a term-at-a-time counting merge
+// with threshold pruning and a pooled, allocation-free steady state.
+//
+// The classic document-at-a-time formulation — materialize the union of
+// the query terms' posting lists, then intersect the query set against
+// every candidate's fingerprint set — costs O(Σ|postings|) container
+// merges to build the union plus O(|candidates| × (|F|+|G|)) container
+// walks to score. The counting merge drops both terms: each posting list
+// is streamed once into a chunked per-query counter (bitmap.Counter), so
+// after one O(Σ|postings|) pass the counter holds |F ∩ G| for every
+// candidate G, and the union follows from cached cardinalities as
+// |F| + |G| − |F ∩ G| in O(1). Total: O(Σ|postings| + |candidates|).
+//
+// Threshold pruning (in the spirit of exact trajectory indexes such as
+// N-tree, arXiv:2408.07650) skips candidates before the floating-point
+// scoring step. For a similarity bar s = 1 − maxDistance, a candidate G
+// can only satisfy dJ(F, G) ≤ maxDistance when
+//
+//	s·|F| ≤ |G| ≤ |F|/s            (cardinality window)
+//	|F ∩ G|·(1+s) ≥ s·(|F|+|G|)    (shared-count bar)
+//
+// and under a k-bounded search the bar rises as better candidates fill
+// the top-k heap (s becomes 1 − kth-best distance). Both bounds are
+// applied with one count of slack so floating-point rounding can never
+// prune a candidate the exact check would keep; the exact legacy
+// comparison decides every emitted result, keeping rankings byte-identical
+// to the sort-everything contract (distance ascending, ID tiebreak).
+
+// SearchStats reports what one ranked search touched.
+type SearchStats struct {
+	// Candidates is the number of trajectories sharing at least one
+	// fingerprint with the query, before distance filtering.
+	Candidates int
+	// Pruned is how many of those candidates the threshold bounds skipped
+	// before the scoring step.
+	Pruned int
+}
+
+// resultLess is the ranking contract: distance ascending, ID tiebreak.
+func resultLess(a, b Result) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.ID < b.ID
+}
+
+// SortResults orders by ascending distance, breaking ties by ID — the
+// ranking contract shared by the local index, the cluster coordinator,
+// and the exact-rerank refinement.
+func SortResults(results []Result) {
+	slices.SortFunc(results, func(a, b Result) int {
+		switch {
+		case resultLess(a, b):
+			return -1
+		case resultLess(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// Ranker folds (id, cardinality, shared-count) candidate triples into the
+// ranked-retrieval contract. It owns the threshold pruning bounds and,
+// under a result cap, a bounded top-k max-heap whose rising distance bar
+// tightens the bounds as better candidates accumulate; without a cap it
+// accumulates a flat result list for one final sort. Both the local index
+// and the cluster coordinator rank through it, so the two engines cannot
+// drift. A Ranker is reusable via Init and performs no allocations once
+// its scratch has grown to the workload's steady state; it is not safe
+// for concurrent use.
+type Ranker struct {
+	qc          int
+	maxDistance float64
+	limit       int
+
+	// sim is the static similarity bar 1 − maxDistance; effSim is the
+	// effective bar, raised above sim by the top-k heap as it fills.
+	sim, effSim float64
+	// minCard/maxCard is the cardinality window derived from effSim with
+	// one count of slack; maxCard 0 means unbounded.
+	minCard, maxCard int
+	pruned           int
+
+	heap    []Result // max-heap by (distance, ID) when limit > 0
+	results []Result // flat accumulation when limit ≤ 0
+}
+
+// Init readies the ranker for one search: a query of cardinality qc,
+// a distance cutoff, and a result cap (≤ 0 for uncapped).
+func (r *Ranker) Init(qc int, maxDistance float64, limit int) {
+	r.qc, r.maxDistance, r.limit = qc, maxDistance, limit
+	r.pruned = 0
+	r.heap = r.heap[:0]
+	r.results = r.results[:0]
+	r.sim = 1 - maxDistance
+	if r.sim < 0 {
+		r.sim = 0
+	}
+	r.effSim = r.sim
+	r.retarget()
+}
+
+// retarget recomputes the cardinality window from effSim, keeping one
+// count of slack so rounding cannot prune what the exact check would keep.
+func (r *Ranker) retarget() {
+	if r.effSim <= 0 {
+		r.minCard, r.maxCard = 0, 0
+		return
+	}
+	r.minCard = int(math.Ceil(r.effSim*float64(r.qc))) - 1
+	if maxC := math.Floor(float64(r.qc)/r.effSim) + 1; maxC < math.MaxInt32 {
+		r.maxCard = int(maxC)
+	} else {
+		r.maxCard = 0
+	}
+}
+
+// raiseBar lifts the effective similarity bar to the top-k heap's current
+// worst member. Callers invoke it whenever a full heap's root changes.
+func (r *Ranker) raiseBar() {
+	if simBar := 1 - r.heap[0].Distance; simBar > r.effSim {
+		r.effSim = simBar
+		r.retarget()
+	}
+}
+
+// Consider scores one candidate: a trajectory of the given fingerprint
+// cardinality sharing `shared` fingerprints with the query. Candidates
+// outside the threshold bounds are skipped before scoring and counted as
+// pruned.
+func (r *Ranker) Consider(id trajectory.ID, card, shared int) {
+	if card < r.minCard || (r.maxCard > 0 && card > r.maxCard) {
+		r.pruned++
+		return
+	}
+	if s := r.effSim; s > 0 && float64(shared+1)*(1+s) < s*float64(r.qc+card) {
+		r.pruned++
+		return
+	}
+	union := r.qc + card - shared
+	d := 1.0
+	if union > 0 {
+		d = 1 - float64(shared)/float64(union)
+	}
+	if d > r.maxDistance {
+		return
+	}
+	res := Result{ID: id, Distance: d, Shared: shared}
+	if r.limit <= 0 {
+		r.results = append(r.results, res)
+		return
+	}
+	if len(r.heap) < r.limit {
+		r.heap = append(r.heap, res)
+		r.siftUp(len(r.heap) - 1)
+		if len(r.heap) == r.limit {
+			r.raiseBar()
+		}
+		return
+	}
+	// The heap is full: the candidate must beat the worst member under the
+	// exact ranking contract, which a bar-equal distance can still do on
+	// the ID tiebreak.
+	if resultLess(res, r.heap[0]) {
+		r.heap[0] = res
+		r.siftDown(0)
+		r.raiseBar()
+	}
+}
+
+// Pruned returns how many candidates the threshold bounds skipped.
+func (r *Ranker) Pruned() int { return r.pruned }
+
+// Finish appends the ranked results to dst and returns it. The output is
+// byte-identical to sorting every in-range candidate by (distance, ID)
+// and truncating to the cap.
+func (r *Ranker) Finish(dst []Result) []Result {
+	src := r.results
+	if r.limit > 0 {
+		src = r.heap
+	}
+	dst = append(dst, src...)
+	SortResults(dst[len(dst)-len(src):])
+	return dst
+}
+
+// siftUp restores the max-heap property from leaf i upward.
+func (r *Ranker) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !resultLess(r.heap[parent], r.heap[i]) {
+			return
+		}
+		r.heap[parent], r.heap[i] = r.heap[i], r.heap[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap property from node i downward.
+func (r *Ranker) siftDown(i int) {
+	n := len(r.heap)
+	for {
+		largest := i
+		if l := 2*i + 1; l < n && resultLess(r.heap[largest], r.heap[l]) {
+			largest = l
+		}
+		if rt := 2*i + 2; rt < n && resultLess(r.heap[largest], r.heap[rt]) {
+			largest = rt
+		}
+		if largest == i {
+			return
+		}
+		r.heap[i], r.heap[largest] = r.heap[largest], r.heap[i]
+		i = largest
+	}
+}
+
+// searchScratch is the pooled per-query state: the counting-merge counter,
+// the buffered term batch, and the ranker. Pooling it makes a
+// steady-state search allocation-free.
+type searchScratch struct {
+	counter *bitmap.Counter
+	terms   []uint32
+	ranker  Ranker
+}
+
+var searchScratchPool = sync.Pool{New: func() any {
+	return &searchScratch{counter: bitmap.NewCounter(), terms: make([]uint32, 512)}
+}}
+
+func getSearchScratch() *searchScratch { return searchScratchPool.Get().(*searchScratch) }
+
+// release resets the counter and returns the scratch to the pool.
+func (sc *searchScratch) release() {
+	sc.counter.Reset()
+	searchScratchPool.Put(sc)
+}
+
+// Search is the context-aware ranked retrieval entry point. Alongside the
+// ranked results it reports search statistics: the size of the candidate
+// set (trajectories sharing at least one term with the query) and how
+// many candidates threshold pruning skipped.
+func (ix *Inverted) Search(ctx context.Context, q *trajectory.Trajectory, maxDistance float64, limit int) ([]Result, SearchStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, SearchStats{}, err
+	}
+	return ix.SearchFingerprints(ctx, ix.ex.Extract(q.Points), maxDistance, limit)
+}
+
+// SearchFingerprints ranks against a pre-computed fingerprint set,
+// honoring context cancellation between the counting and ranking stages
+// and periodically inside both loops.
+func (ix *Inverted) SearchFingerprints(ctx context.Context, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, SearchStats, error) {
+	return ix.AppendSearchFingerprints(ctx, nil, set, maxDistance, limit)
+}
+
+// AppendSearchFingerprints is SearchFingerprints appending into dst,
+// which callers on the hot path recycle across queries: with a warm
+// scratch pool and a dst of sufficient capacity a search performs zero
+// heap allocations.
+func (ix *Inverted) AppendSearchFingerprints(ctx context.Context, dst []Result, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, SearchStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, SearchStats{}, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	qc := set.Cardinality()
+	if qc == 0 {
+		return dst, SearchStats{}, nil
+	}
+	if qc > math.MaxUint16 {
+		// The counter's 16-bit counts could wrap; such queries are beyond
+		// any real fingerprint set, but stay correct on the legacy path.
+		return ix.searchUnionLocked(ctx, dst, set, maxDistance, limit)
+	}
+	sc := getSearchScratch()
+	defer sc.release()
+
+	// Stage 1 — counting merge: stream each term's posting list into the
+	// counter; |F ∩ G| accumulates per candidate as the lists go by.
+	it := set.Iterator()
+	for {
+		n := it.NextMany(sc.terms)
+		if n == 0 {
+			break
+		}
+		for _, term := range sc.terms[:n] {
+			if p, ok := ix.postings[term]; ok {
+				sc.counter.Add(p)
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, SearchStats{}, ctx.Err()
+		}
+	}
+	cands := sc.counter.Candidates()
+	stats := SearchStats{Candidates: len(cands)}
+
+	// Stage 2 — threshold-pruned scoring over the candidates only.
+	sc.ranker.Init(qc, maxDistance, limit)
+	for i, v := range cands {
+		if i%1024 == 1023 && ctx.Err() != nil {
+			return nil, stats, ctx.Err()
+		}
+		id := trajectory.ID(v)
+		sc.ranker.Consider(id, ix.cards[id], sc.counter.Count(v))
+	}
+	dst = sc.ranker.Finish(dst)
+	stats.Pruned = sc.ranker.Pruned()
+	return dst, stats, nil
+}
+
+// searchUnionLocked is the pre-counting document-at-a-time path, kept as
+// the fallback for queries whose term count exceeds the counter's 16-bit
+// range: materialize the candidate union, intersect per candidate. The
+// caller must hold the read lock.
+func (ix *Inverted) searchUnionLocked(ctx context.Context, dst []Result, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, SearchStats, error) {
+	candidates := bitmap.New()
+	set.Iterate(func(term uint32) bool {
+		if p, ok := ix.postings[term]; ok {
+			candidates.OrInPlace(p)
+		}
+		return true
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, SearchStats{}, err
+	}
+	stats := SearchStats{Candidates: candidates.Cardinality()}
+	results := dst
+	ranked := 0
+	cancelled := false
+	qc := set.Cardinality()
+	candidates.Iterate(func(idBits uint32) bool {
+		if ranked++; ranked%1024 == 0 && ctx.Err() != nil {
+			cancelled = true
+			return false
+		}
+		id := trajectory.ID(idBits)
+		shared := bitmap.AndCardinality(set, ix.docs[id])
+		union := qc + ix.cards[id] - shared
+		d := 1.0
+		if union > 0 {
+			d = 1 - float64(shared)/float64(union)
+		}
+		if d <= maxDistance {
+			results = append(results, Result{ID: id, Distance: d, Shared: shared})
+		}
+		return true
+	})
+	if cancelled {
+		return nil, stats, ctx.Err()
+	}
+	SortResults(results[len(dst):])
+	if limit > 0 && len(results)-len(dst) > limit {
+		results = results[:len(dst)+limit]
+	}
+	return results, stats, nil
+}

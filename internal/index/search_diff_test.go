@@ -1,0 +1,326 @@
+package index
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/geo"
+	"geodabs/internal/trajectory"
+)
+
+// bruteForceSearch is the reference scorer: score every indexed document
+// with an independent full-bitmap Jaccard computation, keep candidates
+// sharing at least one term, sort by the ranking contract, truncate.
+// The counting-merge core must be byte-identical to it.
+func bruteForceSearch(docs map[trajectory.ID]*bitmap.Bitmap, set *bitmap.Bitmap, maxDistance float64, limit int) []Result {
+	var results []Result
+	for id, doc := range docs {
+		shared := bitmap.AndCardinality(set, doc)
+		if shared == 0 {
+			continue
+		}
+		if d := bitmap.JaccardDistance(set, doc); d <= maxDistance {
+			results = append(results, Result{ID: id, Distance: d, Shared: shared})
+		}
+	}
+	SortResults(results)
+	if limit > 0 && len(results) > limit {
+		results = results[:limit]
+	}
+	return results
+}
+
+// randomSet draws a fingerprint set whose terms overlap heavily across
+// documents (term universe much smaller than the number of draws).
+func randomSet(rng *rand.Rand, maxTerms int, universe uint32) *bitmap.Bitmap {
+	set := bitmap.New()
+	for n := rng.Intn(maxTerms); n > 0; n-- {
+		set.Add(rng.Uint32() % universe)
+	}
+	return set
+}
+
+// buildRandomIndex fills an index with fingerprint-only documents whose
+// IDs span multiple counter chunks.
+func buildRandomIndex(t testing.TB, rng *rand.Rand, docs int) (*Inverted, map[trajectory.ID]*bitmap.Bitmap) {
+	t.Helper()
+	ix := NewInverted(stubExtractor{})
+	reference := make(map[trajectory.ID]*bitmap.Bitmap, docs)
+	for i := 0; i < docs; i++ {
+		id := trajectory.ID(rng.Uint32() % 200000)
+		if _, dup := reference[id]; dup {
+			continue
+		}
+		set := randomSet(rng, 60, 500)
+		if err := ix.AddFingerprints(id, set); err != nil {
+			t.Fatal(err)
+		}
+		reference[id] = set
+	}
+	return ix, reference
+}
+
+// stubExtractor satisfies Extractor for fingerprint-only workloads; the
+// differential tests insert pre-built sets and never extract from points.
+type stubExtractor struct{}
+
+func (stubExtractor) Extract([]geo.Point) *bitmap.Bitmap { return bitmap.New() }
+
+func equalResults(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.ID != w.ID || g.Shared != w.Shared ||
+			math.Float64bits(g.Distance) != math.Float64bits(w.Distance) {
+			t.Fatalf("%s: result %d = %+v, want %+v (distance bits %x vs %x)",
+				label, i, g, w, math.Float64bits(g.Distance), math.Float64bits(w.Distance))
+		}
+	}
+}
+
+// TestSearchMatchesBruteForce drives the counting core over randomized
+// workloads — random maxDistance (range semantics), result caps (the kNN
+// and WithLimit shapes), and post-mutation states — and requires rankings
+// byte-identical to the brute-force scorer.
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ctx := context.Background()
+	for trial := 0; trial < 30; trial++ {
+		ix, reference := buildRandomIndex(t, rng, 200)
+		check := func(label string) {
+			t.Helper()
+			for q := 0; q < 8; q++ {
+				set := randomSet(rng, 80, 500)
+				maxDistance := []float64{0, 0.25, 0.5, 0.8, 0.95, 1}[rng.Intn(6)]
+				limit := []int{0, 1, 3, 10, 1000}[rng.Intn(5)]
+				got, stats, err := ix.SearchFingerprints(ctx, set, maxDistance, limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteForceSearch(reference, set, maxDistance, limit)
+				equalResults(t, label, got, want)
+				wantCandidates := 0
+				for _, doc := range reference {
+					if bitmap.AndCardinality(set, doc) > 0 {
+						wantCandidates++
+					}
+				}
+				if stats.Candidates != wantCandidates {
+					t.Fatalf("%s: Candidates = %d, want %d", label, stats.Candidates, wantCandidates)
+				}
+				if stats.Pruned < 0 || stats.Pruned > stats.Candidates {
+					t.Fatalf("%s: implausible Pruned = %d of %d", label, stats.Pruned, stats.Candidates)
+				}
+			}
+		}
+		check("fresh index")
+
+		// Mutate: delete a third, upsert (replace) a third, then re-verify —
+		// this exercises the cached-cardinality maintenance.
+		i := 0
+		for id := range reference {
+			switch i % 3 {
+			case 0:
+				ix.Delete(id)
+				delete(reference, id)
+			case 1:
+				set := randomSet(rng, 60, 500)
+				ix.Upsert(&trajectory.Trajectory{ID: id, Points: nil})
+				// Upsert extracted an empty set via the stub; replace with a
+				// real one to keep the workload meaningful.
+				ix.Delete(id)
+				if err := ix.AddFingerprints(id, set); err != nil {
+					t.Fatal(err)
+				}
+				reference[id] = set
+			}
+			i++
+		}
+		check("after mutations")
+	}
+}
+
+// TestSearchWideQueryFallback pins the >65535-term fallback path (the
+// legacy union-and-intersect scorer) to the same brute-force contract.
+func TestSearchWideQueryFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ix := NewInverted(stubExtractor{})
+	reference := make(map[trajectory.ID]*bitmap.Bitmap)
+	for i := 0; i < 50; i++ {
+		id := trajectory.ID(i * 977)
+		set := bitmap.New()
+		for n := 0; n < 40; n++ {
+			set.Add(rng.Uint32() % 100000)
+		}
+		if err := ix.AddFingerprints(id, set); err != nil {
+			t.Fatal(err)
+		}
+		reference[id] = set
+	}
+	wide := bitmap.New()
+	for v := uint32(0); v < 70000; v++ {
+		wide.Add(v)
+	}
+	if wide.Cardinality() <= math.MaxUint16 {
+		t.Fatal("query not wide enough to exercise the fallback")
+	}
+	for _, limit := range []int{0, 5} {
+		got, stats, err := ix.SearchFingerprints(context.Background(), wide, 1, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceSearch(reference, wide, 1, limit)
+		equalResults(t, "wide query", got, want)
+		if stats.Pruned != 0 {
+			t.Fatalf("fallback path reported pruning: %d", stats.Pruned)
+		}
+	}
+}
+
+// TestAppendSearchReusesBuffer verifies the zero-alloc contract's
+// ingredient: results append into the caller's buffer.
+func TestAppendSearchReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ix, reference := buildRandomIndex(t, rng, 100)
+	set := randomSet(rng, 60, 500)
+	buf := make([]Result, 0, 4096)
+	got, _, err := ix.AppendSearchFingerprints(context.Background(), buf, set, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(got) == 4096 && len(got) > 0 && &got[:1][0] != &buf[:1][0] {
+		t.Fatal("results not appended into the caller's buffer")
+	}
+	equalResults(t, "append", got, bruteForceSearch(reference, set, 1, 0))
+}
+
+// TestSearchConcurrentMutations interleaves searches with deletes,
+// upserts and inserts. Every observed result must be internally
+// consistent — contract-ordered, within the distance cutoff, shared count
+// plausible — and the run is meaningful under -race.
+func TestSearchConcurrentMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ix, _ := buildRandomIndex(t, rng, 300)
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			mrng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := trajectory.ID(mrng.Uint32() % 200000)
+				switch mrng.Intn(3) {
+				case 0:
+					ix.Delete(id)
+				case 1:
+					ix.AddFingerprints(id, randomSet(mrng, 40, 500))
+				default:
+					ix.DeleteAll(ctx, []trajectory.ID{id, id + 1, id + 2})
+				}
+			}
+		}(int64(w))
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			srng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				set := randomSet(srng, 60, 500)
+				maxDistance := srng.Float64()
+				limit := srng.Intn(20)
+				results, stats, err := ix.SearchFingerprints(ctx, set, maxDistance, limit)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if limit > 0 && len(results) > limit {
+					t.Errorf("limit %d exceeded: %d results", limit, len(results))
+					return
+				}
+				if len(results) > stats.Candidates {
+					t.Errorf("more results (%d) than candidates (%d)", len(results), stats.Candidates)
+					return
+				}
+				qc := set.Cardinality()
+				for j, r := range results {
+					if j > 0 && !resultLess(results[j-1], r) {
+						t.Errorf("results out of contract order at %d", j)
+						return
+					}
+					if r.Distance > maxDistance || r.Shared < 1 || r.Shared > qc {
+						t.Errorf("implausible result %+v (maxDistance %v, qc %d)", r, maxDistance, qc)
+						return
+					}
+				}
+			}
+		}(int64(100 + s))
+	}
+	// Let the searchers finish, then stop the mutators.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	defer func() { <-done }()
+	defer close(stop)
+	// Searchers have a bounded iteration count; wait for them via wg after
+	// the mutators are told to stop in the deferred close.
+}
+
+// FuzzSearchFingerprints fuzzes the counting core against the brute-force
+// scorer with document sets, query, cutoff and cap all derived from the
+// fuzz input.
+func FuzzSearchFingerprints(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(120), uint8(3))
+	f.Add([]byte{0xff, 0x00, 0x42, 0x42, 0x17}, uint8(255), uint8(0))
+	f.Add([]byte{9}, uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, distByte, limitByte uint8) {
+		ix := NewInverted(stubExtractor{})
+		reference := make(map[trajectory.ID]*bitmap.Bitmap)
+		// Each byte contributes terms to one of 8 documents and the query:
+		// a crude but deterministic overlap generator.
+		query := bitmap.New()
+		for i, b := range data {
+			id := trajectory.ID(b % 8)
+			set, ok := reference[id]
+			if !ok {
+				set = bitmap.New()
+			}
+			term := uint32(b)*31 + uint32(i%7)
+			set.Add(term)
+			if b%3 == 0 {
+				query.Add(term)
+			}
+			if b%5 == 0 {
+				query.Add(uint32(b) * 131)
+			}
+			reference[id] = set
+		}
+		for id, set := range reference {
+			ix.Delete(id)
+			if err := ix.AddFingerprints(id, set); err != nil {
+				t.Fatal(err)
+			}
+		}
+		maxDistance := float64(distByte) / 255
+		limit := int(limitByte % 12)
+		got, _, err := ix.SearchFingerprints(context.Background(), query, maxDistance, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceSearch(reference, query, maxDistance, limit)
+		equalResults(t, "fuzz", got, want)
+	})
+}

@@ -105,6 +105,7 @@ func (ix *Inverted) ReadFrom(r io.Reader) (int64, error) {
 	}
 
 	docs := make(map[trajectory.ID]*bitmap.Bitmap, count)
+	cards := make(map[trajectory.ID]int, count)
 	postings := make(map[uint32]*bitmap.Bitmap)
 	var idBuf [4]byte
 	for i := uint32(0); i < count; i++ {
@@ -123,6 +124,7 @@ func (ix *Inverted) ReadFrom(r io.Reader) (int64, error) {
 			return readErr(err)
 		}
 		docs[id] = set
+		cards[id] = set.Cardinality()
 		set.Iterate(func(term uint32) bool {
 			p, ok := postings[term]
 			if !ok {
@@ -135,6 +137,7 @@ func (ix *Inverted) ReadFrom(r io.Reader) (int64, error) {
 	}
 	ix.mu.Lock()
 	ix.docs = docs
+	ix.cards = cards
 	ix.postings = postings
 	ix.epoch = epoch
 	// Raw points are not part of the snapshot: a loaded index serves

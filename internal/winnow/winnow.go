@@ -28,7 +28,18 @@ func Select(hashes []uint32, w int) []int {
 	if len(hashes) < w {
 		return nil
 	}
-	selected := make([]int, 0, len(hashes)/max(w/2, 1)+1)
+	return SelectInto(make([]int, 0, len(hashes)/max(w/2, 1)+1), hashes, w)
+}
+
+// SelectInto is Select appending the positions to dst, for hot paths that
+// recycle the position buffer across calls.
+func SelectInto(dst []int, hashes []uint32, w int) []int {
+	if w < 1 {
+		panic("winnow: window size must be at least 1")
+	}
+	if len(hashes) < w {
+		return dst
+	}
 	// m is the position of the right-most minimum of the current window;
 	// -1 forces a full scan of the first window.
 	m := -1
@@ -42,14 +53,14 @@ func Select(hashes []uint32, w int) []int {
 					m = j
 				}
 			}
-			selected = append(selected, m)
+			dst = append(dst, m)
 		case hashes[i+w-1] <= hashes[m]:
 			// The entering hash is a new right-most minimum.
 			m = i + w - 1
-			selected = append(selected, m)
+			dst = append(dst, m)
 		}
 	}
-	return selected
+	return dst
 }
 
 // SelectShort behaves like Select but additionally handles sequences
@@ -66,13 +77,27 @@ func SelectShort(hashes []uint32, w int) []int {
 	if len(hashes) >= w {
 		return Select(hashes, w)
 	}
+	return SelectShortInto(nil, hashes, w)
+}
+
+// SelectShortInto is SelectShort appending the positions to dst.
+func SelectShortInto(dst []int, hashes []uint32, w int) []int {
+	if len(hashes) >= w {
+		return SelectInto(dst, hashes, w)
+	}
+	if w < 1 {
+		panic("winnow: window size must be at least 1")
+	}
+	if len(hashes) == 0 {
+		return dst
+	}
 	m := 0
 	for j := 1; j < len(hashes); j++ {
 		if hashes[j] <= hashes[m] {
 			m = j
 		}
 	}
-	return []int{m}
+	return append(dst, m)
 }
 
 // Values maps the selected positions back to their hash values, preserving

@@ -170,6 +170,11 @@ type SearchStats struct {
 	// Candidates is the number of trajectories sharing at least one
 	// fingerprint with the query, before distance filtering.
 	Candidates int
+	// Pruned is how many of those candidates threshold pruning skipped
+	// before scoring: trajectories whose fingerprint cardinality or
+	// shared-term count proves they cannot satisfy WithMaxDistance (or
+	// beat the current kth-best candidate under WithKNN/WithLimit).
+	Pruned int
 	// ShardsTouched and NodesTouched report the distributed fan-out; both
 	// are zero for a local *Index search.
 	ShardsTouched int
@@ -185,7 +190,7 @@ func (ix *Index) Search(ctx context.Context, q *Trajectory, opts ...SearchOption
 		return nil, err
 	}
 	start := time.Now()
-	hits, candidates, err := ix.inv.Search(ctx, q, o.maxDistance, o.fetchLimit())
+	hits, istats, err := ix.inv.Search(ctx, q, o.maxDistance, o.fetchLimit())
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +200,8 @@ func (ix *Index) Search(ctx context.Context, q *Trajectory, opts ...SearchOption
 	return &SearchResult{
 		Hits: hits,
 		Stats: SearchStats{
-			Candidates: candidates,
+			Candidates: istats.Candidates,
+			Pruned:     istats.Pruned,
 			Elapsed:    time.Since(start),
 		},
 	}, nil
@@ -227,6 +233,7 @@ func (c *Cluster) Search(ctx context.Context, q *Trajectory, opts ...SearchOptio
 		Hits: hits,
 		Stats: SearchStats{
 			Candidates:    info.Candidates,
+			Pruned:        info.Pruned,
 			ShardsTouched: info.Shards,
 			NodesTouched:  info.Nodes,
 			Elapsed:       time.Since(start),
