@@ -441,6 +441,51 @@ func BenchmarkSearchCoreKNN(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterSearch measures one scatter-gather against a live
+// three-node loopback cluster, at the open distance bound (d=1: the
+// node-side cardinality window is unbounded, every candidate partial
+// crosses the wire) and at a tight bound (d=0.5: shard nodes prune
+// non-qualifying candidates before gob serialization).
+func BenchmarkClusterSearch(b *testing.B) {
+	cfg := geodabs.DefaultConfig()
+	const nodeCount = 3
+	strategy := geodabs.ShardStrategy{PrefixBits: cfg.PrefixBits, Shards: 1000, Nodes: nodeCount}
+	addrs := make([]string, nodeCount)
+	for i := range addrs {
+		n, err := geodabs.StartShardNode("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		addrs[i] = n.Addr()
+	}
+	cl, err := geodabs.NewCluster(cfg, strategy, addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	for _, t := range benchWorkload().Dataset.Trajectories {
+		if err := cl.Add(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := benchWorkload().Queries[0]
+	ctx := context.Background()
+	for _, bc := range []struct {
+		name        string
+		maxDistance float64
+	}{{"d1", 1}, {"d05", 0.5}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Search(ctx, q, geodabs.WithMaxDistance(bc.maxDistance), geodabs.WithLimit(10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSearchExactRerank measures the §VI-C refinement: fingerprint
 // pruning plus a DTW pass over the shortlist.
 func BenchmarkSearchExactRerank(b *testing.B) {

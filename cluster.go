@@ -30,7 +30,11 @@ type NodeStats = cluster.NodeStats
 
 // Cluster is a distributed geodab index: a coordinator that routes
 // postings to shard nodes, fans out deletions, and scatter-gathers
-// Jaccard-ranked queries. Results are identical to a local Index over
+// Jaccard-ranked queries. Each trajectory's fingerprint cardinality is
+// replicated to its owning nodes, so a search's distance bound is
+// enforced node-side too: candidates that provably cannot qualify are
+// skipped before they are serialized (SearchStats.NodePruned counts
+// them). Results are identical to a local Index over
 // the same data; both implement Searcher and Mutator. Reads are
 // snapshot-isolated against concurrent writes: every mutation carries an
 // epoch, every search takes the committed-epoch watermark before

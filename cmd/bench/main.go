@@ -2,11 +2,12 @@
 // headline retrieval benchmarks — public Search, the zero-alloc counting
 // core, SearchBatch, and a live three-node cluster scatter-gather — via
 // testing.Benchmark and writes the results, together with the threshold
-// pruning statistics of a pinned query, to a JSON file.
+// pruning statistics of a pinned query (local index and cluster), to a
+// JSON file.
 //
 // Regenerate the committed snapshot with:
 //
-//	go run ./cmd/bench -out BENCH_3.json
+//	go run ./cmd/bench -out BENCH_4.json
 //
 // The workload is deterministic (seeded synthetic city, 50 routes), so
 // ns/op moves only with the hardware and the code.
@@ -46,18 +47,36 @@ type pruningStats struct {
 	Hits        int     `json:"hits"`
 }
 
+// clusterPruningStats quantifies the scatter-gather wire traffic of one
+// pinned query: WireBefore partial entries would have crossed the wire
+// without node-side pruning, WireAfter actually did (the difference is
+// NodePruned, skipped at the shard nodes by the replicated-cardinality
+// window before gob serialization).
+type clusterPruningStats struct {
+	MaxDistance float64 `json:"max_distance"`
+	KNN         int     `json:"knn"`
+	WireBefore  int     `json:"wire_partials_before"`
+	WireAfter   int     `json:"wire_partials_after"`
+	NodePruned  int     `json:"node_pruned"`
+	Candidates  int     `json:"candidates"`
+	Pruned      int     `json:"coordinator_pruned"`
+	Hits        int     `json:"hits"`
+	Nodes       int     `json:"nodes_touched"`
+}
+
 type report struct {
-	Issue      int            `json:"issue"`
-	Regenerate string         `json:"regenerate"`
-	GoVersion  string         `json:"go_version"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Workload   string         `json:"workload"`
-	Benches    []benchResult  `json:"benches"`
-	Pruning    []pruningStats `json:"pruning"`
+	Issue          int                   `json:"issue"`
+	Regenerate     string                `json:"regenerate"`
+	GoVersion      string                `json:"go_version"`
+	GOMAXPROCS     int                   `json:"gomaxprocs"`
+	Workload       string                `json:"workload"`
+	Benches        []benchResult         `json:"benches"`
+	Pruning        []pruningStats        `json:"pruning"`
+	ClusterPruning []clusterPruningStats `json:"cluster_pruning"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	out := flag.String("out", "BENCH_4.json", "output JSON path")
 	flag.Parse()
 
 	city, err := roadnet.GenerateCity(roadnet.CityConfig{Seed: 7})
@@ -138,7 +157,9 @@ func main() {
 	}
 
 	// A live three-node cluster on loopback: the scatter-gather inherits
-	// the counting core through the shard nodes' query handlers.
+	// the counting core through the shard nodes' query handlers, and the
+	// nodes threshold-prune with the replicated cardinalities before
+	// serializing their partials.
 	const nodes = 3
 	strategy := geodabs.ShardStrategy{PrefixBits: 16, Shards: 256, Nodes: nodes}
 	addrs := make([]string, nodes)
@@ -169,13 +190,26 @@ func main() {
 		}
 	}))
 
+	// The same scatter-gather under a tight distance bound, where the
+	// node-side cardinality window does real work: fewer partials are
+	// gob-encoded, shipped and merged.
+	record("ClusterSearchPruned", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Search(ctx, q, geodabs.WithMaxDistance(0.5), geodabs.WithKNN(5)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	// Pruning statistics of pinned queries: how much of the candidate set
 	// the threshold bounds discard before scoring.
 	var pruning []pruningStats
-	for _, p := range []struct {
+	points := []struct {
 		maxDistance float64
 		knn         int
-	}{{0.5, 5}, {0.9, 10}, {1, 10}} {
+	}{{0.5, 5}, {0.9, 10}, {1, 10}}
+	for _, p := range points {
 		res, err := idx.Search(ctx, q, geodabs.WithMaxDistance(p.maxDistance), geodabs.WithKNN(p.knn))
 		if err != nil {
 			log.Fatal(err)
@@ -191,14 +225,41 @@ func main() {
 			p.maxDistance, p.knn, res.Stats.Candidates, res.Stats.Pruned, len(res.Hits))
 	}
 
+	// The same operating points on the cluster: wire partials before and
+	// after node-side pruning (before = shipped + node-pruned, exact
+	// because the window is the only node-side candidate filter).
+	var clusterPruning []clusterPruningStats
+	for _, p := range points {
+		res, err := cl.Search(ctx, q, geodabs.WithMaxDistance(p.maxDistance), geodabs.WithKNN(p.knn))
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats
+		clusterPruning = append(clusterPruning, clusterPruningStats{
+			MaxDistance: p.maxDistance,
+			KNN:         p.knn,
+			WireBefore:  s.WirePartials + s.NodePruned,
+			WireAfter:   s.WirePartials,
+			NodePruned:  s.NodePruned,
+			Candidates:  s.Candidates,
+			Pruned:      s.Pruned,
+			Hits:        len(res.Hits),
+			Nodes:       s.NodesTouched,
+		})
+		fmt.Printf("cluster maxDist=%.2f k=%-3d wire=%d→%d nodePruned=%d candidates=%d pruned=%d hits=%d\n",
+			p.maxDistance, p.knn, s.WirePartials+s.NodePruned, s.WirePartials, s.NodePruned,
+			s.Candidates, s.Pruned, len(res.Hits))
+	}
+
 	rep := report{
-		Issue:      3,
-		Regenerate: "go run ./cmd/bench -out BENCH_3.json",
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workload:   "synthetic city seed 7, 50 routes, default fingerprint config",
-		Benches:    results,
-		Pruning:    pruning,
+		Issue:          4,
+		Regenerate:     "go run ./cmd/bench -out BENCH_4.json",
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Workload:       "synthetic city seed 7, 50 routes, default fingerprint config",
+		Benches:        results,
+		Pruning:        pruning,
+		ClusterPruning: clusterPruning,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

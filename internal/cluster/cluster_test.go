@@ -12,6 +12,7 @@ import (
 
 	"geodabs/internal/core"
 	"geodabs/internal/gen"
+	"geodabs/internal/geo"
 	"geodabs/internal/index"
 	"geodabs/internal/roadnet"
 	"geodabs/internal/shard"
@@ -721,6 +722,236 @@ func TestPoolParallelSearches(t *testing.T) {
 				t.Fatalf("query %d result %d: %+v vs %+v", r.qi, i, r.res[i], want[r.qi][i])
 			}
 		}
+	}
+}
+
+// TestNodeSidePruningMatchesLocal is the tentpole acceptance criterion:
+// with document cardinalities replicated to the shard nodes and the
+// query's window pushed down, distributed results must stay byte-identical
+// to a local index while a pruning-eligible workload shows a non-zero
+// NodePruned — candidates skipped before they ever hit gob or the wire.
+func TestNodeSidePruningMatchesLocal(t *testing.T) {
+	coord, _ := startCluster(t, 3)
+	ex := index.GeodabExtractor{Fingerprinter: core.MustFingerprinter(core.DefaultConfig())}
+	local := index.NewInverted(ex)
+	ctx := context.Background()
+	add := func(tr *trajectory.Trajectory) {
+		t.Helper()
+		if err := coord.Add(ctx, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := local.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		add(tr)
+	}
+	q := testWorkload.Queries[0]
+	// Guaranteed pruning bait: short prefixes of the query share its
+	// leading terms but have a fingerprint cardinality far below the
+	// window's floor at tight distance bounds.
+	for i, div := range []int{2, 3, 4} {
+		add(&trajectory.Trajectory{ID: trajectory.ID(90000 + i), Points: q.Points[:len(q.Points)/div]})
+	}
+	totalNodePruned := 0
+	for _, maxDistance := range []float64{0.2, 0.5, 0.8, 0.99, 1} {
+		for _, limit := range []int{0, 3} {
+			want, wantStats, err := local.Search(ctx, q, maxDistance, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, info, err := coord.Search(ctx, q, maxDistance, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("d=%v limit=%d: cluster returned %d results, local %d", maxDistance, limit, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("d=%v limit=%d result %d: %+v vs %+v", maxDistance, limit, i, got[i], want[i])
+				}
+			}
+			// Node pruning removes candidates before the merge, so the
+			// cluster sees at most the local candidate set, and the two
+			// pruning stages together never under-count what the local
+			// single-stage pruning skips.
+			if info.Candidates > wantStats.Candidates {
+				t.Errorf("d=%v: cluster candidates %d > local %d", maxDistance, info.Candidates, wantStats.Candidates)
+			}
+			if maxDistance >= 1 && info.NodePruned != 0 {
+				t.Errorf("d=1 search reported NodePruned=%d, want 0 (window unbounded)", info.NodePruned)
+			}
+			if info.WirePartials < info.Candidates {
+				t.Errorf("d=%v: %d wire partials < %d distinct candidates", maxDistance, info.WirePartials, info.Candidates)
+			}
+			totalNodePruned += info.NodePruned
+		}
+	}
+	if totalNodePruned == 0 {
+		t.Error("no search pruned node-side despite bait candidates outside every tight window")
+	}
+}
+
+// TestNodeCardinalityWindow pins the node's window arithmetic on both
+// query paths with hand-built documents: a node must prune a candidate
+// whose replicated |G| falls outside [(1−d)·|F|, |F|/(1−d)] and keep one
+// inside, reporting the skipped entries in Pruned.
+func TestNodeCardinalityWindow(t *testing.T) {
+	node, err := StartNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	cl, err := dial(node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.close()
+	ctx := context.Background()
+	// Document 1: one shared term, tiny total cardinality (card 10).
+	// Document 2: one shared term, total cardinality 70000.
+	for _, doc := range []addRequest{
+		{ID: 1, Terms: []uint32{5}, Epoch: 1, Card: 10},
+		{ID: 2, Terms: []uint32{6}, Epoch: 2, Card: 70000},
+	} {
+		doc := doc
+		if _, err := cl.call(ctx, &request{Op: opAdd, Add: &doc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Narrow path: |F|=100, d=0.5 → window ≈ [49, 201]: both docs outside.
+	resp, err := cl.call(ctx, &request{Op: opQuery, Query: &queryRequest{
+		Terms: []uint32{5, 6}, QueryCard: 100, MaxDistance: 0.5,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Query.IDs) != 0 || resp.Query.Pruned != 2 {
+		t.Errorf("narrow path: IDs=%v Pruned=%d, want both docs pruned", resp.Query.IDs, resp.Query.Pruned)
+	}
+	// Wide path (>65535 terms): |F|=70000, d=0.5 → window ≈ [34999, 140001]:
+	// doc 1 pruned, doc 2 kept with its partial count of 1.
+	wide := make([]uint32, 70001)
+	for i := range wide {
+		wide[i] = uint32(i)
+	}
+	resp, err = cl.call(ctx, &request{Op: opQuery, Query: &queryRequest{
+		Terms: wide, QueryCard: 70000, MaxDistance: 0.5,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Query.IDs) != 1 || resp.Query.IDs[0] != 2 || resp.Query.Counts[0] != 1 || resp.Query.Pruned != 1 {
+		t.Errorf("wide path: IDs=%v Counts=%v Pruned=%d, want doc 2 kept and doc 1 pruned",
+			resp.Query.IDs, resp.Query.Counts, resp.Query.Pruned)
+	}
+	// QueryCard 0 disables the window: both docs ship.
+	resp, err = cl.call(ctx, &request{Op: opQuery, Query: &queryRequest{
+		Terms: []uint32{5, 6}, MaxDistance: 0.5,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Query.IDs) != 2 || resp.Query.Pruned != 0 {
+		t.Errorf("QueryCard 0: IDs=%v Pruned=%d, want pruning disabled", resp.Query.IDs, resp.Query.Pruned)
+	}
+}
+
+// TestClusterSameIDHammer races Upserts, Deletes and Searches of the
+// same trajectory ID: the per-ID mutation stripe must serialize the
+// upserts' delete+add legs, so no well-formed call ever fails on its own
+// sibling ("already indexed"), and searches stay snapshot-consistent.
+// Run with -race for the memory-model half.
+func TestClusterSameIDHammer(t *testing.T) {
+	coord, _ := startCluster(t, 3)
+	ctx := context.Background()
+	for _, tr := range testWorkload.Dataset.Trajectories[:6] {
+		if err := coord.Add(ctx, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const victim = trajectory.ID(70001)
+	const writers, rounds = 4, 10
+	geometries := make([][]geo.Point, writers)
+	for w := range geometries {
+		geometries[w] = testWorkload.Dataset.Trajectories[w].Points
+	}
+	errc := make(chan error, 2*writers+2)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clone := &trajectory.Trajectory{ID: victim, Points: geometries[w]}
+			for r := 0; r < rounds; r++ {
+				if err := coord.Upsert(ctx, clone); err != nil {
+					errc <- fmt.Errorf("upsert writer %d round %d: %w", w, r, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// A deleter interleaves withdrawals; ErrNotFound is its only
+	// acceptable failure (another deleter or no prior upsert).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 2*rounds; r++ {
+			if err := coord.Delete(ctx, victim); err != nil && !errors.Is(err, ErrNotFound) {
+				errc <- fmt.Errorf("delete round %d: %w", r, err)
+				return
+			}
+		}
+	}()
+	stop := make(chan struct{})
+	var searchWG sync.WaitGroup
+	searchWG.Add(1)
+	go func() {
+		defer searchWG.Done()
+		q := testWorkload.Queries[0]
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := coord.Search(ctx, q, 1, 0); err != nil {
+				errc <- fmt.Errorf("search: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	searchWG.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	// Quiesce: a final upsert then search must surface exactly one live
+	// version of the victim.
+	final := &trajectory.Trajectory{ID: victim, Points: geometries[0]}
+	if err := coord.Upsert(ctx, final); err != nil {
+		t.Fatalf("final upsert: %v", err)
+	}
+	results, _, err := coord.Search(ctx, final, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range results {
+		if r.ID == victim {
+			if r.Distance != 0 {
+				t.Errorf("victim at distance %v after quiescence, want 0", r.Distance)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("victim missing after final upsert")
 	}
 }
 

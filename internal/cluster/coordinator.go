@@ -31,7 +31,12 @@ var addCleanupTimeout = 5 * time.Second
 // deletions, and scatter-gathers ranked queries. It maintains the
 // directory of per-trajectory fingerprint cardinalities needed to turn
 // partial intersection counts into Jaccard distances (plus, when point
-// retention is on, the raw points for exact re-ranking).
+// retention is on, the raw points for exact re-ranking). Each
+// trajectory's total cardinality is also replicated to the nodes owning
+// its terms, so queries carry their cardinality and distance bound down
+// and the nodes threshold-prune non-qualifying candidates before the
+// wire (see the protocol doc for why that window — unlike the
+// shared-count bar — is safe to evaluate node-side).
 //
 // Every mutation is assigned a monotone epoch, and every search takes a
 // snapshot — the epoch below which no mutation is still in flight —
@@ -49,6 +54,16 @@ type Coordinator struct {
 	retain   bool
 	poolSize int
 
+	// idMu stripes a per-trajectory mutation lock: Add, Delete and Upsert
+	// acquire the ID's stripe for their full node fan-out, so same-ID
+	// mutations are serialized end to end. Without it two concurrent
+	// Upserts of one ID race: both run the Delete leg (one swallowing
+	// ErrNotFound), then both run the Add leg, and the loser fails with a
+	// spurious "already indexed" even though each call was well formed.
+	// Distinct IDs sharing a stripe merely serialize — never deadlock —
+	// and the stripe is always acquired before (never while holding) mu.
+	idMu [idStripes]sync.Mutex
+
 	mu        sync.RWMutex
 	directory map[trajectory.ID]docEntry
 	// epoch is the last assigned mutation epoch; inFlight holds the epochs
@@ -57,6 +72,16 @@ type Coordinator struct {
 	// and the compaction bound piggybacked to the nodes.
 	epoch    uint64
 	inFlight map[uint64]struct{}
+}
+
+// idStripes sizes the per-ID mutation lock table. Collisions between
+// distinct IDs cost serialization of two unrelated mutations, nothing
+// more, so a modest power of two suffices.
+const idStripes = 64
+
+// idLock returns the stripe serializing mutations of one trajectory ID.
+func (c *Coordinator) idLock(id trajectory.ID) *sync.Mutex {
+	return &c.idMu[uint64(id)%idStripes]
 }
 
 // entryState tracks a directory entry through its mutation lifecycle.
@@ -255,10 +280,19 @@ func (c *Coordinator) groupByNode(set *bitmap.Bitmap, shardSet map[int]struct{})
 // its stranded postings stay hidden behind the directory check until an
 // Upsert or re-Add of the ID replaces them.
 func (c *Coordinator) Add(parent context.Context, t *trajectory.Trajectory) error {
+	lock := c.idLock(t.ID)
+	lock.Lock()
+	defer lock.Unlock()
+	return c.addID(parent, t)
+}
+
+// addID is Add under an already-held ID stripe.
+func (c *Coordinator) addID(parent context.Context, t *trajectory.Trajectory) error {
 	if err := parent.Err(); err != nil {
 		return err
 	}
 	set := c.ex.Extract(t.Points)
+	card := set.Cardinality()
 	c.mu.Lock()
 	if _, dup := c.directory[t.ID]; dup {
 		c.mu.Unlock()
@@ -275,7 +309,9 @@ func (c *Coordinator) Add(parent context.Context, t *trajectory.Trajectory) erro
 		_, err := c.clients[node].call(ctx, &request{
 			Op:           opAdd,
 			CompactBelow: below,
-			Add:          &addRequest{ID: uint32(t.ID), Terms: groups[node], Epoch: e},
+			// Card replicates the trajectory's total cardinality |G| so
+			// the node can threshold-prune query candidates locally.
+			Add: &addRequest{ID: uint32(t.ID), Terms: groups[node], Epoch: e, Card: card},
 		})
 		return err
 	})
@@ -288,7 +324,7 @@ func (c *Coordinator) Add(parent context.Context, t *trajectory.Trajectory) erro
 		return err
 	}
 	c.mu.Lock()
-	entry := docEntry{card: set.Cardinality(), state: stateLive, epoch: e}
+	entry := docEntry{card: card, state: stateLive, epoch: e}
 	if c.retain {
 		entry.points = t.Points
 	}
@@ -334,6 +370,14 @@ func (c *Coordinator) cleanupFailedAdd(id trajectory.ID, nodes []int) {
 // and retrying the Delete reclaims whatever postings remain (node-side
 // deletion is idempotent).
 func (c *Coordinator) Delete(parent context.Context, id trajectory.ID) error {
+	lock := c.idLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+	return c.deleteID(parent, id)
+}
+
+// deleteID is Delete under an already-held ID stripe.
+func (c *Coordinator) deleteID(parent context.Context, id trajectory.ID) error {
 	if err := parent.Err(); err != nil {
 		return err
 	}
@@ -376,12 +420,18 @@ func (c *Coordinator) Delete(parent context.Context, id trajectory.ID) error {
 // Upsert replaces a trajectory: an indexed ID is deleted first, then the
 // new version is added under a fresh epoch. During the swap the ID is
 // absent from results — searches observe the old version, nothing, or
-// the new version, never a mixture.
+// the new version, never a mixture. The delete and add legs run as one
+// critical section under the ID's mutation stripe, so concurrent
+// same-ID upserts serialize instead of interleaving their legs (which
+// would fail the loser's add on its own sibling's re-insert).
 func (c *Coordinator) Upsert(ctx context.Context, t *trajectory.Trajectory) error {
-	if err := c.Delete(ctx, t.ID); err != nil && !errors.Is(err, ErrNotFound) {
+	lock := c.idLock(t.ID)
+	lock.Lock()
+	defer lock.Unlock()
+	if err := c.deleteID(ctx, t.ID); err != nil && !errors.Is(err, ErrNotFound) {
 		return err
 	}
-	return c.Add(ctx, t)
+	return c.addID(ctx, t)
 }
 
 // DeleteAll deletes a batch of IDs on the given number of parallel
@@ -507,11 +557,22 @@ func (c *Coordinator) Analyze(q *trajectory.Trajectory) QueryStats {
 // SearchInfo reports what one distributed search touched.
 type SearchInfo struct {
 	// Candidates is the number of distinct trajectories seen across the
-	// partial intersection counts, before distance filtering.
+	// partial intersection counts that crossed the wire, before distance
+	// filtering. Candidates the shard nodes pruned are not included.
 	Candidates int
 	// Pruned is how many candidates the coordinator's threshold bounds
-	// skipped before scoring.
+	// skipped before scoring, after the merge.
 	Pruned int
+	// NodePruned is how many candidate partials the shard nodes'
+	// cardinality window skipped before serialization — entries that,
+	// without node-side pruning, would have crossed the wire and been
+	// pruned by the coordinator instead. A candidate spanning several
+	// nodes counts once per node, matching its wire cost.
+	NodePruned int
+	// WirePartials is the number of (ID, count) partial entries that did
+	// cross the wire, summed over the answering nodes; with NodePruned it
+	// quantifies the transfer the node-side window saved.
+	WirePartials int
 	// Shards and Nodes are the fan-out the query's terms incurred.
 	Shards int
 	Nodes  int
@@ -573,7 +634,9 @@ func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, m
 		resp, err := c.clients[node].call(ctx, &request{
 			Op:           opQuery,
 			CompactBelow: snap,
-			Query:        &queryRequest{Terms: groups[node]},
+			// QueryCard and MaxDistance let the node apply the
+			// cardinality window before serializing its partials.
+			Query: &queryRequest{Terms: groups[node], QueryCard: qCard, MaxDistance: maxDistance},
 		})
 		if err != nil {
 			return err
@@ -582,6 +645,8 @@ func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, m
 		// the exact |F ∩ G| — the distributed half of the counting merge.
 		sharedMu.Lock()
 		acc.addPartial(resp.Query.IDs, resp.Query.Counts)
+		info.NodePruned += resp.Query.Pruned
+		info.WirePartials += len(resp.Query.IDs)
 		sharedMu.Unlock()
 		return nil
 	})
@@ -590,23 +655,42 @@ func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, m
 	}
 	info.Candidates = acc.candidates()
 
-	// Rank through the same threshold-pruning core as the local index, so
-	// the cluster inherits its bounds, its top-k heap, and its
-	// byte-identical (distance, ID) contract.
-	var ranker index.Ranker
+	// Snapshot the directory columns ranking needs — cardinality,
+	// liveness, epoch — under the read lock, then rank outside it. The
+	// lock covers only the map lookups; holding it across the whole
+	// scoring pass would block every mutation for the duration of a large
+	// candidate set's floating-point ranking.
+	ranked := make([]rankedCandidate, 0, info.Candidates)
 	c.mu.RLock()
-	ranker.Init(qCard, maxDistance, limit)
 	acc.forEach(func(id uint32, shared int) {
 		entry, ok := c.directory[trajectory.ID(id)]
 		if !ok || entry.state != stateLive || entry.epoch > snap {
 			return // unknown, mid-mutation, or newer than the snapshot
 		}
-		ranker.Consider(trajectory.ID(id), entry.card, shared)
+		ranked = append(ranked, rankedCandidate{id: id, card: entry.card, shared: shared})
 	})
 	c.mu.RUnlock()
+
+	// Rank through the same threshold-pruning core as the local index, so
+	// the cluster inherits its bounds, its top-k heap, and its
+	// byte-identical (distance, ID) contract.
+	var ranker index.Ranker
+	ranker.Init(qCard, maxDistance, limit)
+	for _, cand := range ranked {
+		ranker.Consider(trajectory.ID(cand.id), cand.card, cand.shared)
+	}
 	results := ranker.Finish(make([]index.Result, 0, limitCap(limit, info.Candidates)))
 	info.Pruned = ranker.Pruned()
 	return results, info, nil
+}
+
+// rankedCandidate is one merged candidate with its directory snapshot:
+// the columns the ranking loop needs, copied out so the loop runs
+// without holding the coordinator's lock.
+type rankedCandidate struct {
+	id     uint32
+	card   int
+	shared int
 }
 
 // partialAccumulator is the merge target of a scatter-gather: it sums the

@@ -2,7 +2,10 @@
 // §VI-E) as a real client/server system on TCP: shard nodes own disjoint
 // ranges of the geodab term space and serve posting lookups; a coordinator
 // routes additions and deletions and scatter-gathers queries, merging
-// partial intersection counts into Jaccard-ranked results.
+// partial intersection counts into Jaccard-ranked results. Document
+// cardinalities are replicated to the owning nodes, so each node applies
+// the threshold-pruning cardinality window before serializing its
+// partial counts — non-qualifying candidates never cross the wire.
 //
 // Everything speaks length-delimited gob — no dependencies beyond the
 // standard library.
@@ -15,17 +18,23 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"geodabs/internal/bitmap"
+	"geodabs/internal/index"
 )
 
 // nodeDoc is a node's per-trajectory bookkeeping: the terms it owns for
-// the trajectory and the epoch of the last mutation applied to it. A nil
-// Terms slice is a tombstone — the trajectory was deleted at Epoch, and
-// the entry lingers only to fence stale adds until the coordinator's
-// compaction watermark passes the epoch.
+// the trajectory, the trajectory's total fingerprint cardinality |G|
+// (replicated from the coordinator so queries can threshold-prune
+// locally), and the epoch of the last mutation applied to it. A nil
+// Terms slice is a tombstone — the trajectory was deleted at Epoch, its
+// card reset to 0, and the entry lingers only to fence stale adds until
+// the coordinator's compaction watermark passes the epoch; a tombstone
+// has no postings, so it can never surface as a query candidate.
 type nodeDoc struct {
 	terms []uint32
+	card  int
 	epoch uint64
 }
 
@@ -85,8 +94,13 @@ func (n *Node) Close() error {
 	return err
 }
 
+// acceptBackoffMax bounds the exponential backoff between retries of a
+// persistently failing Accept.
+const acceptBackoffMax = time.Second
+
 func (n *Node) acceptLoop() {
 	defer n.connWG.Done()
+	var backoff time.Duration
 	for {
 		conn, err := n.ln.Accept()
 		if err != nil {
@@ -94,10 +108,24 @@ func (n *Node) acceptLoop() {
 			case <-n.closing:
 				return
 			default:
-				// Transient accept error: keep serving.
-				continue
 			}
+			// Transient accept error (EMFILE, ECONNABORTED, ...): keep
+			// serving, but back off exponentially on consecutive failures —
+			// a persistent error such as file-descriptor exhaustion would
+			// otherwise spin this loop at 100% CPU until it clears.
+			if backoff < time.Millisecond {
+				backoff = time.Millisecond
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			select {
+			case <-time.After(backoff):
+			case <-n.closing:
+				return
+			}
+			continue
 		}
+		backoff = 0
 		n.connWG.Add(1)
 		go n.serve(conn)
 	}
@@ -180,7 +208,7 @@ func (n *Node) add(req *addRequest) {
 		}
 		p.Add(req.ID)
 	}
-	n.docs[req.ID] = nodeDoc{terms: req.Terms, epoch: req.Epoch}
+	n.docs[req.ID] = nodeDoc{terms: req.Terms, card: req.Card, epoch: req.Epoch}
 }
 
 // delete withdraws a trajectory's postings and leaves a tombstone at the
@@ -253,10 +281,13 @@ var counterPool = sync.Pool{New: func() any { return bitmap.NewCounter() }}
 // query runs the same term-at-a-time counting merge as the local index's
 // search core: each owned posting list streams once into a pooled
 // counter, leaving the node's partial |F ∩ G| per candidate — no
-// candidate union, no per-candidate intersection. Queries with more terms
-// than the counter's 16-bit counts can hold fall back to map-based
-// counting (no real fingerprint set is that large, but the node must not
-// wrap counts on a malformed request).
+// candidate union, no per-candidate intersection. Before serializing,
+// the node applies the threshold-pruning cardinality window against the
+// replicated document cardinalities (see cardWindow), so non-qualifying
+// candidates never hit gob or the wire. Queries with more terms than the
+// counter's 16-bit counts can hold fall back to map-based counting (no
+// real fingerprint set is that large, but the node must not wrap counts
+// on a malformed request).
 func (n *Node) query(req *queryRequest) *queryResponse {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
@@ -274,15 +305,21 @@ func (n *Node) query(req *queryRequest) *queryResponse {
 		}
 	}
 	cands := c.Candidates()
-	resp := &queryResponse{IDs: make([]uint32, len(cands)), Counts: make([]uint32, len(cands))}
-	for i, v := range cands {
-		resp.IDs[i] = v
-		resp.Counts[i] = uint32(c.Count(v))
+	minCard, maxCard := cardWindow(req)
+	resp := &queryResponse{IDs: make([]uint32, 0, len(cands)), Counts: make([]uint32, 0, len(cands))}
+	for _, v := range cands {
+		if !index.InWindow(n.docs[v].card, minCard, maxCard) {
+			resp.Pruned++
+			continue
+		}
+		resp.IDs = append(resp.IDs, v)
+		resp.Counts = append(resp.Counts, uint32(c.Count(v)))
 	}
 	return resp
 }
 
-// queryWide is the uncapped fallback for degenerate term counts.
+// queryWide is the uncapped fallback for degenerate term counts. It
+// applies the same node-side cardinality window as the narrow path.
 func (n *Node) queryWide(req *queryRequest) *queryResponse {
 	partial := make(map[uint32]int)
 	for _, term := range req.Terms {
@@ -293,12 +330,30 @@ func (n *Node) queryWide(req *queryRequest) *queryResponse {
 			})
 		}
 	}
+	minCard, maxCard := cardWindow(req)
 	resp := &queryResponse{IDs: make([]uint32, 0, len(partial)), Counts: make([]uint32, 0, len(partial))}
 	for id, count := range partial {
+		if !index.InWindow(n.docs[id].card, minCard, maxCard) {
+			resp.Pruned++
+			continue
+		}
 		resp.IDs = append(resp.IDs, id)
 		resp.Counts = append(resp.Counts, uint32(count))
 	}
 	return resp
+}
+
+// cardWindow resolves a query's node-side cardinality window: the shared
+// index.CardinalityWindow bounds when the request carries the query's
+// global cardinality, the open window (prune nothing) otherwise. The
+// callers test candidates through index.InWindow — the exact predicate
+// the coordinator's Ranker applies — so a node-side prune can never
+// remove a candidate the merge would keep.
+func cardWindow(req *queryRequest) (minCard, maxCard int) {
+	if req.QueryCard <= 0 {
+		return 0, 0
+	}
+	return index.CardinalityWindow(req.QueryCard, req.MaxDistance)
 }
 
 func (n *Node) stats() *statsResponse {

@@ -13,6 +13,25 @@ package cluster
 // makes retries idempotent. Every request also piggybacks the
 // coordinator's compaction watermark — the epoch below which no mutation
 // is still in flight — letting nodes reclaim tombstones lazily.
+//
+// Adds replicate the trajectory's total fingerprint cardinality |G| to
+// every node owning one of its terms, and queries carry the query's
+// global cardinality |F| plus the effective distance bound d. That lets
+// a node apply the threshold-pruning cardinality window
+//
+//	(1−d)·|F| ≤ |G| ≤ |F|/(1−d)
+//
+// before serializing its partial counts, so candidates that provably
+// cannot qualify never hit gob or the wire. The window is safe to
+// evaluate node-side because it involves only the two total
+// cardinalities and the bound — quantities every owning node holds in
+// full — and a candidate outside it is exactly one the coordinator's
+// Ranker would prune on arrival, so rankings are unchanged. The second
+// pruning bound, the shared-count bar |F∩G|·(1+s) ≥ s·(|F|+|G|), is NOT
+// node-safe: a node sees only its partial intersection count, and a
+// candidate can fail the bar on every node individually while its
+// summed count passes it. The bar therefore stays coordinator-side,
+// applied after the partials are merged.
 
 // op discriminates request types.
 type op uint8
@@ -27,11 +46,15 @@ const (
 // addRequest routes the terms a node owns for one trajectory. Epoch is
 // the mutation's coordinator-assigned epoch; a node ignores the add if it
 // already applied a mutation for the ID at an equal or newer epoch, and
-// otherwise replaces whatever it held for the ID.
+// otherwise replaces whatever it held for the ID. Card is the
+// trajectory's total fingerprint cardinality |G| — across all nodes, not
+// just the terms routed here — replicated so the node can threshold-prune
+// query candidates without a round trip to the coordinator's directory.
 type addRequest struct {
 	ID    uint32
 	Terms []uint32
 	Epoch uint64
+	Card  int
 }
 
 // deleteRequest withdraws a trajectory's postings from the node. The node
@@ -43,19 +66,30 @@ type deleteRequest struct {
 	Epoch uint64
 }
 
-// queryRequest carries the query terms owned by the node.
+// queryRequest carries the query terms owned by the node, plus the
+// inputs of the node-side cardinality window: QueryCard is the query's
+// global fingerprint cardinality |F| (across all nodes, not just the
+// terms routed here) and MaxDistance the effective Jaccard distance
+// bound. A QueryCard of 0 disables node-side pruning (the window would
+// be meaningless without the query's true size).
 type queryRequest struct {
-	Terms []uint32
+	Terms       []uint32
+	QueryCard   int
+	MaxDistance float64
 }
 
 // queryResponse returns, for every candidate trajectory seen on this node,
 // the number of query terms it shares, as parallel ID/count slices —
 // flat slices gob-encode in one pass where the former map paid a per-entry
 // reflection walk. Term spaces of different nodes are disjoint, so the
-// coordinator can sum partial counts.
+// coordinator can sum partial counts. Pruned reports how many candidate
+// entries the node's cardinality window skipped before serialization;
+// a candidate's replicated |G| is identical on every node, so a pruned
+// candidate is pruned by all of its nodes and never reaches the merge.
 type queryResponse struct {
 	IDs    []uint32
 	Counts []uint32
+	Pruned int
 }
 
 // statsResponse summarizes a node's shard contents.

@@ -116,16 +116,46 @@ func (r *Ranker) Init(qc int, maxDistance float64, limit int) {
 // retarget recomputes the cardinality window from effSim, keeping one
 // count of slack so rounding cannot prune what the exact check would keep.
 func (r *Ranker) retarget() {
-	if r.effSim <= 0 {
-		r.minCard, r.maxCard = 0, 0
-		return
+	r.minCard, r.maxCard = cardinalityWindow(r.effSim, r.qc)
+}
+
+// cardinalityWindow computes the threshold-pruning window for a
+// similarity bar: a candidate of cardinality card can only qualify when
+// minCard ≤ card ≤ maxCard (maxCard 0 means unbounded). One count of
+// slack on each bound keeps the window conservative against
+// floating-point rounding.
+func cardinalityWindow(sim float64, qc int) (minCard, maxCard int) {
+	if sim <= 0 {
+		return 0, 0
 	}
-	r.minCard = int(math.Ceil(r.effSim*float64(r.qc))) - 1
-	if maxC := math.Floor(float64(r.qc)/r.effSim) + 1; maxC < math.MaxInt32 {
-		r.maxCard = int(maxC)
-	} else {
-		r.maxCard = 0
+	minCard = int(math.Ceil(sim*float64(qc))) - 1
+	if maxC := math.Floor(float64(qc)/sim) + 1; maxC < math.MaxInt32 {
+		maxCard = int(maxC)
 	}
+	return minCard, maxCard
+}
+
+// CardinalityWindow returns the cardinality bounds a candidate must fall
+// in to possibly satisfy dJ(F, G) ≤ maxDistance against a query of
+// cardinality qc: minCard ≤ |G| ≤ maxCard, with maxCard 0 meaning
+// unbounded. It is exactly the window the Ranker starts from, exported
+// so the cluster's shard nodes can apply the same bounds before
+// shipping partial counts — the window depends only on |F|, |G| and the
+// distance bound, never on cross-node intersection counts, so it is
+// safe to evaluate against a node's replicated cardinalities. A
+// candidate outside the window is one the coordinator's Ranker would
+// prune anyway, which keeps node-side pruning invisible in the ranked
+// results.
+func CardinalityWindow(qc int, maxDistance float64) (minCard, maxCard int) {
+	return cardinalityWindow(1-maxDistance, qc)
+}
+
+// InWindow reports whether a candidate of the given cardinality falls
+// inside a window produced by CardinalityWindow. Every pruning site —
+// the Ranker and the shard nodes — must test through it, so the
+// maxCard-0-means-unbounded convention cannot drift between them.
+func InWindow(card, minCard, maxCard int) bool {
+	return card >= minCard && (maxCard == 0 || card <= maxCard)
 }
 
 // raiseBar lifts the effective similarity bar to the top-k heap's current
@@ -142,7 +172,7 @@ func (r *Ranker) raiseBar() {
 // outside the threshold bounds are skipped before scoring and counted as
 // pruned.
 func (r *Ranker) Consider(id trajectory.ID, card, shared int) {
-	if card < r.minCard || (r.maxCard > 0 && card > r.maxCard) {
+	if !InWindow(card, r.minCard, r.maxCard) {
 		r.pruned++
 		return
 	}
@@ -325,8 +355,11 @@ func (ix *Inverted) AppendSearchFingerprints(ctx context.Context, dst []Result, 
 
 // searchUnionLocked is the pre-counting document-at-a-time path, kept as
 // the fallback for queries whose term count exceeds the counter's 16-bit
-// range: materialize the candidate union, intersect per candidate. The
-// caller must hold the read lock.
+// range: materialize the candidate union, intersect per candidate. It
+// ranks through the same Ranker as the counting path, so threshold
+// pruning, the top-k heap, the Pruned stat and the byte-identical
+// (distance, ID) contract are uniform across narrow and wide queries.
+// The caller must hold the read lock.
 func (ix *Inverted) searchUnionLocked(ctx context.Context, dst []Result, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, SearchStats, error) {
 	candidates := bitmap.New()
 	set.Iterate(func(term uint32) bool {
@@ -339,33 +372,29 @@ func (ix *Inverted) searchUnionLocked(ctx context.Context, dst []Result, set *bi
 		return nil, SearchStats{}, err
 	}
 	stats := SearchStats{Candidates: candidates.Cardinality()}
-	results := dst
+	qc := set.Cardinality()
+	var ranker Ranker
+	ranker.Init(qc, maxDistance, limit)
 	ranked := 0
 	cancelled := false
-	qc := set.Cardinality()
 	candidates.Iterate(func(idBits uint32) bool {
 		if ranked++; ranked%1024 == 0 && ctx.Err() != nil {
 			cancelled = true
 			return false
 		}
 		id := trajectory.ID(idBits)
+		// The intersection is computed before the ranker's cardinality
+		// check, so the wide path cannot skip the AndCardinality cost for
+		// pruned candidates — but pruning still skips the scoring step and
+		// keeps the Pruned stat meaningful.
 		shared := bitmap.AndCardinality(set, ix.docs[id])
-		union := qc + ix.cards[id] - shared
-		d := 1.0
-		if union > 0 {
-			d = 1 - float64(shared)/float64(union)
-		}
-		if d <= maxDistance {
-			results = append(results, Result{ID: id, Distance: d, Shared: shared})
-		}
+		ranker.Consider(id, ix.cards[id], shared)
 		return true
 	})
 	if cancelled {
 		return nil, stats, ctx.Err()
 	}
-	SortResults(results[len(dst):])
-	if limit > 0 && len(results)-len(dst) > limit {
-		results = results[:len(dst)+limit]
-	}
-	return results, stats, nil
+	dst = ranker.Finish(dst)
+	stats.Pruned = ranker.Pruned()
+	return dst, stats, nil
 }

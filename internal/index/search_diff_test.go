@@ -147,16 +147,21 @@ func TestSearchMatchesBruteForce(t *testing.T) {
 	}
 }
 
-// TestSearchWideQueryFallback pins the >65535-term fallback path (the
-// legacy union-and-intersect scorer) to the same brute-force contract.
+// TestSearchWideQueryFallback pins the >65535-term fallback path to the
+// same brute-force contract as the counting core, across distance
+// cutoffs and result caps. The fallback ranks through the shared Ranker,
+// so it reports Pruned and applies the top-k heap exactly like the
+// narrow path — only the shared-count computation differs.
 func TestSearchWideQueryFallback(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	ix := NewInverted(stubExtractor{})
 	reference := make(map[trajectory.ID]*bitmap.Bitmap)
-	for i := 0; i < 50; i++ {
+	for i := 0; i < 60; i++ {
 		id := trajectory.ID(i * 977)
 		set := bitmap.New()
-		for n := 0; n < 40; n++ {
+		// Mixed sizes so the cardinality window has real work at tight
+		// cutoffs: some documents near the query's overlap, some tiny.
+		for n := 0; n < 10+(i%5)*200; n++ {
 			set.Add(rng.Uint32() % 100000)
 		}
 		if err := ix.AddFingerprints(id, set); err != nil {
@@ -171,15 +176,67 @@ func TestSearchWideQueryFallback(t *testing.T) {
 	if wide.Cardinality() <= math.MaxUint16 {
 		t.Fatal("query not wide enough to exercise the fallback")
 	}
-	for _, limit := range []int{0, 5} {
-		got, stats, err := ix.SearchFingerprints(context.Background(), wide, 1, limit)
-		if err != nil {
-			t.Fatal(err)
+	sawPruning := false
+	for _, maxDistance := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		for _, limit := range []int{0, 1, 5} {
+			got, stats, err := ix.SearchFingerprints(context.Background(), wide, maxDistance, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForceSearch(reference, wide, maxDistance, limit)
+			equalResults(t, "wide query", got, want)
+			if stats.Pruned < 0 || stats.Pruned > stats.Candidates {
+				t.Fatalf("implausible Pruned = %d of %d candidates", stats.Pruned, stats.Candidates)
+			}
+			sawPruning = sawPruning || stats.Pruned > 0
 		}
-		want := bruteForceSearch(reference, wide, 1, limit)
-		equalResults(t, "wide query", got, want)
-		if stats.Pruned != 0 {
-			t.Fatalf("fallback path reported pruning: %d", stats.Pruned)
+	}
+	if !sawPruning {
+		t.Error("no combination exercised the fallback's threshold pruning")
+	}
+}
+
+// TestCardinalityWindowMatchesRanker pins the exported window to the
+// bounds the Ranker starts from: the shard nodes prune with
+// CardinalityWindow, the coordinator with the Ranker, and the node-side
+// prune is only invisible in the results if the two agree exactly.
+func TestCardinalityWindowMatchesRanker(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var r Ranker
+	for trial := 0; trial < 2000; trial++ {
+		qc := 1 + rng.Intn(100000)
+		maxDistance := []float64{0, 0.01, 0.3, 0.5, 0.9, 0.99, 1, rng.Float64()}[rng.Intn(8)]
+		r.Init(qc, maxDistance, rng.Intn(10))
+		minCard, maxCard := CardinalityWindow(qc, maxDistance)
+		if minCard != r.minCard || maxCard != r.maxCard {
+			t.Fatalf("CardinalityWindow(%d, %v) = [%d, %d], Ranker starts at [%d, %d]",
+				qc, maxDistance, minCard, maxCard, r.minCard, r.maxCard)
+		}
+	}
+}
+
+// TestCardinalityWindowSound verifies the window never excludes a truly
+// qualifying candidate: whenever dJ(F, G) ≤ d, |G| falls inside
+// CardinalityWindow(|F|, d).
+func TestCardinalityWindowSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 500; trial++ {
+		f := randomSet(rng, 120, 400)
+		g := randomSet(rng, 120, 400)
+		if f.Cardinality() == 0 || g.Cardinality() == 0 {
+			continue
+		}
+		d := bitmap.JaccardDistance(f, g)
+		for _, bound := range []float64{d, d + 0.05, 1} {
+			if bound > 1 {
+				bound = 1
+			}
+			minCard, maxCard := CardinalityWindow(f.Cardinality(), bound)
+			card := g.Cardinality()
+			if card < minCard || (maxCard > 0 && card > maxCard) {
+				t.Fatalf("window [%d, %d] for qc=%d bound=%v excludes qualifying card=%d (dJ=%v)",
+					minCard, maxCard, f.Cardinality(), bound, card, d)
+			}
 		}
 	}
 }

@@ -168,13 +168,30 @@ type SearchResult struct {
 // SearchStats summarizes one search execution.
 type SearchStats struct {
 	// Candidates is the number of trajectories sharing at least one
-	// fingerprint with the query, before distance filtering.
+	// fingerprint with the query, before distance filtering. On a
+	// distributed search it counts the distinct candidates whose partial
+	// counts reached the coordinator — candidates the shard nodes pruned
+	// (see NodePruned) share fingerprints too but are not included.
 	Candidates int
 	// Pruned is how many of those candidates threshold pruning skipped
 	// before scoring: trajectories whose fingerprint cardinality or
 	// shared-term count proves they cannot satisfy WithMaxDistance (or
 	// beat the current kth-best candidate under WithKNN/WithLimit).
 	Pruned int
+	// NodePruned is how many candidate partials the shard nodes skipped
+	// before serializing their responses: the query's cardinality window
+	// is evaluated node-side against replicated document cardinalities,
+	// so a non-qualifying candidate never crosses the wire (it is not
+	// counted in Candidates or Pruned). A candidate spanning several
+	// nodes counts once per node, matching its wire cost. Always zero for
+	// a local *Index search.
+	NodePruned int
+	// WirePartials is the number of per-node (ID, count) partial entries
+	// that did cross the wire, summed over the answering shard nodes.
+	// WirePartials + NodePruned is what the same search would have
+	// shipped without node-side pruning. Always zero for a local *Index
+	// search.
+	WirePartials int
 	// ShardsTouched and NodesTouched report the distributed fan-out; both
 	// are zero for a local *Index search.
 	ShardsTouched int
@@ -234,6 +251,8 @@ func (c *Cluster) Search(ctx context.Context, q *Trajectory, opts ...SearchOptio
 		Stats: SearchStats{
 			Candidates:    info.Candidates,
 			Pruned:        info.Pruned,
+			NodePruned:    info.NodePruned,
+			WirePartials:  info.WirePartials,
 			ShardsTouched: info.Shards,
 			NodesTouched:  info.Nodes,
 			Elapsed:       time.Since(start),
