@@ -385,6 +385,26 @@ func BenchmarkSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchPrepared measures the same ranked search over a
+// prepared *Query: extraction is cached inside the value, so an
+// iteration pays only the counting-merge core plus option resolution.
+// The gap to BenchmarkSearch is the per-call preparation cost the Query
+// API converts to per-query-lifetime.
+func BenchmarkSearchPrepared(b *testing.B) {
+	idx := builtPublicIndex(b)
+	q := geodabs.NewQuery(benchWorkload().Queries[0].Points)
+	ctx := context.Background()
+	if _, err := idx.SearchQuery(ctx, q); err != nil { // warm the extraction cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.SearchQuery(ctx, q, geodabs.WithMaxDistance(1), geodabs.WithLimit(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSearchBatch measures the throughput surface: the full query
 // set fanned out over a worker pool.
 func BenchmarkSearchBatch(b *testing.B) {
@@ -395,6 +415,30 @@ func BenchmarkSearchBatch(b *testing.B) {
 		b.Run(map[int]string{1: "w1", 8: "w8"}[workers], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := idx.SearchBatch(ctx, queries, workers, geodabs.WithLimit(10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchBatchPrepared is BenchmarkSearchBatch over prepared
+// queries: the batch reuses every query's cached extraction across
+// iterations, so it measures the steady state of a recurring query set.
+func BenchmarkSearchBatchPrepared(b *testing.B) {
+	idx := builtPublicIndex(b)
+	ctx := context.Background()
+	prepared := make([]*geodabs.Query, len(benchWorkload().Queries))
+	for i, tr := range benchWorkload().Queries {
+		prepared[i] = geodabs.NewQuery(tr.Points)
+	}
+	if _, err := idx.SearchQueryBatch(ctx, prepared, 8, geodabs.WithLimit(10)); err != nil {
+		b.Fatal(err) // warm every extraction cache
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(map[int]string{1: "w1", 8: "w8"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.SearchQueryBatch(ctx, prepared, workers, geodabs.WithLimit(10)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -484,6 +528,22 @@ func BenchmarkClusterSearch(b *testing.B) {
 			}
 		})
 	}
+	// The prepared counterpart: the *Query's cached extraction and shard
+	// partition take both the fingerprint pipeline and the per-node
+	// grouping off the scatter path.
+	b.Run("prepared", func(b *testing.B) {
+		pq := geodabs.NewQuery(q.Points)
+		if _, err := cl.SearchQuery(ctx, pq, geodabs.WithMaxDistance(1), geodabs.WithLimit(10)); err != nil {
+			b.Fatal(err) // warm the extraction and partition caches
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.SearchQuery(ctx, pq, geodabs.WithMaxDistance(1), geodabs.WithLimit(10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSearchExactRerank measures the §VI-C refinement: fingerprint

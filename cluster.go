@@ -88,7 +88,23 @@ func (c *Cluster) AddContext(ctx context.Context, t *Trajectory) error {
 }
 
 // Analyze returns the fan-out a query would incur, without executing it.
+// It re-runs fingerprint extraction and sharding on every call; for a
+// query that will also be searched (or analyzed repeatedly), prepare it
+// once and use AnalyzeQuery, which caches both.
 func (c *Cluster) Analyze(q *Trajectory) QueryStats { return c.coord.Analyze(q) }
+
+// AnalyzeQuery returns the fan-out a prepared query would incur, without
+// executing it. The query's cached extraction and shard partition are
+// used — and populated on first call, so a subsequent SearchQuery against
+// this cluster starts scattering immediately. A nil query touches
+// nothing and reports zero fan-out.
+func (c *Cluster) AnalyzeQuery(q *Query) QueryStats {
+	if q == nil {
+		return QueryStats{}
+	}
+	set, _ := q.termSet(c.coord.Extractor())
+	return q.clusterPlan(c.coord, set).Stats()
+}
 
 // DiscardPoints releases the raw point sequences retained for exact
 // re-ranking, shrinking the coordinator's directory to the fingerprint

@@ -1,13 +1,14 @@
 // Command bench pins the repository's performance trajectory: it runs the
-// headline retrieval benchmarks — public Search, the zero-alloc counting
-// core, SearchBatch, and a live three-node cluster scatter-gather — via
-// testing.Benchmark and writes the results, together with the threshold
-// pruning statistics of a pinned query (local index and cluster), to a
-// JSON file.
+// headline retrieval benchmarks — public Search and its prepared-Query
+// counterparts, the zero-alloc counting core, SearchBatch, and a live
+// three-node cluster scatter-gather — via testing.Benchmark and writes
+// the results, together with the threshold pruning statistics of a
+// pinned query (local index and cluster) and the prepared-vs-unprepared
+// speedup, to a JSON file.
 //
 // Regenerate the committed snapshot with:
 //
-//	go run ./cmd/bench -out BENCH_4.json
+//	go run ./cmd/bench -out BENCH_5.json
 //
 // The workload is deterministic (seeded synthetic city, 50 routes), so
 // ns/op moves only with the hardware and the code.
@@ -65,18 +66,23 @@ type clusterPruningStats struct {
 }
 
 type report struct {
-	Issue          int                   `json:"issue"`
-	Regenerate     string                `json:"regenerate"`
-	GoVersion      string                `json:"go_version"`
-	GOMAXPROCS     int                   `json:"gomaxprocs"`
-	Workload       string                `json:"workload"`
-	Benches        []benchResult         `json:"benches"`
-	Pruning        []pruningStats        `json:"pruning"`
-	ClusterPruning []clusterPruningStats `json:"cluster_pruning"`
+	Issue      int    `json:"issue"`
+	Regenerate string `json:"regenerate"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workload   string `json:"workload"`
+	// PreparedSpeedupSearch is ns/op(Search) ÷ ns/op(SearchPrepared): how
+	// much a repeated search gains from a prepared *Query's cached
+	// extraction (the issue 5 acceptance bar is ≥ 2×).
+	PreparedSpeedupSearch  float64               `json:"prepared_speedup_search"`
+	PreparedSpeedupCluster float64               `json:"prepared_speedup_cluster"`
+	Benches                []benchResult         `json:"benches"`
+	Pruning                []pruningStats        `json:"pruning"`
+	ClusterPruning         []clusterPruningStats `json:"cluster_pruning"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output JSON path")
+	out := flag.String("out", "BENCH_5.json", "output JSON path")
 	flag.Parse()
 
 	city, err := roadnet.GenerateCity(roadnet.CityConfig{Seed: 7})
@@ -103,6 +109,15 @@ func main() {
 	q := queries[0]
 
 	var results []benchResult
+	nsOf := func(name string) float64 {
+		for _, r := range results {
+			if r.Name == name {
+				return r.NsPerOp
+			}
+		}
+		log.Fatalf("benchmark %q not recorded", name)
+		return 0
+	}
 	record := func(name string, r testing.BenchmarkResult) {
 		results = append(results, benchResult{
 			Name:        name,
@@ -123,6 +138,42 @@ func main() {
 			}
 		}
 	}))
+
+	// The same search over a prepared *Query: extraction runs once at
+	// preparation, every iteration reuses the cached term set. The ratio
+	// to Search above is the headline number of the Query redesign.
+	pq := geodabs.NewQuery(q.Points)
+	if _, err := idx.SearchQuery(ctx, pq); err != nil { // warm the cache
+		log.Fatal(err)
+	}
+	record("SearchPrepared", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.SearchQuery(ctx, pq, geodabs.WithMaxDistance(1), geodabs.WithLimit(10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// The prepared batch: the recurring-query-set steady state, where the
+	// whole batch reuses cached extractions across repeats.
+	prepared := make([]*geodabs.Query, len(queries))
+	for i, tr := range queries {
+		prepared[i] = geodabs.NewQuery(tr.Points)
+	}
+	if _, err := idx.SearchQueryBatch(ctx, prepared, 8, geodabs.WithLimit(10)); err != nil {
+		log.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		record(fmt.Sprintf("SearchBatchPrepared/w%d", workers), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.SearchQueryBatch(ctx, prepared, workers, geodabs.WithLimit(10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
 
 	// The counting core alone: pre-extracted query set, recycled result
 	// buffer — the allocation-free steady state.
@@ -202,6 +253,22 @@ func main() {
 		}
 	}))
 
+	// The prepared scatter-gather: the *Query's cached extraction and
+	// per-shard term partition take both the fingerprint pipeline and the
+	// per-node grouping off the scatter path.
+	cpq := geodabs.NewQuery(q.Points)
+	if _, err := cl.SearchQuery(ctx, cpq); err != nil { // warm both caches
+		log.Fatal(err)
+	}
+	record("ClusterSearchPrepared", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.SearchQuery(ctx, cpq, geodabs.WithMaxDistance(1), geodabs.WithLimit(10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	// Pruning statistics of pinned queries: how much of the candidate set
 	// the threshold bounds discard before scoring.
 	var pruning []pruningStats
@@ -252,15 +319,19 @@ func main() {
 	}
 
 	rep := report{
-		Issue:          4,
-		Regenerate:     "go run ./cmd/bench -out BENCH_4.json",
-		GoVersion:      runtime.Version(),
-		GOMAXPROCS:     runtime.GOMAXPROCS(0),
-		Workload:       "synthetic city seed 7, 50 routes, default fingerprint config",
-		Benches:        results,
-		Pruning:        pruning,
-		ClusterPruning: clusterPruning,
+		Issue:                  5,
+		Regenerate:             "go run ./cmd/bench -out BENCH_5.json",
+		GoVersion:              runtime.Version(),
+		GOMAXPROCS:             runtime.GOMAXPROCS(0),
+		Workload:               "synthetic city seed 7, 50 routes, default fingerprint config",
+		PreparedSpeedupSearch:  nsOf("Search") / nsOf("SearchPrepared"),
+		PreparedSpeedupCluster: nsOf("ClusterSearch") / nsOf("ClusterSearchPrepared"),
+		Benches:                results,
+		Pruning:                pruning,
+		ClusterPruning:         clusterPruning,
 	}
+	fmt.Printf("prepared speedup: search %.2fx, cluster %.2fx\n",
+		rep.PreparedSpeedupSearch, rep.PreparedSpeedupCluster)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)

@@ -60,7 +60,13 @@ func main() {
 	fmt.Printf("\nnew member: %d-point drive on route %d (%s)\n",
 		newMember.Len(), newMember.Route, newMember.Dir)
 
-	res, err := idx.Search(ctx, newMember,
+	// The member's drive is searched three times below (fingerprint
+	// ranking, exact re-ranking, direction sanity check). Preparing it
+	// once as a *Query runs fingerprint extraction a single time; every
+	// search reuses the cached term set.
+	member := geodabs.NewQuery(newMember.Points)
+
+	res, err := idx.SearchQuery(ctx, member,
 		geodabs.WithMaxDistance(maxDistance),
 		geodabs.WithKNN(5))
 	if err != nil {
@@ -81,7 +87,7 @@ func main() {
 	// For the final pairing decision, refine the shortlist with the exact
 	// DTW distance (the paper's §VI-C step): geodabs prune the fleet
 	// cheaply, the polynomial-cost measure settles the order in meters.
-	exact, err := idx.Search(ctx, newMember,
+	exact, err := idx.SearchQuery(ctx, member,
 		geodabs.WithMaxDistance(maxDistance),
 		geodabs.WithKNN(5),
 		geodabs.WithExactRerank(geodabs.DTW))
@@ -96,7 +102,7 @@ func main() {
 	}
 
 	// Sanity: the same road in the opposite direction must NOT surface.
-	all, err := idx.Search(ctx, newMember, geodabs.WithMaxDistance(maxDistance))
+	all, err := idx.SearchQuery(ctx, member, geodabs.WithMaxDistance(maxDistance))
 	if err != nil {
 		log.Fatalf("search: %v", err)
 	}

@@ -111,13 +111,18 @@ func main() {
 	}
 
 	// Locality: every query fans out to very few shards (its metro's
-	// neighborhood on the space-filling curve), hence few nodes. The
+	// neighborhood on the space-filling curve), hence few nodes. Each
+	// query is prepared once: AnalyzeQuery reports the fan-out from the
+	// cached shard partition, and the search that follows reuses both the
+	// extraction and the partition instead of re-deriving them. The
 	// scatter-gather runs under a deadline — a wedged node cannot stall
 	// the query past its budget.
 	fmt.Println()
 	for _, q := range queries {
+		pq := geodabs.NewQuery(q.Points)
+		fanout := coord.AnalyzeQuery(pq)
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		res, err := coord.Search(ctx, q, geodabs.WithMaxDistance(0.95), geodabs.WithKNN(1))
+		res, err := coord.SearchQuery(ctx, pq, geodabs.WithMaxDistance(0.95), geodabs.WithKNN(1))
 		cancel()
 		if err != nil {
 			log.Fatalf("search: %v", err)
@@ -127,7 +132,7 @@ func main() {
 			top = fmt.Sprintf("top match %d at dJ=%.3f", res.Hits[0].ID, res.Hits[0].Distance)
 		}
 		fmt.Printf("%-9s query → %d shard(s), %d node(s), %d candidate(s) in %v; %s\n",
-			queryMetro[q.ID], res.Stats.ShardsTouched, res.Stats.NodesTouched,
+			queryMetro[q.ID], fanout.Shards, fanout.Nodes,
 			res.Stats.Candidates, res.Stats.Elapsed.Round(time.Microsecond), top)
 	}
 }

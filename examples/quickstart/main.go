@@ -78,4 +78,25 @@ func main() {
 	fmt.Printf("\n(* = ground-truth relevant: same route and direction)\n")
 	fmt.Printf("search touched %d candidates in %v\n",
 		res.Stats.Candidates, res.Stats.Elapsed)
+
+	// A query that runs more than once is worth preparing: NewQuery caches
+	// the extracted fingerprint set inside the value, so only the first
+	// SearchQuery pays the extraction pipeline — here the second search
+	// reuses it to fetch the 3 nearest neighbors.
+	pq := geodabs.NewQuery(q.Points)
+	if _, err := idx.SearchQuery(context.Background(), pq, geodabs.WithLimit(10)); err != nil {
+		log.Fatalf("prepared search: %v", err)
+	}
+	knn, err := idx.SearchQuery(context.Background(), pq, geodabs.WithKNN(3))
+	if err != nil {
+		log.Fatalf("prepared search: %v", err)
+	}
+	fmt.Printf("\nprepared query, 3 nearest (extraction reused): ")
+	for i, r := range knn.Hits {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%d (dJ=%.3f)", r.ID, r.Distance)
+	}
+	fmt.Println()
 }

@@ -32,6 +32,29 @@
 // engine must be constructed with geodabs.WithPointRetention).
 // SearchBatch fans a query batch out over a worker pool.
 //
+// # Prepared queries
+//
+// Query preparation — fingerprint extraction, and sharding on a Cluster —
+// dominates per-query cost. A first-class *Query value pays it once per
+// query lifetime instead of once per call:
+//
+//	q := geodabs.NewQuery(points) // lazy; or Fingerprinter.Prepare(points) eagerly
+//	for range ticker.C {          // every repeat reuses the cached extraction
+//		res, err := idx.SearchQuery(ctx, q, geodabs.WithKNN(10))
+//		...
+//	}
+//
+// SearchQueryBatch runs a prepared batch over a worker pool, and
+// Cluster.AnalyzeQuery reports a prepared query's fan-out; on a Cluster,
+// the query also caches its per-shard term partition, so repeated
+// scatter-gathers skip re-sharding too. Clients that never hold raw GPS
+// traces can ship compact fingerprints instead and search with
+// geodabs.QueryFromFingerprint(fp) — fingerprint-only queries support
+// everything except WithExactRerank, which needs the raw points and
+// fails with a pointed error. Search(ctx, t, ...) is exactly
+// SearchQuery(ctx, NewQuery(t.Points), ...): both paths return
+// byte-identical results.
+//
 // Writes go through the Mutator interface, the mutation-side mirror of
 // Searcher, implemented by both engines: Upsert replaces a trajectory in
 // place, Delete and DeleteAll reclaim postings, and every mutation is
@@ -254,6 +277,23 @@ func (f *Fingerprinter) Config() Config { return f.core.Config() }
 // Fingerprint runs the geodab pipeline on a point sequence.
 func (f *Fingerprinter) Fingerprint(points []Point) *Fingerprint {
 	return f.core.Fingerprint(points)
+}
+
+// Prepare eagerly builds a reusable *Query from a point sequence: the
+// geodab term set is extracted now, under this Fingerprinter's
+// configuration, so the first search against an engine sharing that
+// configuration already skips extraction — unlike NewQuery, which defers
+// it to first use. Preparation uses the set-only fast path (no positional
+// metadata is computed), making this the cheapest way to stage a query
+// batch off the search path.
+func (f *Fingerprinter) Prepare(points []Point) *Query {
+	q := NewQuery(points)
+	// The key is derived through keyOf on the same extractor type the
+	// engines wrap, so an eagerly prepared query always matches the
+	// engine-side cache key.
+	key, _ := keyOf(index.GeodabExtractor{Fingerprinter: f.core})
+	q.bind(key, f.core.FingerprintSet(points))
+	return q
 }
 
 // Motif discovers the most similar pair of sub-trajectories of the given

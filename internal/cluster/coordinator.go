@@ -544,14 +544,57 @@ type QueryStats struct {
 
 // Analyze returns the fan-out a query would incur, without executing it.
 func (c *Coordinator) Analyze(q *trajectory.Trajectory) QueryStats {
-	set := c.ex.Extract(q.Points)
-	terms := set.ToSlice()
-	shards := c.strategy.ShardsOf(terms)
-	nodes := make(map[int]struct{}, len(shards))
-	for _, s := range shards {
-		nodes[c.strategy.NodeOf(s)] = struct{}{}
+	return c.Plan(c.ex.Extract(q.Points)).Stats()
+}
+
+// Extractor returns the coordinator's term extractor, so callers can
+// prepare query term sets once and reuse them across searches.
+func (c *Coordinator) Extractor() index.Extractor { return c.ex }
+
+// Strategy returns the shard strategy the coordinator routes with. Two
+// coordinators with equal strategies partition any term set identically,
+// so a QueryPlan is reusable across them.
+func (c *Coordinator) Strategy() shard.Strategy { return c.strategy }
+
+// QueryPlan is one term set's routing across a shard strategy: the
+// per-node term slices exactly as they go on the wire (queryRequest.Terms),
+// the owning-node list, and the distinct-shard count. Building the plan is
+// the per-query sharding cost — one pass over the set through ShardOf and
+// NodeOf — so preparing it once and reusing it across repeated or batched
+// searches removes that cost from the scatter hot path. A plan is
+// immutable after construction and safe for concurrent use; it is valid
+// for any coordinator whose Strategy equals the one that built it.
+type QueryPlan struct {
+	set *bitmap.Bitmap
+	// card is the set's cardinality — the query's global |F|, carried on
+	// the wire so nodes can threshold-prune — counted once at planning.
+	card   int
+	groups map[int][]uint32
+	nodes  []int
+	shards int
+}
+
+// Set returns the term set the plan was built from. Callers use it to
+// detect a stale plan when a cached set is re-derived.
+func (p *QueryPlan) Set() *bitmap.Bitmap { return p.set }
+
+// Stats returns the fan-out the planned query incurs.
+func (p *QueryPlan) Stats() QueryStats {
+	return QueryStats{Shards: p.shards, Nodes: len(p.groups)}
+}
+
+// Plan partitions a query term set by owning node under the coordinator's
+// strategy, returning the reusable routing.
+func (c *Coordinator) Plan(set *bitmap.Bitmap) *QueryPlan {
+	shardSet := make(map[int]struct{}, 8)
+	groups := c.groupByNode(set, shardSet)
+	return &QueryPlan{
+		set:    set,
+		card:   set.Cardinality(),
+		groups: groups,
+		nodes:  nodesOf(groups),
+		shards: len(shardSet),
 	}
-	return QueryStats{Shards: len(shards), Nodes: len(nodes)}
 }
 
 // SearchInfo reports what one distributed search touched.
@@ -605,14 +648,25 @@ func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, m
 		return nil, SearchInfo{}, err
 	}
 	set := c.ex.Extract(q.Points)
+	return c.SearchPlan(parent, c.Plan(set), maxDistance, limit)
+}
+
+// SearchPlan is Search over a pre-planned query: the term set is already
+// extracted and partitioned by owning node, so the scatter starts
+// immediately — repeated and batched searches of one prepared query pay
+// extraction and sharding once, not per call. The plan must have been
+// built by a coordinator with an equal Strategy.
+func (c *Coordinator) SearchPlan(parent context.Context, plan *QueryPlan, maxDistance float64, limit int) ([]index.Result, SearchInfo, error) {
+	if err := parent.Err(); err != nil {
+		return nil, SearchInfo{}, err
+	}
+	groups := plan.groups
 	snap := c.watermark()
-	shardSet := make(map[int]struct{}, 8)
-	groups := c.groupByNode(set, shardSet)
 	info := SearchInfo{
-		Shards: len(shardSet),
+		Shards: plan.shards,
 		Nodes:  len(groups),
 	}
-	qCard := set.Cardinality()
+	qCard := plan.card
 	var acc partialAccumulator
 	if qCard <= math.MaxUint16 {
 		// The same pool feeds the shard nodes' query handlers; a
@@ -630,7 +684,7 @@ func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, m
 		acc = mapAccumulator{}
 	}
 	var sharedMu sync.Mutex
-	err := fanOut(parent, nodesOf(groups), func(ctx context.Context, node int) error {
+	err := fanOut(parent, plan.nodes, func(ctx context.Context, node int) error {
 		resp, err := c.clients[node].call(ctx, &request{
 			Op:           opQuery,
 			CompactBelow: snap,
@@ -680,6 +734,11 @@ func (c *Coordinator) Search(parent context.Context, q *trajectory.Trajectory, m
 		ranker.Consider(trajectory.ID(cand.id), cand.card, cand.shared)
 	}
 	results := ranker.Finish(make([]index.Result, 0, limitCap(limit, info.Candidates)))
+	if len(results) == 0 {
+		// Match the local engine's no-hits contract (a nil slice): callers
+		// compare the two engines' rankings with reflect.DeepEqual.
+		results = nil
+	}
 	info.Pruned = ranker.Pruned()
 	return results, info, nil
 }

@@ -365,6 +365,11 @@ func (ix *Inverted) Epoch() uint64 {
 	return ix.epoch
 }
 
+// Extractor returns the index's term extractor (immutable after
+// construction), so callers can prepare query term sets once and reuse
+// them across searches.
+func (ix *Inverted) Extractor() Extractor { return ix.ex }
+
 // Len returns the number of indexed trajectories.
 func (ix *Inverted) Len() int {
 	ix.mu.RLock()

@@ -302,19 +302,25 @@ func (ix *Inverted) SearchFingerprints(ctx context.Context, set *bitmap.Bitmap, 
 // scratch pool and a dst of sufficient capacity a search performs zero
 // heap allocations.
 func (ix *Inverted) AppendSearchFingerprints(ctx context.Context, dst []Result, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, SearchStats, error) {
+	return ix.AppendSearchSet(ctx, dst, set, set.Cardinality(), maxDistance, limit)
+}
+
+// AppendSearchSet is AppendSearchFingerprints for callers that already
+// hold the set's cardinality (a prepared query caches it alongside the
+// set), skipping the per-call recount. qc must equal set.Cardinality().
+func (ix *Inverted) AppendSearchSet(ctx context.Context, dst []Result, set *bitmap.Bitmap, qc int, maxDistance float64, limit int) ([]Result, SearchStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, SearchStats{}, err
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	qc := set.Cardinality()
 	if qc == 0 {
 		return dst, SearchStats{}, nil
 	}
 	if qc > math.MaxUint16 {
 		// The counter's 16-bit counts could wrap; such queries are beyond
 		// any real fingerprint set, but stay correct on the legacy path.
-		return ix.searchUnionLocked(ctx, dst, set, maxDistance, limit)
+		return ix.searchUnionLocked(ctx, dst, set, qc, maxDistance, limit)
 	}
 	sc := getSearchScratch()
 	defer sc.release()
@@ -360,7 +366,7 @@ func (ix *Inverted) AppendSearchFingerprints(ctx context.Context, dst []Result, 
 // pruning, the top-k heap, the Pruned stat and the byte-identical
 // (distance, ID) contract are uniform across narrow and wide queries.
 // The caller must hold the read lock.
-func (ix *Inverted) searchUnionLocked(ctx context.Context, dst []Result, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, SearchStats, error) {
+func (ix *Inverted) searchUnionLocked(ctx context.Context, dst []Result, set *bitmap.Bitmap, qc int, maxDistance float64, limit int) ([]Result, SearchStats, error) {
 	candidates := bitmap.New()
 	set.Iterate(func(term uint32) bool {
 		if p, ok := ix.postings[term]; ok {
@@ -372,7 +378,6 @@ func (ix *Inverted) searchUnionLocked(ctx context.Context, dst []Result, set *bi
 		return nil, SearchStats{}, err
 	}
 	stats := SearchStats{Candidates: candidates.Cardinality()}
-	qc := set.Cardinality()
 	var ranker Ranker
 	ranker.Init(qc, maxDistance, limit)
 	ranked := 0

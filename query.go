@@ -1,0 +1,181 @@
+package geodabs
+
+import (
+	"sync"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/cluster"
+	"geodabs/internal/index"
+)
+
+// Query is a prepared, reusable retrieval query. Query preparation —
+// fingerprint extraction (FNV suffix hashing + geohash encoding) and, on
+// a Cluster, partitioning the term set by owning shard node — dominates
+// per-query cost, so Query converts it from a per-call expense into a
+// per-query-lifetime one: the extracted term set, its cardinality, and
+// the per-strategy shard partition are computed once and cached inside
+// the value, and every SearchQuery, SearchQueryBatch and AnalyzeQuery
+// call against any engine reuses them.
+//
+// Construct one with:
+//
+//   - NewQuery(points): lazy — extraction runs on first use, with the
+//     engine's own fingerprinting configuration, and is cached for
+//     subsequent uses against engines sharing that configuration.
+//   - Fingerprinter.Prepare(points): eager — extraction runs immediately
+//     with the Fingerprinter's configuration, off the search path.
+//   - QueryFromFingerprint(fp): fingerprint-only — no raw points ever;
+//     for clients that ship compact fingerprints instead of GPS traces.
+//
+// A Query is safe for concurrent use: one value can be shared across
+// SearchBatch workers and engines. A lazily-constructed Query used
+// against engines with different fingerprinting configurations (say a
+// geodab Index and a geohash-cell baseline Index) stays correct — the
+// cache is keyed by configuration and re-derives on a mismatch — but
+// then alternating engines re-extracts per call; prefer one Query per
+// configuration for such workloads.
+type Query struct {
+	points []Point
+	// fpOnly marks a Query built from a bare fingerprint: the term set is
+	// authoritative as constructed (never re-derived), and there are no
+	// raw points for WithExactRerank to refine against.
+	fpOnly bool
+
+	mu sync.RWMutex
+	// ext is the cached extraction; plans caches the per-strategy shard
+	// partitions derived from ext.set (invalidated implicitly: each plan
+	// records the set it was built from, so a re-derived set makes the
+	// lookup miss).
+	ext   extraction
+	plans map[ShardStrategy]*cluster.QueryPlan
+}
+
+// extraction is one cached term-set derivation: the set, its cardinality,
+// and the configuration key it was derived under.
+type extraction struct {
+	valid bool
+	key   extractorKey
+	keyed bool
+	set   *bitmap.Bitmap
+	card  int
+}
+
+// extractorKey identifies an extraction's provenance: the index flavor
+// (geodab fingerprints vs bare geohash cells) and the fingerprinting
+// configuration. Extraction is a pure function of (key, points), so equal
+// keys may share a cached term set even across distinct engine instances.
+type extractorKey struct {
+	cell bool
+	cfg  Config
+}
+
+// keyOf maps an engine's extractor to its cache key. Only the two public
+// index flavors are keyable; an unknown extractor type reports false and
+// its extractions are not cached across engines.
+func keyOf(ex index.Extractor) (extractorKey, bool) {
+	switch e := ex.(type) {
+	case index.GeodabExtractor:
+		return extractorKey{cfg: e.Config()}, true
+	case index.CellExtractor:
+		return extractorKey{cell: true, cfg: e.Config()}, true
+	}
+	return extractorKey{}, false
+}
+
+// NewQuery prepares a lazy query over a raw point sequence. The slice
+// header is shared, not copied; extraction runs on the first search (or
+// analysis) and is cached inside the value. Use Fingerprinter.Prepare to
+// pay the extraction eagerly instead, off the search path.
+func NewQuery(points []Point) *Query {
+	return &Query{points: points}
+}
+
+// QueryFromFingerprint prepares a query from a bare fingerprint, for
+// clients that never hold the raw GPS trace — an edge device can winnow
+// locally and ship the compact fingerprint instead of its points. The
+// fingerprint must have been produced under the target engine's
+// configuration; its set is shared with the query (not copied) and must
+// not be mutated afterwards.
+//
+// A fingerprint-only query carries no raw points, so WithExactRerank
+// fails against it with a pointed error; every fingerprint-ranked search
+// works unchanged.
+func QueryFromFingerprint(fp *Fingerprint) *Query {
+	set := fp.Set
+	if set == nil {
+		set = bitmap.New()
+	}
+	return &Query{
+		fpOnly: true,
+		ext:    extraction{valid: true, set: set, card: set.Cardinality()},
+	}
+}
+
+// Points returns the query's raw point sequence, or nil for a
+// fingerprint-only query.
+func (q *Query) Points() []Point { return q.points }
+
+// FingerprintOnly reports whether the query was built from a bare
+// fingerprint (QueryFromFingerprint) and therefore cannot take part in
+// exact re-ranking.
+func (q *Query) FingerprintOnly() bool { return q.fpOnly }
+
+// bind installs an eager extraction at construction time
+// (Fingerprinter.Prepare); no locking — the value has not escaped yet.
+func (q *Query) bind(key extractorKey, set *bitmap.Bitmap) {
+	q.ext = extraction{valid: true, key: key, keyed: true, set: set, card: set.Cardinality()}
+}
+
+// termSet returns the query's term set and cardinality under the given
+// extractor, deriving and caching it on first use. A fingerprint-only
+// query always returns its construction-time set; a lazy or prepared
+// query returns the cached extraction when its configuration key matches
+// and re-derives (replacing the cache and implicitly staling the shard
+// plans) otherwise. Racing first uses may extract redundantly; all arrive
+// at the same set values, so correctness is unaffected.
+func (q *Query) termSet(ex index.Extractor) (*bitmap.Bitmap, int) {
+	key, keyable := keyOf(ex)
+	q.mu.RLock()
+	if q.ext.valid && (q.fpOnly || (keyable && q.ext.keyed && q.ext.key == key)) {
+		set, card := q.ext.set, q.ext.card
+		q.mu.RUnlock()
+		return set, card
+	}
+	q.mu.RUnlock()
+
+	set := ex.Extract(q.points)
+	card := set.Cardinality()
+	if !keyable {
+		// Unknown extractor flavor: usable, but never cached — a later use
+		// under a keyable engine must not inherit a set of unknown
+		// provenance.
+		return set, card
+	}
+	q.mu.Lock()
+	q.ext = extraction{valid: true, key: key, keyed: true, set: set, card: card}
+	q.mu.Unlock()
+	return set, card
+}
+
+// clusterPlan returns the query's shard partition for the coordinator's
+// strategy, building and caching it on first use. The plan is validated
+// against the set it was built from, so a re-derived term set (a lazy
+// query crossing configurations) never reuses a stale partition; equal
+// strategies share one plan even across distinct Cluster values.
+func (q *Query) clusterPlan(coord *cluster.Coordinator, set *bitmap.Bitmap) *cluster.QueryPlan {
+	strat := coord.Strategy()
+	q.mu.RLock()
+	p := q.plans[strat]
+	q.mu.RUnlock()
+	if p != nil && p.Set() == set {
+		return p
+	}
+	p = coord.Plan(set)
+	q.mu.Lock()
+	if q.plans == nil {
+		q.plans = make(map[ShardStrategy]*cluster.QueryPlan, 1)
+	}
+	q.plans[strat] = p
+	q.mu.Unlock()
+	return p
+}

@@ -1,0 +1,343 @@
+package geodabs_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"geodabs"
+
+	"geodabs/internal/bitmap"
+)
+
+// preparedVariants builds every way of preparing one trajectory as a
+// *Query: lazy (NewQuery), eager (Fingerprinter.Prepare) and
+// fingerprint-only (QueryFromFingerprint). The fingerprint-only variant
+// reports itself so callers can skip rerank cases against it.
+func preparedVariants(t *testing.T, tr *geodabs.Trajectory) map[string]*geodabs.Query {
+	t.Helper()
+	fp, err := geodabs.NewFingerprinter(geodabs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*geodabs.Query{
+		"NewQuery":             geodabs.NewQuery(tr.Points),
+		"Prepare":              fp.Prepare(tr.Points),
+		"QueryFromFingerprint": geodabs.QueryFromFingerprint(fp.Fingerprint(tr.Points)),
+	}
+}
+
+// TestSearchQueryMatchesSearch is the redesign's acceptance gate: for
+// every preparation flavor and option combination, SearchQuery(prepared)
+// returns byte-identical rankings to Search(trajectory), on both engines
+// — and a second call through the now-warm caches agrees again.
+func TestSearchQueryMatchesSearch(t *testing.T) {
+	_, w := testWorld()
+	idx := builtTestIndex(t)
+	cl := builtTestCluster(t, 2)
+	ctx := context.Background()
+	optionSets := map[string][]geodabs.SearchOption{
+		"default":      nil,
+		"range+limit":  {geodabs.WithMaxDistance(0.99), geodabs.WithLimit(5)},
+		"knn":          {geodabs.WithKNN(3)},
+		"ranged knn":   {geodabs.WithMaxDistance(0.5), geodabs.WithKNN(5)},
+		"exact rerank": {geodabs.WithMaxDistance(0.99), geodabs.WithKNN(5), geodabs.WithExactRerank(geodabs.DTW)},
+	}
+	for _, tr := range w.Queries {
+		variants := preparedVariants(t, tr)
+		for optName, opts := range optionSets {
+			want, err := idx.Search(ctx, tr, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clWant, err := cl.Search(ctx, tr, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want.Hits, clWant.Hits) {
+				t.Fatalf("query %d %s: index and cluster disagree before preparation", tr.ID, optName)
+			}
+			rerank := optName == "exact rerank"
+			for variant, q := range variants {
+				if rerank && q.FingerprintOnly() {
+					continue // pinned by TestQueryFromFingerprintRejectsRerank
+				}
+				// Twice per engine: the first call populates the query's
+				// caches, the second exercises them.
+				for pass := 0; pass < 2; pass++ {
+					got, err := idx.SearchQuery(ctx, q, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got.Hits, want.Hits) {
+						t.Fatalf("query %d %s %s pass %d: index SearchQuery = %+v, Search = %+v",
+							tr.ID, optName, variant, pass, got.Hits, want.Hits)
+					}
+					clGot, err := cl.SearchQuery(ctx, q, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(clGot.Hits, clWant.Hits) {
+						t.Fatalf("query %d %s %s pass %d: cluster SearchQuery diverges from Search",
+							tr.ID, optName, variant, pass)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchQueryBatchMatchesSearchBatch pins the prepared batch path:
+// SearchQueryBatch over prepared queries equals SearchBatch over the
+// corresponding trajectories, positionally, on both engines — including
+// a batch that repeats one *Query value.
+func TestSearchQueryBatchMatchesSearchBatch(t *testing.T) {
+	_, w := testWorld()
+	idx := builtTestIndex(t)
+	cl := builtTestCluster(t, 2)
+	ctx := context.Background()
+	opts := []geodabs.SearchOption{geodabs.WithMaxDistance(0.99), geodabs.WithLimit(5)}
+	prepared := make([]*geodabs.Query, len(w.Queries))
+	for i, tr := range w.Queries {
+		prepared[i] = geodabs.NewQuery(tr.Points)
+	}
+	want, err := idx.SearchBatch(ctx, w.Queries, 4, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := idx.SearchQueryBatch(ctx, prepared, 4, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i].Hits, want[i].Hits) {
+			t.Errorf("query %d: prepared batch diverges from trajectory batch", w.Queries[i].ID)
+		}
+	}
+	clGot, err := cl.SearchQueryBatch(ctx, prepared, 4, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(clGot[i].Hits, want[i].Hits) {
+			t.Errorf("query %d: cluster prepared batch diverges", w.Queries[i].ID)
+		}
+	}
+	// One *Query repeated across the whole batch: every position returns
+	// the same ranking as a standalone search of it.
+	one := prepared[0]
+	repeated := make([]*geodabs.Query, 6)
+	for i := range repeated {
+		repeated[i] = one
+	}
+	rep, err := idx.SearchQueryBatch(ctx, repeated, 3, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rep {
+		if !reflect.DeepEqual(r.Hits, want[0].Hits) {
+			t.Errorf("repeated position %d diverges from standalone search", i)
+		}
+	}
+	// A bad option still fails the whole batch up front.
+	if _, err := idx.SearchQueryBatch(ctx, prepared, 2, geodabs.WithKNN(3), geodabs.WithLimit(3)); err == nil {
+		t.Error("SearchQueryBatch accepted mutually exclusive options")
+	}
+}
+
+// TestQueryFromFingerprintRejectsRerank pins the fingerprint-only rule:
+// a Query without raw points rejects WithExactRerank with a pointed
+// error, on both engines, while fingerprint-ranked searches work.
+func TestQueryFromFingerprintRejectsRerank(t *testing.T) {
+	_, w := testWorld()
+	idx := builtTestIndex(t)
+	cl := builtTestCluster(t, 2)
+	ctx := context.Background()
+	fp, err := geodabs.NewFingerprinter(geodabs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geodabs.QueryFromFingerprint(fp.Fingerprint(w.Queries[0].Points))
+	if !q.FingerprintOnly() {
+		t.Fatal("QueryFromFingerprint is not fingerprint-only")
+	}
+	if q.Points() != nil {
+		t.Fatal("fingerprint-only query carries points")
+	}
+	for name, s := range map[string]geodabs.Searcher{"index": idx, "cluster": cl} {
+		res, err := s.SearchQuery(ctx, q, geodabs.WithKNN(3))
+		if err != nil || len(res.Hits) == 0 {
+			t.Fatalf("%s: fingerprint-only search: %d hits, %v", name, len(res.Hits), err)
+		}
+		_, err = s.SearchQuery(ctx, q, geodabs.WithKNN(3), geodabs.WithExactRerank(geodabs.DTW))
+		if err == nil || !strings.Contains(err.Error(), "fingerprint-only") {
+			t.Errorf("%s: rerank of fingerprint-only query: %v, want pointed error", name, err)
+		}
+	}
+	// A nil query fails cleanly rather than panicking.
+	if _, err := idx.SearchQuery(ctx, nil); err == nil {
+		t.Error("SearchQuery accepted a nil *Query")
+	}
+}
+
+// TestWideQueryPreparedParity drives the >65535-term wide path on both
+// engines through a fingerprint-only prepared query: the local index
+// falls back to the document-at-a-time union scan and the coordinator to
+// map-based accumulation, and the two must stay byte-identical (and
+// stable across cache-warm repeats).
+func TestWideQueryPreparedParity(t *testing.T) {
+	_, w := testWorld()
+	idx := builtTestIndex(t)
+	cl := builtTestCluster(t, 2)
+	ctx := context.Background()
+	fp, err := geodabs.NewFingerprinter(geodabs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real terms (so the wide query has candidates) plus filler terms
+	// pushing the cardinality past the 16-bit counter range.
+	set := bitmap.New()
+	for _, tr := range w.Dataset.Trajectories[:8] {
+		set.OrInPlace(fp.Fingerprint(tr.Points).Set)
+	}
+	for v := uint32(0); set.Cardinality() <= 1<<16; v += 17 {
+		set.Add(v)
+	}
+	q := geodabs.QueryFromFingerprint(&geodabs.Fingerprint{Set: set})
+	for _, opts := range [][]geodabs.SearchOption{
+		nil,
+		{geodabs.WithLimit(10)},
+		{geodabs.WithMaxDistance(0.9999), geodabs.WithKNN(5)},
+	} {
+		var prev []geodabs.Result
+		for pass := 0; pass < 2; pass++ {
+			got, err := idx.SearchQuery(ctx, q, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clGot, err := cl.SearchQuery(ctx, q, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Hits, clGot.Hits) {
+				t.Fatalf("wide query: index and cluster rankings diverge (opts %d, pass %d)", len(opts), pass)
+			}
+			if pass == 0 {
+				prev = got.Hits
+				if len(prev) == 0 {
+					t.Fatal("wide query found no candidates; test workload broken")
+				}
+			} else if !reflect.DeepEqual(got.Hits, prev) {
+				t.Fatalf("wide query unstable across cache-warm repeat")
+			}
+		}
+	}
+}
+
+// TestQueryAcrossConfigurations exercises the lazy cache's re-derivation:
+// one NewQuery value searched against a geodab index and a geohash-cell
+// baseline index must match each engine's own trajectory search.
+func TestQueryAcrossConfigurations(t *testing.T) {
+	_, w := testWorld()
+	ctx := context.Background()
+	geodab := builtTestIndex(t)
+	cell, err := geodabs.NewGeohashIndex(geodabs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.AddAll(w.Dataset, 4); err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Queries[0]
+	q := geodabs.NewQuery(tr.Points)
+	for _, engines := range [][2]*geodabs.Index{{geodab, cell}, {cell, geodab}} {
+		for _, ix := range engines {
+			want, err := ix.Search(ctx, tr, geodabs.WithLimit(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ix.SearchQuery(ctx, q, geodabs.WithLimit(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Hits, want.Hits) {
+				t.Fatalf("cross-configuration reuse diverges from the engine's own search")
+			}
+		}
+	}
+}
+
+// TestClusterAnalyzeQuery pins AnalyzeQuery against Analyze and checks
+// the cached plan serves repeated analyses.
+func TestClusterAnalyzeQuery(t *testing.T) {
+	_, w := testWorld()
+	cl := builtTestCluster(t, 2)
+	for _, tr := range w.Queries[:3] {
+		want := cl.Analyze(tr)
+		q := geodabs.NewQuery(tr.Points)
+		if got := cl.AnalyzeQuery(q); got != want {
+			t.Errorf("query %d: AnalyzeQuery = %+v, Analyze = %+v", tr.ID, got, want)
+		}
+		if got := cl.AnalyzeQuery(q); got != want { // cached plan path
+			t.Errorf("query %d: repeated AnalyzeQuery = %+v, Analyze = %+v", tr.ID, got, want)
+		}
+	}
+}
+
+// TestPreparedQueryConcurrentReuse shares one *Query across SearchBatch
+// workers while Upserts churn the engines underneath — the -race
+// acceptance test for the query caches' synchronization. Results are not
+// pinned (the data is mutating); every search must simply succeed.
+func TestPreparedQueryConcurrentReuse(t *testing.T) {
+	_, w := testWorld()
+	idx := builtTestIndex(t)
+	cl := builtTestCluster(t, 2)
+	ctx := context.Background()
+	one := geodabs.NewQuery(w.Queries[0].Points)
+	batch := make([]*geodabs.Query, 24)
+	for i := range batch {
+		batch[i] = one
+	}
+	for name, engine := range map[string]interface {
+		geodabs.Searcher
+		geodabs.Mutator
+	}{"index": idx, "cluster": cl} {
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr := w.Dataset.Trajectories[i%len(w.Dataset.Trajectories)]
+				if err := engine.Upsert(ctx, tr); err != nil {
+					t.Errorf("%s: Upsert: %v", name, err)
+					return
+				}
+			}
+		}()
+		type batcher interface {
+			SearchQueryBatch(ctx context.Context, qs []*geodabs.Query, workers int, opts ...geodabs.SearchOption) ([]*geodabs.SearchResult, error)
+		}
+		results, err := engine.(batcher).SearchQueryBatch(ctx, batch, 8, geodabs.WithLimit(5))
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			t.Fatalf("%s: SearchQueryBatch under concurrent Upserts: %v", name, err)
+		}
+		if len(results) != len(batch) {
+			t.Fatalf("%s: %d results for %d queries", name, len(results), len(batch))
+		}
+		for i, r := range results {
+			if r == nil {
+				t.Fatalf("%s: missing result at %d", name, i)
+			}
+		}
+	}
+}

@@ -21,14 +21,31 @@ import (
 //
 // With no options a search returns every trajectory sharing at least one
 // fingerprint with the query, most similar first.
+//
+// SearchQuery is Search over a prepared *Query, whose extraction (and,
+// on a Cluster, shard partition) is computed once and cached inside the
+// value — repeated and batched searches skip the per-call preparation
+// cost. Search(ctx, t, ...) is exactly SearchQuery(ctx, NewQuery(t.Points),
+// ...): the two return byte-identical results.
 type Searcher interface {
 	Search(ctx context.Context, q *Trajectory, opts ...SearchOption) (*SearchResult, error)
+	SearchQuery(ctx context.Context, q *Query, opts ...SearchOption) (*SearchResult, error)
+}
+
+// preparedSearcher is the internal resolved-options search entry both
+// engines implement: options are parsed exactly once per public call —
+// a batch resolves them up front and fans the resolved set out to its
+// workers instead of re-parsing inside every per-query search.
+type preparedSearcher interface {
+	searchPrepared(ctx context.Context, q *Query, o searchOptions) (*SearchResult, error)
 }
 
 // Compile-time proof that both retrieval engines present the one surface.
 var (
-	_ Searcher = (*Index)(nil)
-	_ Searcher = (*Cluster)(nil)
+	_ Searcher         = (*Index)(nil)
+	_ Searcher         = (*Cluster)(nil)
+	_ preparedSearcher = (*Index)(nil)
+	_ preparedSearcher = (*Cluster)(nil)
 )
 
 // RerankMetric is an exact trajectory distance used by WithExactRerank to
@@ -200,18 +217,40 @@ type SearchStats struct {
 	Elapsed time.Duration
 }
 
-// Search implements Searcher on the local index.
+// Search implements Searcher on the local index. It is a thin wrapper
+// over SearchQuery: the trajectory's points become a one-shot prepared
+// query, so results are byte-identical to the prepared path.
 func (ix *Index) Search(ctx context.Context, q *Trajectory, opts ...SearchOption) (*SearchResult, error) {
+	return ix.SearchQuery(ctx, NewQuery(q.Points), opts...)
+}
+
+// SearchQuery implements the prepared side of Searcher on the local
+// index: the query's cached term set feeds the counting-merge core
+// directly, skipping fingerprint extraction on every call after the
+// first.
+func (ix *Index) SearchQuery(ctx context.Context, q *Query, opts ...SearchOption) (*SearchResult, error) {
 	o, err := newSearchOptions(opts)
 	if err != nil {
 		return nil, err
 	}
+	return ix.searchPrepared(ctx, q, o)
+}
+
+// searchPrepared runs one resolved search against the local index.
+func (ix *Index) searchPrepared(ctx context.Context, q *Query, o searchOptions) (*SearchResult, error) {
+	if err := checkQuery(q, o); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	hits, istats, err := ix.inv.Search(ctx, q, o.maxDistance, o.fetchLimit())
+	set, card := q.termSet(ix.inv.Extractor())
+	hits, istats, err := ix.inv.AppendSearchSet(ctx, nil, set, card, o.maxDistance, o.fetchLimit())
 	if err != nil {
 		return nil, err
 	}
-	if hits, err = rerankHits(ctx, o, hits, q.Points, ix.inv.PointsOf); err != nil {
+	if hits, err = rerankHits(ctx, o, hits, q.Points(), ix.inv.PointsOf); err != nil {
 		return nil, err
 	}
 	return &SearchResult{
@@ -228,22 +267,62 @@ func (ix *Index) Search(ctx context.Context, q *Trajectory, opts ...SearchOption
 // number of parallel workers, for throughput workloads. Results align
 // with qs by position. The first error cancels the remaining work.
 func (ix *Index) SearchBatch(ctx context.Context, qs []*Trajectory, workers int, opts ...SearchOption) ([]*SearchResult, error) {
-	return searchBatch(ctx, ix, qs, workers, opts)
-}
-
-// Search implements Searcher on the distributed cluster. A cancelled ctx
-// aborts the scatter-gather promptly with the context's error.
-func (c *Cluster) Search(ctx context.Context, q *Trajectory, opts ...SearchOption) (*SearchResult, error) {
 	o, err := newSearchOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	hits, info, err := c.coord.Search(ctx, q, o.maxDistance, o.fetchLimit())
+	return searchBatch(ctx, ix, wrapQueries(qs), workers, o)
+}
+
+// SearchQueryBatch is SearchBatch over prepared queries: each *Query's
+// cached extraction is reused across the batch — and across batches, so
+// a recurring query set pays preparation once for its lifetime. The same
+// *Query may appear at several positions; it is searched independently
+// at each.
+func (ix *Index) SearchQueryBatch(ctx context.Context, qs []*Query, workers int, opts ...SearchOption) ([]*SearchResult, error) {
+	o, err := newSearchOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	if hits, err = rerankHits(ctx, o, hits, q.Points, c.coord.PointsOf); err != nil {
+	return searchBatch(ctx, ix, qs, workers, o)
+}
+
+// Search implements Searcher on the distributed cluster. A cancelled ctx
+// aborts the scatter-gather promptly with the context's error. Like the
+// local engine, it wraps the trajectory in a one-shot prepared query.
+func (c *Cluster) Search(ctx context.Context, q *Trajectory, opts ...SearchOption) (*SearchResult, error) {
+	return c.SearchQuery(ctx, NewQuery(q.Points), opts...)
+}
+
+// SearchQuery implements the prepared side of Searcher on the cluster:
+// beyond the cached extraction, the query caches its per-shard term
+// partition (the wire-ready per-node term slices) on first use against a
+// shard strategy, so repeated and batched scatter-gathers skip both
+// extraction and re-sharding.
+func (c *Cluster) SearchQuery(ctx context.Context, q *Query, opts ...SearchOption) (*SearchResult, error) {
+	o, err := newSearchOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.searchPrepared(ctx, q, o)
+}
+
+// searchPrepared runs one resolved scatter-gather against the cluster.
+func (c *Cluster) searchPrepared(ctx context.Context, q *Query, o searchOptions) (*SearchResult, error) {
+	if err := checkQuery(q, o); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	set, _ := q.termSet(c.coord.Extractor())
+	plan := q.clusterPlan(c.coord, set)
+	hits, info, err := c.coord.SearchPlan(ctx, plan, o.maxDistance, o.fetchLimit())
+	if err != nil {
+		return nil, err
+	}
+	if hits, err = rerankHits(ctx, o, hits, q.Points(), c.coord.PointsOf); err != nil {
 		return nil, err
 	}
 	return &SearchResult{
@@ -267,7 +346,44 @@ func (c *Cluster) Search(ctx context.Context, q *Trajectory, opts ...SearchOptio
 // RPC per pooled connection); size it with WithConnsPerNode at
 // construction to match the worker count.
 func (c *Cluster) SearchBatch(ctx context.Context, qs []*Trajectory, workers int, opts ...SearchOption) ([]*SearchResult, error) {
-	return searchBatch(ctx, c, qs, workers, opts)
+	o, err := newSearchOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return searchBatch(ctx, c, wrapQueries(qs), workers, o)
+}
+
+// SearchQueryBatch is SearchBatch over prepared queries; see
+// Index.SearchQueryBatch. On a cluster, each query's shard partition is
+// also cached, so a batch that repeats a *Query re-shards nothing.
+func (c *Cluster) SearchQueryBatch(ctx context.Context, qs []*Query, workers int, opts ...SearchOption) ([]*SearchResult, error) {
+	o, err := newSearchOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return searchBatch(ctx, c, qs, workers, o)
+}
+
+// checkQuery rejects option/query combinations that cannot execute: a
+// nil query, and exact re-ranking of a fingerprint-only query, whose raw
+// points were never available to score with the metric.
+func checkQuery(q *Query, o searchOptions) error {
+	if q == nil {
+		return errors.New("geodabs: nil *Query")
+	}
+	if o.rerank != nil && q.FingerprintOnly() {
+		return errors.New("geodabs: WithExactRerank needs the query's raw points, which a fingerprint-only Query (QueryFromFingerprint) does not carry — build the query with NewQuery or Fingerprinter.Prepare instead")
+	}
+	return nil
+}
+
+// wrapQueries lifts a trajectory batch into one-shot prepared queries.
+func wrapQueries(ts []*Trajectory) []*Query {
+	qs := make([]*Query, len(ts))
+	for i, t := range ts {
+		qs[i] = NewQuery(t.Points)
+	}
+	return qs
 }
 
 // rerankHits applies the exact refinement pass: score every hit with the
@@ -294,13 +410,11 @@ func rerankHits(ctx context.Context, o searchOptions, hits []Result, query []Poi
 	return hits, nil
 }
 
-// searchBatch fans qs out over a worker pool against any Searcher.
-func searchBatch(ctx context.Context, s Searcher, qs []*Trajectory, workers int, opts []SearchOption) ([]*SearchResult, error) {
-	// Validate options once up front so a bad option fails before any
-	// query runs, not on every worker.
-	if _, err := newSearchOptions(opts); err != nil {
-		return nil, err
-	}
+// searchBatch fans qs out over a worker pool against either engine's
+// resolved-options entry. The caller has already parsed the options —
+// exactly once per batch — so a bad option fails before any query runs
+// and no worker re-resolves the option slice per search.
+func searchBatch(ctx context.Context, s preparedSearcher, qs []*Query, workers int, o searchOptions) ([]*SearchResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -324,7 +438,7 @@ func searchBatch(ctx context.Context, s Searcher, qs []*Trajectory, workers int,
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				r, err := s.Search(ctx, qs[i], opts...)
+				r, err := s.searchPrepared(ctx, qs[i], o)
 				if err != nil {
 					fail(err)
 					return
