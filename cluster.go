@@ -2,12 +2,18 @@ package geodabs
 
 import (
 	"context"
+	"errors"
 
 	"geodabs/internal/cluster"
 	"geodabs/internal/core"
 	"geodabs/internal/index"
 	"geodabs/internal/shard"
 )
+
+// ErrClosed reports an operation on a Cluster after Close. Searches and
+// mutations racing a Close either complete normally or return an error
+// satisfying errors.Is(err, ErrClosed) — never a panic or a hang.
+var ErrClosed = errors.New("geodabs: cluster closed")
 
 // ShardNode is a network server owning a slice of the geodab term space.
 // Start nodes with StartShardNode, then front them with NewCluster.
@@ -78,13 +84,13 @@ func NewCluster(cfg Config, strategy ShardStrategy, addrs []string, opts ...Opti
 // trajectory. A failed add reclaims the postings it already applied
 // (best-effort deletes to the nodes it touched) and is retryable.
 func (c *Cluster) Add(t *Trajectory) error {
-	return c.coord.Add(context.Background(), t)
+	return translateClusterErr(c.coord.Add(context.Background(), t))
 }
 
 // AddContext is Add honoring cancellation and deadlines while waiting on
 // the shard nodes.
 func (c *Cluster) AddContext(ctx context.Context, t *Trajectory) error {
-	return c.coord.Add(ctx, t)
+	return translateClusterErr(c.coord.Add(ctx, t))
 }
 
 // Analyze returns the fan-out a query would incur, without executing it.
@@ -119,13 +125,15 @@ func (c *Cluster) DiscardPoints() { c.coord.DiscardPoints() }
 // Stats gathers per-node term and posting counts, slice index i matching
 // node i.
 func (c *Cluster) Stats() ([]NodeStats, error) {
-	return c.coord.Stats(context.Background())
+	stats, err := c.coord.Stats(context.Background())
+	return stats, translateClusterErr(err)
 }
 
 // StatsContext is Stats honoring cancellation and deadlines while
 // waiting on the shard nodes.
 func (c *Cluster) StatsContext(ctx context.Context) ([]NodeStats, error) {
-	return c.coord.Stats(ctx)
+	stats, err := c.coord.Stats(ctx)
+	return stats, translateClusterErr(err)
 }
 
 // Query returns the indexed trajectories within Jaccard distance
@@ -146,5 +154,8 @@ func (c *Cluster) Query(q *Trajectory, maxDistance float64, limit int) ([]Result
 	return c.coord.Query(q, maxDistance, limit)
 }
 
-// Close tears down all node connections.
+// Close tears down all node connections. It is idempotent and safe to
+// call concurrently with in-flight searches and mutations: later calls
+// return nil immediately, racing operations either complete or fail with
+// ErrClosed, and every operation after Close returns ErrClosed.
 func (c *Cluster) Close() error { return c.coord.Close() }

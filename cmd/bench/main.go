@@ -6,9 +6,13 @@
 // pinned query (local index and cluster) and the prepared-vs-unprepared
 // speedup, to a JSON file.
 //
+// Since issue 6 it also measures the served path: a geodabsd front-end
+// on the same live cluster, driven by N concurrent client connections
+// over the binary protocol, reporting qps and client-observed p50/p99.
+//
 // Regenerate the committed snapshot with:
 //
-//	go run ./cmd/bench -out BENCH_5.json
+//	go run ./cmd/bench -out BENCH_6.json
 //
 // The workload is deterministic (seeded synthetic city, 50 routes), so
 // ns/op moves only with the hardware and the code.
@@ -22,14 +26,19 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"geodabs"
+	"geodabs/client"
 
 	"geodabs/internal/core"
 	"geodabs/internal/gen"
 	"geodabs/internal/index"
 	"geodabs/internal/roadnet"
+	"geodabs/internal/server"
 )
 
 type benchResult struct {
@@ -65,6 +74,20 @@ type clusterPruningStats struct {
 	Nodes       int     `json:"nodes_touched"`
 }
 
+// servedResult is one operating point of the served-workload benchmark:
+// conns closed-loop client connections issuing fingerprint searches
+// against a geodabsd fronting the live cluster. Latencies are
+// client-observed (full protocol round trip), shed counts OVERLOADED
+// refusals during the run.
+type servedResult struct {
+	Conns    int     `json:"conns"`
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	Shed     uint64  `json:"shed"`
+}
+
 type report struct {
 	Issue      int    `json:"issue"`
 	Regenerate string `json:"regenerate"`
@@ -79,10 +102,12 @@ type report struct {
 	Benches                []benchResult         `json:"benches"`
 	Pruning                []pruningStats        `json:"pruning"`
 	ClusterPruning         []clusterPruningStats `json:"cluster_pruning"`
+	Served                 []servedResult        `json:"served"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	servedDur := flag.Duration("served-duration", 1500*time.Millisecond, "duration of each served-workload operating point")
 	flag.Parse()
 
 	city, err := roadnet.GenerateCity(roadnet.CityConfig{Seed: 7})
@@ -269,6 +294,32 @@ func main() {
 		}
 	}))
 
+	// The served workload: a geodabsd front-end on the live cluster,
+	// driven closed-loop by N concurrent client connections shipping the
+	// pinned query's fingerprint (the thin-client path). Latency is the
+	// full client-observed round trip: framing, admission, scatter-gather,
+	// response decode.
+	srv, err := server.Listen("127.0.0.1:0", cl, server.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fper, err := geodabs.NewFingerprinter(geodabs.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	qfp := fper.Fingerprint(q.Points)
+	var served []servedResult
+	for _, conns := range []int{1, 8, 32} {
+		r, err := runServed(ctx, srv, qfp, conns, *servedDur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		served = append(served, r)
+		fmt.Printf("served conns=%-3d %8.0f qps  p50=%.2fms p99=%.2fms  shed=%d\n",
+			r.Conns, r.QPS, r.P50MS, r.P99MS, r.Shed)
+	}
+
 	// Pruning statistics of pinned queries: how much of the candidate set
 	// the threshold bounds discard before scoring.
 	var pruning []pruningStats
@@ -319,8 +370,8 @@ func main() {
 	}
 
 	rep := report{
-		Issue:                  5,
-		Regenerate:             "go run ./cmd/bench -out BENCH_5.json",
+		Issue:                  6,
+		Regenerate:             "go run ./cmd/bench -out BENCH_6.json",
 		GoVersion:              runtime.Version(),
 		GOMAXPROCS:             runtime.GOMAXPROCS(0),
 		Workload:               "synthetic city seed 7, 50 routes, default fingerprint config",
@@ -329,6 +380,7 @@ func main() {
 		Benches:                results,
 		Pruning:                pruning,
 		ClusterPruning:         clusterPruning,
+		Served:                 served,
 	}
 	fmt.Printf("prepared speedup: search %.2fx, cluster %.2fx\n",
 		rep.PreparedSpeedupSearch, rep.PreparedSpeedupCluster)
@@ -341,4 +393,73 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// runServed drives the server closed-loop from conns client connections
+// for roughly dur, each issuing the pinned fingerprint search
+// back-to-back, and reports throughput and client-observed latency
+// quantiles.
+func runServed(ctx context.Context, srv *server.Server, fp *geodabs.Fingerprint, conns int, dur time.Duration) (servedResult, error) {
+	shedBefore := srv.Metrics().Shed()
+	var mu sync.Mutex
+	var lats []time.Duration
+	var firstErr error
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One connection per worker: WithPoolSize(1) pins the pool so
+			// the closed loop measures per-connection round trips.
+			cc, err := client.Dial(srv.Addr(), client.WithPoolSize(1))
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer cc.Close()
+			var local []time.Duration
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				if _, err := cc.SearchFingerprint(ctx, fp, client.WithMaxDistance(1), client.WithLimit(10)); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return servedResult{}, firstErr
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	quantile := func(q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i].Microseconds()) / 1000
+	}
+	return servedResult{
+		Conns:    conns,
+		Requests: len(lats),
+		QPS:      float64(len(lats)) / elapsed.Seconds(),
+		P50MS:    quantile(0.50),
+		P99MS:    quantile(0.99),
+		Shed:     srv.Metrics().Shed() - shedBefore,
+	}, nil
 }

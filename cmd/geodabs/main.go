@@ -9,10 +9,18 @@
 //	geodabs query  -data FILE -queries FILE [-q N]    run a ranked query
 //	geodabs delete -snapshot FILE ID...               delete trajectories from a snapshot
 //	geodabs serve  -addr HOST:PORT                    run a shard node
+//
+// Remote subcommands speak to a geodabsd service (see cmd/geodabsd)
+// instead of a local index:
+//
+//	geodabs remote-query  -addr HOST:PORT -queries FILE [-q N]   query a geodabsd
+//	geodabs remote-upsert -addr HOST:PORT -data FILE             upsert a dataset into a geodabsd
+//	geodabs remote-delete -addr HOST:PORT ID...                  delete trajectories from a geodabsd
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"geodabs"
+	"geodabs/client"
 	"geodabs/internal/trajectory"
 )
 
@@ -48,13 +57,19 @@ func run(args []string) error {
 		return cmdDelete(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "remote-query":
+		return cmdRemoteQuery(args[1:])
+	case "remote-upsert":
+		return cmdRemoteUpsert(args[1:])
+	case "remote-delete":
+		return cmdRemoteDelete(args[1:])
 	default:
 		return usageError()
 	}
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: geodabs <gen|stats|query|delete|serve> [flags]")
+	return fmt.Errorf("usage: geodabs <gen|stats|query|delete|serve|remote-query|remote-upsert|remote-delete> [flags]")
 }
 
 // cmdGen generates a synthetic dataset with held-out queries and ground
@@ -462,6 +477,139 @@ func cmdDelete(args []string) error {
 	}
 	fmt.Printf("deleted %d of %d trajectories (%d unknown), postings %d → %d, wrote %s\n",
 		deleted, len(ids), len(ids)-deleted, before.Postings, after.Postings, *out)
+	return nil
+}
+
+// cmdRemoteQuery runs a held-out query against a geodabsd service. By
+// default it winnows locally and ships only the fingerprint (the
+// thin-client path); -raw ships the raw points for server-side
+// winnowing instead.
+func cmdRemoteQuery(args []string) error {
+	fs := flag.NewFlagSet("remote-query", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7071", "geodabsd address")
+	queryPath := fs.String("queries", "data/queries.bin", "queries file")
+	qn := fs.Int("q", 0, "query number within the queries file")
+	limit := fs.Int("limit", 10, "maximum results (0 = unlimited)")
+	knn := fs.Int("knn", 0, "return the k nearest trajectories instead of -limit")
+	maxDist := fs.Float64("max-distance", 0.99, "Jaccard distance cutoff Δmax")
+	raw := fs.Bool("raw", false, "ship raw points instead of a locally winnowed fingerprint")
+	timeout := fs.Duration("timeout", 5*time.Second, "request deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	queries, err := readDataset(*queryPath)
+	if err != nil {
+		return err
+	}
+	if *qn < 0 || *qn >= queries.Len() {
+		return fmt.Errorf("query %d out of range [0, %d)", *qn, queries.Len())
+	}
+	q := queries.Trajectories[*qn]
+	var opts []client.SearchOption
+	opts = append(opts, client.WithMaxDistance(*maxDist))
+	if *knn != 0 {
+		opts = append(opts, client.WithKNN(*knn))
+	} else if *limit > 0 {
+		opts = append(opts, client.WithLimit(*limit))
+	}
+	cl, err := client.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	var res *client.Result
+	if *raw {
+		res, err = cl.Search(ctx, q.Points, opts...)
+	} else {
+		// The thin-client split: run the geodab pipeline locally so only
+		// the fingerprint's term set crosses the wire.
+		f, ferr := geodabs.NewFingerprinter(geodabs.DefaultConfig())
+		if ferr != nil {
+			return ferr
+		}
+		res, err = cl.SearchFingerprint(ctx, f.Fingerprint(q.Points), opts...)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query %d: %d points — %d results from %d candidates in %v (server), %d/%d shards/nodes\n",
+		q.ID, q.Len(), len(res.Hits), res.Stats.Candidates, res.Stats.Elapsed.Round(time.Microsecond),
+		res.Stats.Shards, res.Stats.Nodes)
+	for i, r := range res.Hits {
+		fmt.Printf("%2d. trajectory %5d  dJ=%.3f  shared=%3d\n", i+1, r.ID, r.Distance, r.Shared)
+	}
+	return nil
+}
+
+// cmdRemoteUpsert streams a dataset into a geodabsd service.
+func cmdRemoteUpsert(args []string) error {
+	fs := flag.NewFlagSet("remote-upsert", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7071", "geodabsd address")
+	dataPath := fs.String("data", "data/dataset.bin", "dataset file")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := readDataset(*dataPath)
+	if err != nil {
+		return err
+	}
+	cl, err := client.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	start := time.Now()
+	for _, tr := range d.Trajectories {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		err := cl.Upsert(ctx, tr)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("upsert %d: %w", tr.ID, err)
+		}
+	}
+	fmt.Printf("upserted %d trajectories in %v\n", d.Len(), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// cmdRemoteDelete deletes the given trajectory IDs from a geodabsd
+// service.
+func cmdRemoteDelete(args []string) error {
+	fs := flag.NewFlagSet("remote-delete", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7071", "geodabsd address")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(fs.Args()) == 0 {
+		return fmt.Errorf("remote-delete: no trajectory IDs given")
+	}
+	cl, err := client.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	deleted := 0
+	for _, arg := range fs.Args() {
+		v, err := strconv.ParseUint(arg, 10, 32)
+		if err != nil {
+			return fmt.Errorf("remote-delete: bad trajectory ID %q: %w", arg, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		err = cl.Delete(ctx, geodabs.ID(v))
+		cancel()
+		switch {
+		case err == nil:
+			deleted++
+		case errors.Is(err, client.ErrNotFound):
+			fmt.Printf("trajectory %d not indexed\n", v)
+		default:
+			return err
+		}
+	}
+	fmt.Printf("deleted %d of %d trajectories\n", deleted, len(fs.Args()))
 	return nil
 }
 

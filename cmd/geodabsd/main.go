@@ -1,0 +1,136 @@
+// Command geodabsd serves a geodabs engine over the network: the
+// service front-end of the paper's "at scale" story. It exposes the
+// Searcher/Mutator surface — fingerprint and raw-trajectory search,
+// upsert, delete — over the compact binary protocol of docs/protocol.md,
+// with admission control, per-request deadlines, Prometheus-style
+// metrics, and graceful drain on SIGTERM.
+//
+// Backends (exactly one):
+//
+//	-snapshot FILE        serve a local index snapshot (geodabs stats -snapshot)
+//	-nodes A,B,C          front a cluster of shard nodes (geodabs serve)
+//
+// Usage:
+//
+//	geodabsd -addr :7071 -snapshot index.snap
+//	geodabsd -addr :7071 -nodes 10.0.0.1:7070,10.0.0.2:7070 -shards 1024
+//
+// Operational flags: -max-inflight, -max-queue, -max-pipeline,
+// -max-conns bound the admission pipeline; -default-deadline and
+// -max-deadline bound request execution; -metrics-addr serves /metrics;
+// -drain-timeout bounds the SIGTERM drain (the process exits 0 when
+// in-flight requests finished in time).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"geodabs"
+	"geodabs/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "geodabsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("geodabsd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7071", "listen address")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = off)")
+	snapshot := fs.String("snapshot", "", "serve this local index snapshot")
+	nodes := fs.String("nodes", "", "comma-separated shard node addresses to front as a cluster")
+	shards := fs.Int("shards", 1024, "cluster shard count (with -nodes)")
+	connsPerNode := fs.Int("conns-per-node", 4, "pooled connections per shard node (with -nodes)")
+	maxInFlight := fs.Int("max-inflight", 128, "maximum concurrently executing requests")
+	maxQueue := fs.Int("max-queue", 0, "maximum requests waiting for a slot (0 = -max-inflight)")
+	maxPipeline := fs.Int("max-pipeline", 32, "maximum outstanding requests per connection")
+	maxConns := fs.Int("max-conns", 1024, "maximum client connections")
+	defaultDeadline := fs.Duration("default-deadline", 0, "deadline applied to requests that carry none (0 = none)")
+	maxDeadline := fs.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = no cap)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*snapshot == "") == (*nodes == "") {
+		return fmt.Errorf("exactly one backend is required: -snapshot or -nodes")
+	}
+
+	var engine server.Engine
+	cfg := geodabs.DefaultConfig()
+	if *snapshot != "" {
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			return err
+		}
+		idx, err := geodabs.ReadIndex(cfg, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("read snapshot %s: %w", *snapshot, err)
+		}
+		st := idx.Stats()
+		fmt.Printf("loaded snapshot %s: %d trajectories, %d terms\n", *snapshot, st.Trajectories, st.Terms)
+		engine = idx
+	} else {
+		addrs := strings.Split(*nodes, ",")
+		strategy := geodabs.ShardStrategy{PrefixBits: cfg.PrefixBits, Shards: *shards, Nodes: len(addrs)}
+		cl, err := geodabs.NewCluster(cfg, strategy, addrs, geodabs.WithConnsPerNode(*connsPerNode))
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		fmt.Printf("fronting %d shard nodes, %d shards\n", len(addrs), *shards)
+		engine = cl
+	}
+
+	srv, err := server.Listen(*addr, engine, server.Config{
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		MaxPipeline:     *maxPipeline,
+		MaxConns:        *maxConns,
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("geodabsd listening on %s\n", srv.Addr())
+
+	if *metricsAddr != "" {
+		// Bind before logging so the printed address is the real one
+		// (":0" resolves to a concrete port scripts can scrape).
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.Metrics().Handler())
+		msrv := &http.Server{Handler: mux}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	fmt.Printf("%s: draining (up to %v)\n", sig, *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("drained cleanly")
+	return nil
+}

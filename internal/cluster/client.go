@@ -86,7 +86,7 @@ func (c *client) checkout(ctx context.Context) (*nodeConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("cluster: client to %s is closed", c.addr)
+		return nil, fmt.Errorf("cluster: client to %s: %w", c.addr, ErrClosed)
 	}
 	if n := len(c.idle); n > 0 {
 		nc := c.idle[n-1]
@@ -104,7 +104,7 @@ func (c *client) checkout(ctx context.Context) (*nodeConn, error) {
 	if c.closed { // closed while we were dialing
 		c.mu.Unlock()
 		nc.conn.Close()
-		return nil, fmt.Errorf("cluster: client to %s is closed", c.addr)
+		return nil, fmt.Errorf("cluster: client to %s: %w", c.addr, ErrClosed)
 	}
 	c.active[nc] = struct{}{}
 	c.mu.Unlock()

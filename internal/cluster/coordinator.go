@@ -20,6 +20,12 @@ import (
 // not hold.
 var ErrNotFound = errors.New("cluster: trajectory not found")
 
+// ErrClosed reports an operation on a closed coordinator (or through a
+// closed node client). Searches and mutations racing a Close either
+// complete normally or fail with an error wrapping ErrClosed — never a
+// panic or a hang.
+var ErrClosed = errors.New("cluster: closed")
+
 // addCleanupTimeout bounds the posting-reclaim pass that runs when an
 // Add's fan-out fails: the cleanup deletes run under a detached context
 // (the failure cause is often the caller's own cancelled context), so a
@@ -63,6 +69,11 @@ type Coordinator struct {
 	// Distinct IDs sharing a stripe merely serialize — never deadlock —
 	// and the stripe is always acquired before (never while holding) mu.
 	idMu [idStripes]sync.Mutex
+
+	// closed flips once in Close. Entry points check it up front to fail
+	// fast with ErrClosed; calls that raced past the check fail inside
+	// the node clients, whose post-close checkout also reports ErrClosed.
+	closed atomic.Bool
 
 	mu        sync.RWMutex
 	directory map[trajectory.ID]docEntry
@@ -162,8 +173,15 @@ func NewCoordinator(ex index.Extractor, strategy shard.Strategy, addrs []string,
 	return c, nil
 }
 
-// Close tears down all node connections.
+// Close tears down all node connections. It is idempotent and safe to
+// call concurrently with in-flight searches and mutations: later calls
+// return nil immediately, and racing operations either complete or fail
+// with an error wrapping ErrClosed. After Close every Search, Add,
+// Delete, Upsert, DeleteAll and Stats returns ErrClosed.
 func (c *Coordinator) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	var firstErr error
 	for _, cl := range c.clients {
 		if err := cl.close(); err != nil && firstErr == nil {
@@ -171,6 +189,14 @@ func (c *Coordinator) Close() error {
 		}
 	}
 	return firstErr
+}
+
+// checkClosed fails fast once Close has run.
+func (c *Coordinator) checkClosed() error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	return nil
 }
 
 // beginMutationLocked assigns the next mutation epoch and marks it in
@@ -291,6 +317,9 @@ func (c *Coordinator) addID(parent context.Context, t *trajectory.Trajectory) er
 	if err := parent.Err(); err != nil {
 		return err
 	}
+	if err := c.checkClosed(); err != nil {
+		return err
+	}
 	set := c.ex.Extract(t.Points)
 	card := set.Cardinality()
 	c.mu.Lock()
@@ -381,6 +410,9 @@ func (c *Coordinator) deleteID(parent context.Context, id trajectory.ID) error {
 	if err := parent.Err(); err != nil {
 		return err
 	}
+	if err := c.checkClosed(); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	entry, ok := c.directory[id]
 	if !ok {
@@ -440,6 +472,9 @@ func (c *Coordinator) Upsert(ctx context.Context, t *trajectory.Trajectory) erro
 // error cancels the remaining work.
 func (c *Coordinator) DeleteAll(parent context.Context, ids []trajectory.ID, workers int) (int, error) {
 	if err := parent.Err(); err != nil {
+		return 0, err
+	}
+	if err := c.checkClosed(); err != nil {
 		return 0, err
 	}
 	if workers < 1 {
@@ -660,6 +695,9 @@ func (c *Coordinator) SearchPlan(parent context.Context, plan *QueryPlan, maxDis
 	if err := parent.Err(); err != nil {
 		return nil, SearchInfo{}, err
 	}
+	if err := c.checkClosed(); err != nil {
+		return nil, SearchInfo{}, err
+	}
 	groups := plan.groups
 	snap := c.watermark()
 	info := SearchInfo{
@@ -813,6 +851,9 @@ func limitCap(limit, candidates int) int {
 // reclaim dead tombstones before reporting.
 func (c *Coordinator) Stats(parent context.Context) ([]NodeStats, error) {
 	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.checkClosed(); err != nil {
 		return nil, err
 	}
 	below := c.watermark()

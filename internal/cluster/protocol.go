@@ -3,7 +3,18 @@ package cluster
 // Wire protocol: length-delimited gob over TCP. Each connection carries a
 // sequential stream of request/response pairs; the coordinator serializes
 // requests per connection and fans out across connections (and across the
-// per-node connection pool).
+// per-node connection pool). Four ops are in service: opAdd routes a
+// trajectory's postings (with its replicated cardinality), opQuery
+// scatters a search, opStats collects shard summaries, and opDelete
+// withdraws postings behind an epoch fence.
+//
+// Searches are plan-path only: the coordinator shards a query's term set
+// into per-node groups once, in a QueryPlan (built by Plan, cached by the
+// public prepared-Query layer), and every SearchPlan call replays those
+// groups into queryRequest scatters. Nothing plan-specific crosses the
+// wire — a node sees the same Terms/QueryCard/MaxDistance triple whether
+// the plan was freshly built or reused — so plan caching is invisible to
+// this protocol and needs no version negotiation.
 //
 // Mutations carry a per-mutation epoch assigned by the coordinator.
 // Nodes use it to fence stale writes: a delete leaves a tombstone at its
@@ -66,8 +77,9 @@ type deleteRequest struct {
 	Epoch uint64
 }
 
-// queryRequest carries the query terms owned by the node, plus the
-// inputs of the node-side cardinality window: QueryCard is the query's
+// queryRequest carries the query terms owned by the node — one group of
+// the QueryPlan's term sharding — plus the inputs of the node-side
+// cardinality window: QueryCard is the query's
 // global fingerprint cardinality |F| (across all nodes, not just the
 // terms routed here) and MaxDistance the effective Jaccard distance
 // bound. A QueryCard of 0 disables node-side pruning (the window would

@@ -1,0 +1,168 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geodabs"
+	"geodabs/client"
+	"geodabs/internal/server"
+)
+
+// stallProxy sits between the coordinator and a shard node. Requests
+// always pass through; with stall set, node replies are withheld, so
+// the only way the coordinator-side RPC can end is by observing its
+// context — which it signals by closing the connection (the deadline
+// poke unblocks its pending read, the poisoned connection is
+// discarded). The proxy reports that close on aborted.
+type stallProxy struct {
+	ln       net.Listener
+	nodeAddr string
+	stall    atomic.Bool
+	aborted  chan struct{} // closed when a stalled RPC's conn is torn down
+	once     sync.Once
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newStallProxy(t *testing.T, nodeAddr string) *stallProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &stallProxy{ln: ln, nodeAddr: nodeAddr, aborted: make(chan struct{})}
+	go p.acceptLoop()
+	t.Cleanup(p.close)
+	return p
+}
+
+func (p *stallProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *stallProxy) close() {
+	p.ln.Close()
+	p.mu.Lock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *stallProxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns = append(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *stallProxy) acceptLoop() {
+	for {
+		coordSide, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		nodeSide, err := net.Dial("tcp", p.nodeAddr)
+		if err != nil {
+			coordSide.Close()
+			return
+		}
+		p.track(coordSide)
+		p.track(nodeSide)
+		// Coordinator → node: requests always flow. EOF here while a
+		// reply is stalled means the coordinator tore the connection
+		// down — its RPC observed cancellation.
+		go func() {
+			io.Copy(nodeSide, coordSide)
+			if p.stall.Load() {
+				p.once.Do(func() { close(p.aborted) })
+			}
+			nodeSide.Close()
+			coordSide.Close()
+		}()
+		// Node → coordinator: replies are withheld while stalled.
+		go func() {
+			buf := make([]byte, 32<<10)
+			for {
+				n, err := nodeSide.Read(buf)
+				if n > 0 {
+					for p.stall.Load() {
+						time.Sleep(5 * time.Millisecond)
+					}
+					if _, werr := coordSide.Write(buf[:n]); werr != nil {
+						break
+					}
+				}
+				if err != nil {
+					break
+				}
+			}
+			coordSide.Close()
+		}()
+	}
+}
+
+// TestEndToEndDeadlinePropagation asserts the whole deadline chain:
+// client deadline → wire header → server context → coordinator
+// scatter → node RPC. The node's replies are stalled, so only genuine
+// cancellation of the node RPC — not a front-end timeout — can produce
+// the observed connection teardown.
+func TestEndToEndDeadlinePropagation(t *testing.T) {
+	node, err := geodabs.StartShardNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	proxy := newStallProxy(t, node.Addr())
+
+	cfg := geodabs.DefaultConfig()
+	cluster, err := geodabs.NewCluster(cfg,
+		geodabs.ShardStrategy{PrefixBits: cfg.PrefixBits, Shards: 256, Nodes: 1},
+		[]string{proxy.addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	w := testWorld()
+	for _, tr := range w.dataset.Trajectories[:6] {
+		if err := cluster.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := startServer(t, cluster, server.Config{})
+	cl, err := client.Dial(srv.Addr(), client.WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// From here on, node replies are withheld: the query reaches the
+	// node, but its answer never comes back.
+	proxy.stall.Store(true)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cl.Search(ctx, w.queries[0].Points)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline surfaced after %v", elapsed)
+	}
+
+	// The node-side RPC observed the cancellation: the coordinator tore
+	// down its node connection instead of waiting out the stall.
+	select {
+	case <-proxy.aborted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("node RPC never observed the cancellation — only the front-end timed out")
+	}
+}

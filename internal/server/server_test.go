@@ -1,0 +1,597 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geodabs"
+	"geodabs/client"
+	"geodabs/internal/server"
+	"geodabs/internal/wire"
+)
+
+// testWorld caches a small generated city + dataset for the server
+// tests.
+var testWorld = sync.OnceValue(func() *worldData {
+	city, err := geodabs.GenerateCity(geodabs.CityConfig{RadiusMeters: 3000, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	cfg := geodabs.DefaultDatasetConfig()
+	cfg.Routes = 6
+	cfg.TrajectoriesPerDirection = 3
+	cfg.MinRouteMeters = 2000
+	out, err := geodabs.GenerateDataset(city, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return &worldData{dataset: out.Dataset, queries: out.Queries}
+})
+
+type worldData struct {
+	dataset *geodabs.Dataset
+	queries []*geodabs.Trajectory
+}
+
+// stubEngine is a controllable Engine: every call holds for delay (or
+// until ctx cancels), then succeeds with a canned result.
+type stubEngine struct {
+	delay    time.Duration
+	searches atomic.Int64
+	upserts  atomic.Int64
+	deletes  atomic.Int64
+}
+
+func (e *stubEngine) wait(ctx context.Context) error {
+	if e.delay == 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(e.delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *stubEngine) result() *geodabs.SearchResult {
+	return &geodabs.SearchResult{
+		Hits:  []geodabs.Result{{ID: 1, Distance: 0.125, Shared: 7}},
+		Stats: geodabs.SearchStats{Candidates: 3, ShardsTouched: 2, NodesTouched: 1},
+	}
+}
+
+func (e *stubEngine) Search(ctx context.Context, q *geodabs.Trajectory, opts ...geodabs.SearchOption) (*geodabs.SearchResult, error) {
+	e.searches.Add(1)
+	if err := e.wait(ctx); err != nil {
+		return nil, err
+	}
+	return e.result(), nil
+}
+
+func (e *stubEngine) SearchQuery(ctx context.Context, q *geodabs.Query, opts ...geodabs.SearchOption) (*geodabs.SearchResult, error) {
+	e.searches.Add(1)
+	if err := e.wait(ctx); err != nil {
+		return nil, err
+	}
+	return e.result(), nil
+}
+
+func (e *stubEngine) Upsert(ctx context.Context, t *geodabs.Trajectory) error {
+	e.upserts.Add(1)
+	return e.wait(ctx)
+}
+
+func (e *stubEngine) Delete(ctx context.Context, id geodabs.ID) error {
+	e.deletes.Add(1)
+	if err := e.wait(ctx); err != nil {
+		return err
+	}
+	if id == 404 {
+		return geodabs.ErrNotFound
+	}
+	return nil
+}
+
+func (e *stubEngine) DeleteAll(ctx context.Context, ids []geodabs.ID, workers int) (int, error) {
+	return 0, errors.New("not wired over the protocol")
+}
+
+func startServer(t *testing.T, engine server.Engine, cfg server.Config) *server.Server {
+	t.Helper()
+	srv, err := server.Listen("127.0.0.1:0", engine, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestServeRealIndex drives the full loop against a real local index:
+// remote upserts, thin-client fingerprint search, raw search, delete,
+// and the not-found reply.
+func TestServeRealIndex(t *testing.T) {
+	w := testWorld()
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, idx, server.Config{})
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	for _, tr := range w.dataset.Trajectories {
+		if err := cl.Upsert(ctx, tr); err != nil {
+			t.Fatalf("upsert %d: %v", tr.ID, err)
+		}
+	}
+	if idx.Len() != w.dataset.Len() {
+		t.Fatalf("index has %d trajectories after remote upserts, want %d", idx.Len(), w.dataset.Len())
+	}
+
+	// Thin-client path: winnow locally, ship the fingerprint.
+	q := w.queries[0]
+	f, err := geodabs.NewFingerprinter(geodabs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.SearchFingerprint(ctx, f.Fingerprint(q.Points), client.WithMaxDistance(0.99), client.WithLimit(10))
+	if err != nil {
+		t.Fatalf("fingerprint search: %v", err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("fingerprint search returned no hits")
+	}
+	top := w.dataset.ByID(res.Hits[0].ID)
+	if top == nil || top.Route != q.Route || top.Dir != q.Dir {
+		t.Errorf("top hit %v does not match query route %d/%v", res.Hits[0], q.Route, q.Dir)
+	}
+
+	// Raw path must agree with the thin-client path on the same query.
+	raw, err := cl.Search(ctx, q.Points, client.WithMaxDistance(0.99), client.WithLimit(10))
+	if err != nil {
+		t.Fatalf("raw search: %v", err)
+	}
+	if len(raw.Hits) != len(res.Hits) || raw.Hits[0] != res.Hits[0] {
+		t.Errorf("raw search disagrees with fingerprint search: %v vs %v", raw.Hits, res.Hits)
+	}
+
+	victim := res.Hits[0].ID
+	if err := cl.Delete(ctx, victim); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := cl.Delete(ctx, victim); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("second delete: got %v, want ErrNotFound", err)
+	}
+	if !errors.Is(client.ErrNotFound, geodabs.ErrNotFound) {
+		t.Error("client.ErrNotFound should alias geodabs.ErrNotFound")
+	}
+}
+
+// floodConn pipelines count search requests on one raw connection and
+// tallies the reply statuses.
+func floodConn(t *testing.T, addr string, count int, firstID uint64) (map[wire.Status]int, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(60 * time.Second))
+	var buf []byte
+	for i := 0; i < count; i++ {
+		payload := wire.AppendRequest(nil, &wire.Request{
+			ID: firstID + uint64(i), Op: wire.OpSearchFP, MaxDistance: 1, Terms: []uint32{1, 2, 3},
+		})
+		if buf, err = wire.AppendFrame(buf, payload); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := conn.Write(buf); err != nil {
+		return nil, err
+	}
+	statuses := make(map[wire.Status]int)
+	for i := 0; i < count; i++ {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return statuses, fmt.Errorf("response %d: %w", i, err)
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			return statuses, err
+		}
+		statuses[resp.Status]++
+	}
+	return statuses, nil
+}
+
+// TestOverloadSheds floods the server far past its admission limit and
+// asserts the contract of the acceptance criteria: excess load is shed
+// with explicit OVERLOADED replies, every request is answered, admitted
+// requests keep a bounded p99, and goroutines do not grow with offered
+// load.
+func TestOverloadSheds(t *testing.T) {
+	engine := &stubEngine{delay: 30 * time.Millisecond}
+	srv := startServer(t, engine, server.Config{
+		MaxInFlight: 4,
+		MaxQueue:    4,
+		MaxPipeline: 64,
+	})
+
+	const conns = 8
+	const perConn = 50
+	baseline := runtime.NumGoroutine()
+
+	var peak atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		// Sample goroutine growth while the flood is in progress.
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+				peak.Store(n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	results := make([]map[wire.Status]int, conns)
+	errs := make([]error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c], errs[c] = floodConn(t, srv.Addr(), perConn, uint64(c*perConn))
+		}(c)
+	}
+	wg.Wait()
+	close(done)
+
+	total := make(map[wire.Status]int)
+	answered := 0
+	for c := 0; c < conns; c++ {
+		if errs[c] != nil {
+			t.Fatalf("conn %d: %v", c, errs[c])
+		}
+		for st, n := range results[c] {
+			total[st] += n
+			answered += n
+		}
+	}
+	if answered != conns*perConn {
+		t.Fatalf("answered %d of %d requests", answered, conns*perConn)
+	}
+	if total[wire.StatusOK] == 0 {
+		t.Error("no requests admitted under overload")
+	}
+	if total[wire.StatusOverloaded] == 0 {
+		t.Error("no requests shed with OVERLOADED under sustained overload")
+	}
+	if got := total[wire.StatusOK] + total[wire.StatusOverloaded]; got != answered {
+		t.Errorf("unexpected statuses: %v", total)
+	}
+	if srv.Metrics().Shed() == 0 {
+		t.Error("shed counter did not move")
+	}
+
+	// Admitted p99 stays bounded: an admitted request waits at most the
+	// queue in front of it (MaxQueue/MaxInFlight rounds of the 30ms op),
+	// nowhere near the seconds an unbounded queue would reach.
+	if p99 := srv.Metrics().Quantile(wire.OpSearchFP, 0.99); p99 > 1.0 {
+		t.Errorf("p99 of requests = %.3fs, want bounded under overload", p99)
+	}
+
+	// Goroutines are bounded by connections and the admission limit, not
+	// by the 400 offered requests: each connection owns a few goroutines
+	// and at most MaxInFlight+MaxQueue requests hold one at a time.
+	bound := int64(baseline + conns*4 + (4 + 4) + 24)
+	if p := peak.Load(); p > bound {
+		t.Errorf("goroutines peaked at %d (baseline %d, bound %d) — unbounded growth under overload", p, baseline, bound)
+	}
+}
+
+// TestDeadlineRefusesLateAndCancels maps client deadlines end to end at
+// the stub level: a request whose budget expires mid-execution gets
+// DEADLINE_EXCEEDED, promptly.
+func TestDeadlineRefusesLateAndCancels(t *testing.T) {
+	engine := &stubEngine{delay: 10 * time.Second}
+	srv := startServer(t, engine, server.Config{})
+	cl, err := client.Dial(srv.Addr(), client.WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cl.Search(ctx, testWorld().queries[0].Points)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline took %v to surface", elapsed)
+	}
+	// The engine call observed the cancellation (the stub returns the
+	// ctx error, which the server maps onto the deadline status).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().Requests(wire.OpSearch, wire.StatusDeadlineExceeded) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never recorded the deadline-exceeded completion")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMaxDeadlineCapsClientBudget: a client asking for more than the
+// server allows is clamped to the cap.
+func TestMaxDeadlineCapsClientBudget(t *testing.T) {
+	engine := &stubEngine{delay: 10 * time.Second}
+	srv := startServer(t, engine, server.Config{MaxDeadline: 100 * time.Millisecond})
+	cl, err := client.Dial(srv.Addr(), client.WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err = cl.Search(ctx, testWorld().queries[0].Points); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded from the server cap", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("capped request took %v", elapsed)
+	}
+}
+
+// TestGracefulDrain: in-flight requests finish, new requests on an open
+// connection are refused with SHUTTING_DOWN, and Shutdown returns nil
+// within the budget.
+func TestGracefulDrain(t *testing.T) {
+	engine := &stubEngine{delay: 300 * time.Millisecond}
+	srv := startServer(t, engine, server.Config{})
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+
+	send := func(id uint64) {
+		payload := wire.AppendRequest(nil, &wire.Request{ID: id, Op: wire.OpSearchFP, MaxDistance: 1, Terms: []uint32{1}})
+		frame, err := wire.AppendFrame(nil, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := func() *wire.Response {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	send(1) // in flight when the drain starts
+	time.Sleep(50 * time.Millisecond)
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the drain flag flip
+	send(2)                           // arrives mid-drain
+
+	got := map[uint64]wire.Status{}
+	for i := 0; i < 2; i++ {
+		r := recv()
+		got[r.ID] = r.Status
+	}
+	if got[1] != wire.StatusOK {
+		t.Errorf("in-flight request finished with %v, want OK", got[1])
+	}
+	if got[2] != wire.StatusShuttingDown {
+		t.Errorf("mid-drain request got %v, want SHUTTING_DOWN", got[2])
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("drain did not complete in time: %v", err)
+	}
+	// The listener is gone: new connections are refused.
+	if c, err := net.DialTimeout("tcp", srv.Addr(), time.Second); err == nil {
+		c.Close()
+		t.Error("dial succeeded after drain")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close after Shutdown: %v", err)
+	}
+}
+
+// TestClientRetriesOverloaded: an idempotent read shed with OVERLOADED
+// is retried and succeeds once capacity frees up.
+func TestClientRetriesOverloaded(t *testing.T) {
+	engine := &stubEngine{delay: 150 * time.Millisecond}
+	srv := startServer(t, engine, server.Config{MaxInFlight: 1, MaxQueue: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Saturate the single slot and the single queue seat with slow
+	// searches (ping never reaches the engine, so it cannot hold a slot
+	// long enough).
+	hold, err := client.Dial(srv.Addr(), client.WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hold.Search(ctx, testWorld().queries[0].Points)
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	cl, err := client.Dial(srv.Addr(), client.WithMaxRetries(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatalf("retried read failed: %v", err)
+	}
+	wg.Wait()
+	if srv.Metrics().Shed() == 0 {
+		t.Error("expected at least one shed during saturation")
+	}
+}
+
+// TestBadFrameDropsConnection: an undecodable payload gets a BAD_REQUEST
+// reply, then the connection is closed.
+func TestBadFrameDropsConnection(t *testing.T) {
+	srv := startServer(t, &stubEngine{}, server.Config{})
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	frame, err := wire.AppendFrame(nil, []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusBadRequest {
+		t.Fatalf("got %v, want BAD_REQUEST", resp.Status)
+	}
+	if _, err := wire.ReadFrame(conn); err == nil {
+		t.Error("connection stayed open after a bad frame")
+	}
+}
+
+// TestMetricsExposition scrapes the /metrics handler and checks the key
+// series are present and well-formed.
+func TestMetricsExposition(t *testing.T) {
+	engine := &stubEngine{}
+	srv := startServer(t, engine, server.Config{})
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Search(ctx, testWorld().queries[0].Points); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Metrics().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"geodabsd_connections_opened_total 1",
+		`geodabsd_requests_total{op="ping",status="ok"} 1`,
+		`geodabsd_requests_total{op="search",status="ok"} 1`,
+		`geodabsd_request_seconds_bucket{op="search",le="+Inf"} 1`,
+		"geodabsd_shed_total 0",
+		"geodabsd_in_flight_requests 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+// TestClientCancelAfterReturnDoesNotPoisonPool pins down a pool-recycling
+// race: callers routinely cancel a request's context the moment the call
+// returns, and the client's cancellation watcher used to be able to poke
+// SetDeadline(now) into the connection *after* it was checked back in —
+// timing out whichever request next held it. The bad interleaving needs
+// a watcher goroutine whose select first runs after both the round
+// trip's end and the caller's cancel — rare in-process (the in-process
+// server keeps the scheduler parking watchers early), but reproduced
+// within a few hundred requests against a separate-process server,
+// which scripts/server_smoke.sh's upsert churn covers. This test is the
+// in-process guard: with the watcher quiesced synchronously a late poke
+// is impossible, so heavy cancel-after-return churn over a tiny pool
+// must stay error-free.
+func TestClientCancelAfterReturnDoesNotPoisonPool(t *testing.T) {
+	srv := startServer(t, &stubEngine{}, server.Config{})
+	cl, err := client.Dial(srv.Addr(), client.WithPoolSize(2), client.WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const workers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				err := cl.Ping(ctx)
+				cancel() // immediately, like a per-iteration defer-less loop
+				if err != nil {
+					errc <- fmt.Errorf("iteration %d: %w", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

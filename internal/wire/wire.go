@@ -1,0 +1,568 @@
+// Package wire defines the geodabsd client/server protocol: a compact
+// length-prefixed binary encoding shared by the server (internal/server)
+// and the Go client (geodabs/client). The full specification — framing,
+// op codes, status codes, field layouts, and versioning rules — lives in
+// docs/protocol.md; this package is its single Go implementation, so the
+// two sides can never disagree on the bytes.
+//
+// # Framing
+//
+// Every message is one frame: a 4-byte big-endian payload length followed
+// by the payload. Payloads are capped at MaxFrame; a peer receiving a
+// longer announcement must drop the connection (the stream cannot be
+// resynchronized). The first payload byte is the protocol version
+// (Version); a peer receiving an unknown version replies
+// StatusBadRequest and drops the connection.
+//
+// # Requests and responses
+//
+// A connection carries a sequential stream of request frames from the
+// client and response frames from the server. Requests carry a
+// client-chosen ID echoed in the response, so a client may pipeline
+// several requests on one connection and match responses even if a
+// server chooses to reorder them (the reference server may complete
+// admitted requests out of order under pipelining).
+//
+// Integers are unsigned varints (binary.Uvarint) unless noted; float64s
+// are 8-byte big-endian IEEE 754 bit patterns. Fingerprint term sets are
+// sorted ascending and delta-encoded (first term absolute, every
+// subsequent term a strictly positive delta), which keeps the dominant
+// payload of the thin-client search op small on the wire.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version this package speaks, carried as the
+// first byte of every payload. See docs/protocol.md for the rules on
+// bumping it.
+const Version = 1
+
+// MaxFrame caps a frame payload. Large enough for a raw trajectory of
+// ~500k points or a degenerate fingerprint; small enough that a
+// malformed length prefix cannot OOM the receiver.
+const MaxFrame = 16 << 20
+
+// Op discriminates request types.
+type Op uint8
+
+const (
+	// OpPing is a health check: empty body, empty OK response.
+	OpPing Op = 1
+	// OpSearchFP is the thin-client search: the client winnowed locally
+	// and ships a prepared fingerprint term set, never raw GPS points.
+	OpSearchFP Op = 2
+	// OpSearch is the raw-trajectory search: the server runs fingerprint
+	// extraction on the shipped points.
+	OpSearch Op = 3
+	// OpUpsert indexes a raw trajectory, replacing any previous version.
+	OpUpsert Op = 4
+	// OpDelete removes a trajectory by ID.
+	OpDelete Op = 5
+)
+
+// String names the op for metrics labels and errors.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpSearchFP:
+		return "search_fp"
+	case OpSearch:
+		return "search"
+	case OpUpsert:
+		return "upsert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Status is the response disposition.
+type Status uint8
+
+const (
+	// StatusOK carries the op's result body.
+	StatusOK Status = 0
+	// StatusError is a server-side failure; the body is a message.
+	StatusError Status = 1
+	// StatusOverloaded reports admission-control shedding: the request
+	// was NOT executed and the client may retry elsewhere or later,
+	// ideally with backoff. The body is empty.
+	StatusOverloaded Status = 2
+	// StatusNotFound reports a mutation aimed at an unknown trajectory.
+	StatusNotFound Status = 3
+	// StatusDeadlineExceeded reports that the request's deadline expired
+	// before it completed (it may have been partially executed for
+	// mutations; searches are side-effect free).
+	StatusDeadlineExceeded Status = 4
+	// StatusShuttingDown reports that the server is draining and admits
+	// no new work. The request was not executed.
+	StatusShuttingDown Status = 5
+	// StatusBadRequest reports an undecodable or semantically invalid
+	// request; the body is a message. Retrying the same bytes cannot
+	// succeed.
+	StatusBadRequest Status = 6
+)
+
+// String names the status for metrics labels and errors.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusError:
+		return "error"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusNotFound:
+		return "not_found"
+	case StatusDeadlineExceeded:
+		return "deadline_exceeded"
+	case StatusShuttingDown:
+		return "shutting_down"
+	case StatusBadRequest:
+		return "bad_request"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Errors shared by both codec directions.
+var (
+	// ErrFrameTooLarge reports a length prefix above MaxFrame. The
+	// connection must be dropped: the stream cannot be resynchronized.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrBadVersion reports an unknown protocol version byte.
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	// ErrTruncated reports a payload shorter than its own encoding
+	// claims.
+	ErrTruncated = errors.New("wire: truncated payload")
+)
+
+// Point is one latitude/longitude position in degrees, mirroring
+// geo.Point without importing the geometry package — wire stays a leaf
+// both the server and the public client can depend on.
+type Point struct {
+	Lat, Lon float64
+}
+
+// Request is the decoded form of one client request. Fields beyond the
+// header are op-specific; unused ones are zero.
+type Request struct {
+	// ID is echoed verbatim in the response, matching pipelined
+	// responses back to their requests.
+	ID uint64
+	// Op selects the operation.
+	Op Op
+	// DeadlineMS is the client's remaining per-request budget in
+	// milliseconds; 0 means "no client deadline" (the server still
+	// applies its own cap).
+	DeadlineMS uint64
+
+	// Search parameters (OpSearchFP, OpSearch).
+	MaxDistance float64
+	Limit       int
+	KNN         int
+	// Terms is the prepared fingerprint term set, sorted ascending
+	// (OpSearchFP).
+	Terms []uint32
+	// Points is the raw trajectory (OpSearch, OpUpsert).
+	Points []Point
+	// TrajID identifies the trajectory (OpUpsert, OpDelete).
+	TrajID uint32
+}
+
+// Hit is one ranked result on the wire.
+type Hit struct {
+	ID       uint32
+	Distance float64
+	Shared   uint32
+}
+
+// Stats is the search execution statistics block, mirroring the public
+// SearchStats fields that make sense across the wire.
+type Stats struct {
+	Candidates   uint64
+	Pruned       uint64
+	NodePruned   uint64
+	WirePartials uint64
+	Shards       uint64
+	Nodes        uint64
+	ElapsedUS    uint64
+}
+
+// Response is the decoded form of one server response.
+type Response struct {
+	ID     uint64
+	Status Status
+	// Message carries human-readable detail for StatusError,
+	// StatusBadRequest and StatusNotFound.
+	Message string
+	// Hits and Stats carry a successful search's results.
+	Hits  []Hit
+	Stats Stats
+}
+
+// AppendFrame appends the 4-byte length prefix and the payload to dst.
+// The payload must not exceed MaxFrame.
+func AppendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrame {
+		return dst, ErrFrameTooLarge
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// ReadFrame reads one length-prefixed payload. It enforces MaxFrame
+// before allocating, so a hostile length prefix costs nothing.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// AppendRequest encodes a request payload (without framing) onto dst.
+func AppendRequest(dst []byte, req *Request) []byte {
+	dst = append(dst, Version, byte(req.Op))
+	dst = binary.AppendUvarint(dst, req.ID)
+	dst = binary.AppendUvarint(dst, req.DeadlineMS)
+	switch req.Op {
+	case OpPing:
+	case OpSearchFP:
+		dst = appendSearchParams(dst, req)
+		dst = appendTerms(dst, req.Terms)
+	case OpSearch:
+		dst = appendSearchParams(dst, req)
+		dst = appendPoints(dst, req.Points)
+	case OpUpsert:
+		dst = binary.AppendUvarint(dst, uint64(req.TrajID))
+		dst = appendPoints(dst, req.Points)
+	case OpDelete:
+		dst = binary.AppendUvarint(dst, uint64(req.TrajID))
+	}
+	return dst
+}
+
+func appendSearchParams(dst []byte, req *Request) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(req.MaxDistance))
+	dst = binary.AppendUvarint(dst, uint64(req.Limit))
+	dst = binary.AppendUvarint(dst, uint64(req.KNN))
+	return dst
+}
+
+// appendTerms delta-encodes a sorted ascending term set.
+func appendTerms(dst []byte, terms []uint32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(terms)))
+	prev := uint32(0)
+	for i, t := range terms {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(t))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(t-prev))
+		}
+		prev = t
+	}
+	return dst
+}
+
+func appendPoints(dst []byte, pts []Point) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(pts)))
+	for _, p := range pts {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.Lat))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.Lon))
+	}
+	return dst
+}
+
+// decoder walks a payload with bounds checking.
+type decoder struct {
+	buf []byte
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if len(d.buf) < 1 {
+		return 0, ErrTruncated
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+func (d *decoder) float64() (float64, error) {
+	if len(d.buf) < 8 {
+		return 0, ErrTruncated
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || len(d.buf) < n {
+		return nil, ErrTruncated
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b, nil
+}
+
+// maxCount bounds decoded element counts by what the remaining payload
+// could possibly hold, so a hostile count cannot force a huge allocation
+// before the truncation is noticed.
+func (d *decoder) maxCount(claimed uint64, minElemBytes int) (int, error) {
+	if claimed > uint64(len(d.buf)/minElemBytes)+1 {
+		return 0, ErrTruncated
+	}
+	return int(claimed), nil
+}
+
+// DecodeRequest parses a request payload produced by AppendRequest.
+func DecodeRequest(payload []byte) (*Request, error) {
+	d := decoder{buf: payload}
+	v, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, v, Version)
+	}
+	opb, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{Op: Op(opb)}
+	if req.ID, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if req.DeadlineMS, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	switch req.Op {
+	case OpPing:
+	case OpSearchFP:
+		if err := decodeSearchParams(&d, req); err != nil {
+			return nil, err
+		}
+		if req.Terms, err = decodeTerms(&d); err != nil {
+			return nil, err
+		}
+	case OpSearch:
+		if err := decodeSearchParams(&d, req); err != nil {
+			return nil, err
+		}
+		if req.Points, err = decodePoints(&d); err != nil {
+			return nil, err
+		}
+	case OpUpsert:
+		id, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		req.TrajID = uint32(id)
+		if req.Points, err = decodePoints(&d); err != nil {
+			return nil, err
+		}
+	case OpDelete:
+		id, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		req.TrajID = uint32(id)
+	default:
+		return nil, fmt.Errorf("wire: unknown op %d", opb)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %s request", len(d.buf), req.Op)
+	}
+	return req, nil
+}
+
+func decodeSearchParams(d *decoder, req *Request) error {
+	var err error
+	if req.MaxDistance, err = d.float64(); err != nil {
+		return err
+	}
+	limit, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	knn, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if limit > math.MaxInt32 || knn > math.MaxInt32 {
+		return fmt.Errorf("wire: limit/knn out of range")
+	}
+	req.Limit, req.KNN = int(limit), int(knn)
+	return nil
+}
+
+func decodeTerms(d *decoder) ([]uint32, error) {
+	claimed, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.maxCount(claimed, 1)
+	if err != nil {
+		return nil, err
+	}
+	terms := make([]uint32, n)
+	prev := uint64(0)
+	for i := range terms {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			if v == 0 {
+				return nil, fmt.Errorf("wire: zero term delta (set not strictly ascending)")
+			}
+			v += prev
+		}
+		if v > math.MaxUint32 {
+			return nil, fmt.Errorf("wire: term overflows uint32")
+		}
+		terms[i] = uint32(v)
+		prev = v
+	}
+	return terms, nil
+}
+
+func decodePoints(d *decoder) ([]Point, error) {
+	claimed, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.maxCount(claimed, 16)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		if pts[i].Lat, err = d.float64(); err != nil {
+			return nil, err
+		}
+		if pts[i].Lon, err = d.float64(); err != nil {
+			return nil, err
+		}
+	}
+	return pts, nil
+}
+
+// AppendResponse encodes a response payload (without framing) onto dst.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	dst = append(dst, Version, byte(resp.Status))
+	dst = binary.AppendUvarint(dst, resp.ID)
+	switch resp.Status {
+	case StatusOK:
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Hits)))
+		for _, h := range resp.Hits {
+			dst = binary.AppendUvarint(dst, uint64(h.ID))
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(h.Distance))
+			dst = binary.AppendUvarint(dst, uint64(h.Shared))
+		}
+		s := &resp.Stats
+		for _, v := range [...]uint64{s.Candidates, s.Pruned, s.NodePruned, s.WirePartials, s.Shards, s.Nodes, s.ElapsedUS} {
+			dst = binary.AppendUvarint(dst, v)
+		}
+	default:
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Message)))
+		dst = append(dst, resp.Message...)
+	}
+	return dst
+}
+
+// DecodeResponse parses a response payload produced by AppendResponse.
+func DecodeResponse(payload []byte) (*Response, error) {
+	d := decoder{buf: payload}
+	v, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, v, Version)
+	}
+	st, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Status: Status(st)}
+	if resp.ID, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		claimed, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.maxCount(claimed, 10)
+		if err != nil {
+			return nil, err
+		}
+		resp.Hits = make([]Hit, n)
+		for i := range resp.Hits {
+			id, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			resp.Hits[i].ID = uint32(id)
+			if resp.Hits[i].Distance, err = d.float64(); err != nil {
+				return nil, err
+			}
+			sh, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			resp.Hits[i].Shared = uint32(sh)
+		}
+		s := &resp.Stats
+		for _, p := range [...]*uint64{&s.Candidates, &s.Pruned, &s.NodePruned, &s.WirePartials, &s.Shards, &s.Nodes, &s.ElapsedUS} {
+			if *p, err = d.uvarint(); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		msg, err := d.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		resp.Message = string(msg)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after response", len(d.buf))
+	}
+	return resp, nil
+}

@@ -1,0 +1,206 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func roundTripRequest(t *testing.T, req *Request) *Request {
+	t.Helper()
+	payload := AppendRequest(nil, req)
+	got, err := DecodeRequest(payload)
+	if err != nil {
+		t.Fatalf("DecodeRequest(%s): %v", req.Op, err)
+	}
+	return got
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{ID: 1, Op: OpPing},
+		{ID: 7, Op: OpPing, DeadlineMS: 1500},
+		{ID: 2, Op: OpSearchFP, DeadlineMS: 250, MaxDistance: 0.5, Limit: 10, Terms: []uint32{3, 9, 10, 1 << 30}},
+		{ID: 3, Op: OpSearchFP, MaxDistance: 1, KNN: 5, Terms: []uint32{}},
+		{ID: 4, Op: OpSearch, MaxDistance: 0.9, Limit: 3, Points: []Point{{51.5, -0.1}, {51.6, -0.2}}},
+		{ID: 5, Op: OpUpsert, TrajID: 42, Points: []Point{{1, 2}, {3, 4}, {5, 6}}},
+		{ID: 6, Op: OpDelete, TrajID: 4242},
+	}
+	for _, req := range reqs {
+		got := roundTripRequest(t, req)
+		// Canonicalize empty slices: the codec may decode nil for empty.
+		if len(req.Terms) == 0 {
+			req.Terms, got.Terms = nil, nil
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Errorf("%s: round trip mismatch\n got %+v\nwant %+v", req.Op, got, req)
+		}
+	}
+}
+
+func TestRequestRoundTripFuzzTerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(64)
+		seen := make(map[uint32]bool, n)
+		terms := make([]uint32, 0, n)
+		for len(terms) < n {
+			v := rng.Uint32()
+			if !seen[v] {
+				seen[v] = true
+				terms = append(terms, v)
+			}
+		}
+		sort.Slice(terms, func(i, j int) bool { return terms[i] < terms[j] })
+		req := &Request{ID: uint64(trial), Op: OpSearchFP, MaxDistance: rng.Float64(), Terms: terms}
+		got := roundTripRequest(t, req)
+		if len(terms) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got.Terms, terms) {
+			t.Fatalf("trial %d: terms mismatch", trial)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []*Response{
+		{ID: 1, Status: StatusOK, Hits: []Hit{{ID: 9, Distance: 0.25, Shared: 12}, {ID: 10, Distance: 1, Shared: 1}},
+			Stats: Stats{Candidates: 31, Pruned: 4, NodePruned: 6, WirePartials: 25, Shards: 5, Nodes: 3, ElapsedUS: 1234}},
+		{ID: 2, Status: StatusOK},
+		{ID: 3, Status: StatusError, Message: "node exploded"},
+		{ID: 4, Status: StatusOverloaded},
+		{ID: 5, Status: StatusNotFound, Message: "trajectory 9 not found"},
+		{ID: 6, Status: StatusDeadlineExceeded},
+		{ID: 7, Status: StatusShuttingDown},
+		{ID: 8, Status: StatusBadRequest, Message: "trailing bytes"},
+	}
+	for _, resp := range resps {
+		payload := AppendResponse(nil, resp)
+		got, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("DecodeResponse(%v): %v", resp.Status, err)
+		}
+		if len(resp.Hits) == 0 {
+			resp.Hits, got.Hits = nil, nil
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Errorf("%v: round trip mismatch\n got %+v\nwant %+v", resp.Status, got, resp)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{0xAB}, 4096)}
+	var stream []byte
+	for _, p := range payloads {
+		var err error
+		if stream, err = AppendFrame(stream, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(stream)
+	for i, want := range payloads {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(r); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last frame: got %v, want EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var stream []byte
+	stream = binary.BigEndian.AppendUint32(stream, 100)
+	stream = append(stream, 1, 2, 3) // 3 of the announced 100 bytes
+	if _, err := ReadFrame(bytes.NewReader(stream)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestDecodeRequestMalformed(t *testing.T) {
+	valid := AppendRequest(nil, &Request{ID: 1, Op: OpSearchFP, MaxDistance: 1, Terms: []uint32{1, 2, 3}})
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"bad version", append([]byte{99}, valid[1:]...)},
+		{"unknown op", []byte{Version, 200, 1, 0}},
+		{"truncated mid-terms", valid[:len(valid)-1]},
+		{"trailing garbage", append(append([]byte{}, valid...), 0xFF)},
+		{"hostile term count", append([]byte{Version, byte(OpSearchFP), 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.payload); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+func TestDecodeRequestRejectsUnsortedTerms(t *testing.T) {
+	// Hand-encode a duplicate term (delta 0): must be rejected, the set
+	// contract is strictly ascending.
+	payload := []byte{Version, byte(OpSearchFP)}
+	payload = binary.AppendUvarint(payload, 1)                           // id
+	payload = binary.AppendUvarint(payload, 0)                           // deadline
+	payload = binary.BigEndian.AppendUint64(payload, 0x3FF0000000000000) // maxDistance = 1.0
+	payload = binary.AppendUvarint(payload, 0)                           // limit
+	payload = binary.AppendUvarint(payload, 0)                           // knn
+	payload = binary.AppendUvarint(payload, 2)                           // 2 terms
+	payload = binary.AppendUvarint(payload, 5)                           // term 5
+	payload = binary.AppendUvarint(payload, 0)                           // delta 0 → duplicate
+	if _, err := DecodeRequest(payload); err == nil {
+		t.Fatal("duplicate term decoded without error")
+	}
+}
+
+func TestDecodeResponseMalformed(t *testing.T) {
+	valid := AppendResponse(nil, &Response{ID: 1, Status: StatusOK, Hits: []Hit{{ID: 1, Distance: 0.5, Shared: 2}}})
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"bad version", append([]byte{99}, valid[1:]...)},
+		{"truncated", valid[:len(valid)-3]},
+		{"trailing garbage", append(append([]byte{}, valid...), 1)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeResponse(tc.payload); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+func TestTermDeltaEncodingIsCompact(t *testing.T) {
+	// Clustered terms (the geodab case: shared geohash prefixes) must
+	// encode in ~2 bytes each, not 5.
+	terms := make([]uint32, 1000)
+	base := uint32(0xABCD0000)
+	for i := range terms {
+		terms[i] = base + uint32(i*7)
+	}
+	payload := AppendRequest(nil, &Request{Op: OpSearchFP, MaxDistance: 1, Terms: terms})
+	if perTerm := float64(len(payload)) / float64(len(terms)); perTerm > 2.5 {
+		t.Errorf("clustered terms encode at %.1f bytes/term, want ≤ 2.5", perTerm)
+	}
+}

@@ -89,7 +89,7 @@ func (ix *Index) Epoch() uint64 { return ix.inv.Epoch() }
 // can be retried until the postings are reclaimed. Returns ErrNotFound
 // for an unknown ID.
 func (c *Cluster) Delete(ctx context.Context, id ID) error {
-	return translateNotFound(c.coord.Delete(ctx, id))
+	return translateClusterErr(c.coord.Delete(ctx, id))
 }
 
 // Upsert replaces a trajectory across the cluster: an indexed ID is
@@ -103,7 +103,7 @@ func (c *Cluster) Delete(ctx context.Context, id ID) error {
 // failed add is cleaned up and the ID is free, so retrying the same
 // Upsert completes the replacement.
 func (c *Cluster) Upsert(ctx context.Context, t *Trajectory) error {
-	return translateNotFound(c.coord.Upsert(ctx, t))
+	return translateClusterErr(c.coord.Upsert(ctx, t))
 }
 
 // DeleteAll deletes a batch of IDs on the given number of parallel
@@ -111,14 +111,19 @@ func (c *Cluster) Upsert(ctx context.Context, t *Trajectory) error {
 // skipped. The first hard error cancels the remaining work.
 func (c *Cluster) DeleteAll(ctx context.Context, ids []ID, workers int) (int, error) {
 	n, err := c.coord.DeleteAll(ctx, ids, workers)
-	return n, translateNotFound(err)
+	return n, translateClusterErr(err)
 }
 
-// translateNotFound maps the internal cluster sentinel onto the public
-// one so errors.Is(err, ErrNotFound) works across both engines.
-func translateNotFound(err error) error {
-	if errors.Is(err, cluster.ErrNotFound) {
+// translateClusterErr maps the internal cluster sentinels onto the
+// public ones so errors.Is(err, ErrNotFound) and errors.Is(err,
+// ErrClosed) work across both engines.
+func translateClusterErr(err error) error {
+	switch {
+	case errors.Is(err, cluster.ErrNotFound):
 		return ErrNotFound
+	case errors.Is(err, cluster.ErrClosed):
+		return ErrClosed
+	default:
+		return err
 	}
-	return err
 }

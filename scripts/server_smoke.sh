@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# End-to-end geodabsd smoke: build the binaries, generate a small
+# dataset, serve a snapshot, run a remote query, a remote mutation
+# (delete + re-upsert, verified by re-querying), scrape /metrics, then
+# SIGTERM and assert a clean drain (exit 0 within the drain timeout).
+#
+# Usage: scripts/server_smoke.sh
+#   RACE=1 scripts/server_smoke.sh   # build everything with -race
+#
+# Exits non-zero with a FAIL line on the first broken step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  if [ -f "$TMP/geodabsd.log" ]; then
+    echo "--- geodabsd log ---" >&2
+    cat "$TMP/geodabsd.log" >&2
+  fi
+  exit 1
+}
+
+BUILD_FLAGS=()
+[ "${RACE:-0}" = "1" ] && BUILD_FLAGS+=(-race)
+
+echo "== build"
+go build "${BUILD_FLAGS[@]}" -o "$TMP/geodabs" ./cmd/geodabs
+go build "${BUILD_FLAGS[@]}" -o "$TMP/geodabsd" ./cmd/geodabsd
+
+echo "== dataset + snapshot"
+"$TMP/geodabs" gen -out "$TMP/data" -routes 20 -per-direction 3 -seed 42
+"$TMP/geodabs" stats -data "$TMP/data/dataset.bin" -snapshot "$TMP/index.snap" \
+  | tee "$TMP/stats.out"
+grep -q '^snapshot:' "$TMP/stats.out" || fail "stats wrote no snapshot"
+
+echo "== start geodabsd"
+"$TMP/geodabsd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+  -snapshot "$TMP/index.snap" -drain-timeout 10s \
+  >"$TMP/geodabsd.log" 2>&1 &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^geodabsd listening on //p' "$TMP/geodabsd.log" | head -1)
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "geodabsd exited before listening"
+  sleep 0.2
+done
+[ -n "$ADDR" ] || fail "geodabsd never reported a listen address"
+echo "   serving on $ADDR"
+
+query() {
+  "$TMP/geodabs" remote-query -addr "$ADDR" -queries "$TMP/data/queries.bin" \
+    -q 0 -limit 5 "$@"
+}
+
+echo "== remote query (fingerprint)"
+query | tee "$TMP/q1.out"
+grep -q 'dJ=' "$TMP/q1.out" || fail "fingerprint query returned no hits"
+
+echo "== remote query (raw)"
+query -raw | tee "$TMP/q2.out"
+grep -q 'dJ=' "$TMP/q2.out" || fail "raw query returned no hits"
+
+# Mutation round-trip: delete the query's current best hit, check it
+# vanishes from the ranking, then restore the dataset and check it is
+# served again. ID-agnostic: the victim comes from the server's own
+# ranking, not from assumptions about the generator.
+TOP_ID=$(awk '/^ 1\. trajectory/ {print $3; exit}' "$TMP/q1.out")
+[ -n "$TOP_ID" ] || fail "could not parse top hit ID from query output"
+
+echo "== remote delete trajectory $TOP_ID"
+"$TMP/geodabs" remote-delete -addr "$ADDR" "$TOP_ID" | tee "$TMP/del.out"
+grep -q '^deleted 1 of 1' "$TMP/del.out" || fail "delete did not apply"
+query | tee "$TMP/q3.out"
+grep -Eq "trajectory +$TOP_ID " "$TMP/q3.out" && fail "deleted trajectory still ranked"
+
+echo "== remote upsert (restore + pool-reuse churn)"
+# Several passes, each ~120 sequential upserts on pooled connections
+# with a context cancelled right after every call: this cross-process
+# cancel-after-return churn is what caught the client's stale
+# deadline-watcher race poisoning recycled connections.
+for _ in 1 2 3 4 5; do
+  "$TMP/geodabs" remote-upsert -addr "$ADDR" -data "$TMP/data/dataset.bin" \
+    | tee "$TMP/up.out"
+  grep -q '^upserted' "$TMP/up.out" || fail "upsert did not apply"
+done
+query | tee "$TMP/q4.out"
+grep -Eq "trajectory +$TOP_ID " "$TMP/q4.out" || fail "restored trajectory not ranked again"
+
+echo "== metrics"
+METRICS_URL=$(sed -n 's/^metrics on //p' "$TMP/geodabsd.log" | head -1)
+[ -n "$METRICS_URL" ] || fail "geodabsd never reported a metrics address"
+curl -sSf "$METRICS_URL" >"$TMP/metrics.out"
+grep -q 'geodabsd_requests_total{op="search_fp",status="ok"}' "$TMP/metrics.out" \
+  || fail "metrics missing search_fp ok counter"
+grep -q 'geodabsd_requests_total{op="delete",status="ok"}' "$TMP/metrics.out" \
+  || fail "metrics missing delete ok counter"
+
+echo "== drain (SIGTERM)"
+kill -TERM "$SERVER_PID"
+DEADLINE=$(( $(date +%s) + 15 ))
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+  [ "$(date +%s)" -ge "$DEADLINE" ] && fail "geodabsd did not exit within 15s of SIGTERM"
+  sleep 0.2
+done
+set +e
+wait "$SERVER_PID"
+CODE=$?
+set -e
+SERVER_PID=""
+[ "$CODE" -eq 0 ] || fail "geodabsd exited $CODE after SIGTERM (want 0)"
+grep -q 'drained cleanly' "$TMP/geodabsd.log" || fail "drain log line missing"
+
+echo "PASS: server smoke"

@@ -320,7 +320,7 @@ func (c *Cluster) searchPrepared(ctx context.Context, q *Query, o searchOptions)
 	plan := q.clusterPlan(c.coord, set)
 	hits, info, err := c.coord.SearchPlan(ctx, plan, o.maxDistance, o.fetchLimit())
 	if err != nil {
-		return nil, err
+		return nil, translateClusterErr(err)
 	}
 	if hits, err = rerankHits(ctx, o, hits, q.Points(), c.coord.PointsOf); err != nil {
 		return nil, err
