@@ -20,8 +20,53 @@ var ErrClosed = errors.New("geodabs: cluster closed")
 type ShardNode = cluster.Node
 
 // StartShardNode listens on addr (e.g. "127.0.0.1:0") and serves shard
-// requests until Close.
+// requests until Close. NodeOptions make the node durable (WithWALDir
+// and friends) or turn it into a read replica (WithReplicaOf).
 var StartShardNode = cluster.StartNode
+
+// NodeOption configures a ShardNode at start (see StartShardNode).
+type NodeOption = cluster.NodeOption
+
+// WithWALDir makes the shard node durable: every mutation is appended to
+// a write-ahead log in dir before it is applied, periodic snapshots
+// compact the log, and a restarted node (same dir) recovers its exact
+// pre-crash state. The directory must be private to one node.
+var WithWALDir = cluster.WithWALDir
+
+// WithWALSync tunes the WAL group commit: fsync after every `every`
+// records, or after `interval` elapses with unsynced records, whichever
+// comes first. WithWALSync(1, 0) syncs every record (most durable);
+// larger batches trade a bounded loss window for write throughput.
+var WithWALSync = cluster.WithWALSync
+
+// WithWALSegmentBytes caps a WAL segment's size before the log rolls to
+// a fresh segment file.
+var WithWALSegmentBytes = cluster.WithWALSegmentBytes
+
+// WithSnapshotBytes sets the WAL growth threshold that triggers a
+// background snapshot + log truncation (negative disables automatic
+// snapshots; ShardNode.Snapshot still works).
+var WithSnapshotBytes = cluster.WithSnapshotBytes
+
+// WithReplicaOf starts the node as a read replica of the primary shard
+// node at addr: it full-syncs the primary's state, then tails its live
+// mutation stream. Replicas reject direct mutations and refuse queries
+// whose snapshot epoch their replicated state cannot yet prove complete.
+// Register replicas with NewCluster's WithReadReplicas to route reads.
+var WithReplicaOf = cluster.WithReplicaOf
+
+// ReadPreference selects how a Cluster routes query reads across each
+// shard node's replica set (see WithReadPreference).
+type ReadPreference = cluster.ReadPreference
+
+const (
+	// ReadPrimary reads from primaries; replicas are failover only. The
+	// default.
+	ReadPrimary = cluster.ReadPrimary
+	// ReadReplicas round-robins reads across each node's replicas,
+	// falling back to the primary when a replica errors or is stale.
+	ReadReplicas = cluster.ReadReplicas
+)
 
 // ShardStrategy maps geodabs to shards along the Z-order space-filling
 // curve (locality-preserving) and shards to nodes modulo the cluster size
@@ -31,8 +76,15 @@ type ShardStrategy = shard.Strategy
 // QueryStats reports the fan-out a query would incur (see Cluster.Analyze).
 type QueryStats = cluster.QueryStats
 
-// NodeStats is one shard node's term and posting counts (see Cluster.Stats).
+// NodeStats is one shard node's term and posting counts, plus its
+// durability state — mutation epochs, write-ahead log size and fsync
+// counters, and per-replica lag (see Cluster.Stats).
 type NodeStats = cluster.NodeStats
+
+// ReplicaStats is one read replica's replication state within a
+// NodeStats: its stable epoch, its lag behind the primary (0 = can serve
+// every snapshot the primary can), and how many full syncs it has run.
+type ReplicaStats = cluster.ReplicaStats
 
 // Cluster is a distributed geodab index: a coordinator that routes
 // postings to shard nodes, fans out deletions, and scatter-gathers
@@ -71,6 +123,15 @@ func NewCluster(cfg Config, strategy ShardStrategy, addrs []string, opts ...Opti
 	}
 	if o.connsPerNode > 0 {
 		coordOpts = append(coordOpts, cluster.WithPoolSize(o.connsPerNode))
+	}
+	if o.readReplicas != nil {
+		coordOpts = append(coordOpts, cluster.WithReadReplicas(o.readReplicas))
+	}
+	if o.readPrefSet {
+		coordOpts = append(coordOpts, cluster.WithReadPreference(o.readPref))
+	}
+	if o.recoverDir {
+		coordOpts = append(coordOpts, cluster.WithDirectoryRecovery())
 	}
 	coord, err := cluster.NewCoordinator(index.GeodabExtractor{Fingerprinter: f}, strategy, addrs, coordOpts...)
 	if err != nil {

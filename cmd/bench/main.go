@@ -10,9 +10,14 @@
 // on the same live cluster, driven by N concurrent client connections
 // over the binary protocol, reporting qps and client-observed p50/p99.
 //
+// Since issue 7 it also measures the durable write path: ingest into a
+// WAL-backed shard node at SyncEvery=1 (fsync per mutation) versus the
+// batched group-commit default, quantifying what durability costs and
+// what group commit buys back.
+//
 // Regenerate the committed snapshot with:
 //
-//	go run ./cmd/bench -out BENCH_6.json
+//	go run ./cmd/bench -out BENCH_7.json
 //
 // The workload is deterministic (seeded synthetic city, 50 routes), so
 // ns/op moves only with the hardware and the code.
@@ -88,6 +93,22 @@ type servedResult struct {
 	Shed     uint64  `json:"shed"`
 }
 
+// durableWriteResult is one operating point of the durable ingest
+// benchmark: the full dataset added through a coordinator into one
+// WAL-backed shard node. Mode names the fsync policy; TrajPerSec is the
+// end-to-end ingest rate, NsPerAdd the per-trajectory latency, Fsyncs
+// how many fsync batches the run issued (the group-commit story in one
+// number: "batched" covers the same records in far fewer syncs).
+type durableWriteResult struct {
+	Mode       string  `json:"mode"`
+	SyncEvery  int     `json:"sync_every"`
+	Trajs      int     `json:"trajectories"`
+	TrajPerSec float64 `json:"traj_per_sec"`
+	NsPerAdd   float64 `json:"ns_per_add"`
+	Fsyncs     uint64  `json:"fsyncs"`
+	WALBytes   int64   `json:"wal_bytes"`
+}
+
 type report struct {
 	Issue      int    `json:"issue"`
 	Regenerate string `json:"regenerate"`
@@ -103,10 +124,11 @@ type report struct {
 	Pruning                []pruningStats        `json:"pruning"`
 	ClusterPruning         []clusterPruningStats `json:"cluster_pruning"`
 	Served                 []servedResult        `json:"served"`
+	DurableWrites          []durableWriteResult  `json:"durable_writes"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
 	servedDur := flag.Duration("served-duration", 1500*time.Millisecond, "duration of each served-workload operating point")
 	flag.Parse()
 
@@ -320,6 +342,26 @@ func main() {
 			r.Conns, r.QPS, r.P50MS, r.P99MS, r.Shed)
 	}
 
+	// The durable write path: the whole dataset ingested by 8 concurrent
+	// writers through a coordinator into one WAL-backed shard node. At
+	// SyncEvery=1 every mutation is fsynced before its ack, but group
+	// commit folds concurrent appenders into shared syncs; the batched
+	// policy (SyncEvery=256 + 50ms flusher) acks after the buffered write
+	// and trades a bounded loss window for throughput.
+	var durableWrites []durableWriteResult
+	for _, pt := range []struct {
+		mode      string
+		syncEvery int
+	}{{"every-record", 1}, {"batched", 256}} {
+		r, err := runDurableWrites(workload.Dataset.Trajectories, pt.mode, pt.syncEvery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		durableWrites = append(durableWrites, r)
+		fmt.Printf("durable %-12s %8.0f traj/s  %10.0f ns/add  fsyncs=%d  wal=%dB\n",
+			r.Mode, r.TrajPerSec, r.NsPerAdd, r.Fsyncs, r.WALBytes)
+	}
+
 	// Pruning statistics of pinned queries: how much of the candidate set
 	// the threshold bounds discard before scoring.
 	var pruning []pruningStats
@@ -370,8 +412,8 @@ func main() {
 	}
 
 	rep := report{
-		Issue:                  6,
-		Regenerate:             "go run ./cmd/bench -out BENCH_6.json",
+		Issue:                  7,
+		Regenerate:             "go run ./cmd/bench -out BENCH_7.json",
 		GoVersion:              runtime.Version(),
 		GOMAXPROCS:             runtime.GOMAXPROCS(0),
 		Workload:               "synthetic city seed 7, 50 routes, default fingerprint config",
@@ -381,6 +423,7 @@ func main() {
 		Pruning:                pruning,
 		ClusterPruning:         clusterPruning,
 		Served:                 served,
+		DurableWrites:          durableWrites,
 	}
 	fmt.Printf("prepared speedup: search %.2fx, cluster %.2fx\n",
 		rep.PreparedSpeedupSearch, rep.PreparedSpeedupCluster)
@@ -393,6 +436,71 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// runDurableWrites ingests trajs from 8 concurrent writers through a
+// fresh coordinator into a fresh WAL-backed shard node (temp dir,
+// removed afterwards) under the given fsync policy and reports the
+// ingest rate and the WAL's fsync and size counters.
+func runDurableWrites(trajs []*geodabs.Trajectory, mode string, syncEvery int) (durableWriteResult, error) {
+	dir, err := os.MkdirTemp("", "geodabs-bench-wal-*")
+	if err != nil {
+		return durableWriteResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	opts := []geodabs.NodeOption{
+		geodabs.WithWALDir(dir),
+		geodabs.WithSnapshotBytes(-1),
+		geodabs.WithWALSync(syncEvery, 50*time.Millisecond),
+	}
+	n, err := geodabs.StartShardNode("127.0.0.1:0", opts...)
+	if err != nil {
+		return durableWriteResult{}, err
+	}
+	defer n.Close()
+	const workers = 8
+	strategy := geodabs.ShardStrategy{PrefixBits: 16, Shards: 256, Nodes: 1}
+	cl, err := geodabs.NewCluster(geodabs.DefaultConfig(), strategy, []string{n.Addr()},
+		geodabs.WithConnsPerNode(workers))
+	if err != nil {
+		return durableWriteResult{}, err
+	}
+	defer cl.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(trajs); i += workers {
+				if err := cl.Add(trajs[i]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return durableWriteResult{}, err
+	default:
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		return durableWriteResult{}, err
+	}
+	return durableWriteResult{
+		Mode:       mode,
+		SyncEvery:  syncEvery,
+		Trajs:      len(trajs),
+		TrajPerSec: float64(len(trajs)) / elapsed.Seconds(),
+		NsPerAdd:   float64(elapsed.Nanoseconds()) / float64(len(trajs)),
+		Fsyncs:     stats[0].WALSyncs,
+		WALBytes:   stats[0].WALBytes,
+	}, nil
 }
 
 // runServed drives the server closed-loop from conns client connections

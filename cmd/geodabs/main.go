@@ -6,9 +6,11 @@
 //
 //	geodabs gen    -out DIR [-routes N] [-seed N]     generate a dataset
 //	geodabs stats  -data FILE [-in SNAP] [-upsert]    index a dataset, print stats
+//	geodabs stats  -nodes A,B [-replicas R1|R2,R3]    print live cluster stats (epochs, WAL, replica lag)
 //	geodabs query  -data FILE -queries FILE [-q N]    run a ranked query
 //	geodabs delete -snapshot FILE ID...               delete trajectories from a snapshot
-//	geodabs serve  -addr HOST:PORT                    run a shard node
+//	geodabs serve  -addr HOST:PORT [-wal-dir DIR]     run a shard node (durable with -wal-dir,
+//	               [-replica-of HOST:PORT]            a read replica with -replica-of)
 //
 // Remote subcommands speak to a geodabsd service (see cmd/geodabsd)
 // instead of a local index:
@@ -175,8 +177,16 @@ func cmdStats(args []string) error {
 	snapshot := fs.String("snapshot", "", "write the built index to this file (load with query -snapshot)")
 	in := fs.String("in", "", "start from this index snapshot instead of an empty index")
 	upsert := fs.Bool("upsert", false, "replace already-indexed IDs instead of failing on duplicates")
+	nodes := fs.String("nodes", "", "comma-separated shard node addresses: print cluster stats instead of indexing")
+	replicas := fs.String("replicas", "", "per-node read replica addresses, groups comma-separated matching -nodes, members |-separated")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *nodes != "" {
+		return clusterStats(*nodes, *replicas)
+	}
+	if *replicas != "" {
+		return fmt.Errorf("stats: -replicas requires -nodes")
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -231,6 +241,61 @@ func cmdStats(args []string) error {
 			return err
 		}
 		fmt.Printf("snapshot:     %s (%d bytes)\n", *snapshot, n)
+	}
+	return nil
+}
+
+// clusterStats dials the given shard nodes (and, optionally, their read
+// replicas) and prints each node's index composition and durability
+// state: mutation epochs, write-ahead log size and fsync counters, and
+// per-replica lag.
+func clusterStats(nodeSpec, replicaSpec string) error {
+	addrs := strings.Split(nodeSpec, ",")
+	cfg := geodabs.DefaultConfig()
+	opts := []geodabs.Option{}
+	if replicaSpec != "" {
+		groups := strings.Split(replicaSpec, ",")
+		if len(groups) != len(addrs) {
+			return fmt.Errorf("stats: -replicas has %d groups, -nodes has %d addresses", len(groups), len(addrs))
+		}
+		reps := make([][]string, len(groups))
+		for i, g := range groups {
+			if g != "" {
+				reps[i] = strings.Split(g, "|")
+			}
+		}
+		opts = append(opts, geodabs.WithReadReplicas(reps))
+	}
+	strategy := geodabs.ShardStrategy{PrefixBits: cfg.PrefixBits, Shards: 10000, Nodes: len(addrs)}
+	cl, err := geodabs.NewCluster(cfg, strategy, addrs, opts...)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	stats, err := cl.StatsContext(ctx)
+	if err != nil {
+		return err
+	}
+	for i, s := range stats {
+		fmt.Printf("node %d (%s):\n", s.Node, addrs[i])
+		fmt.Printf("  terms=%d postings=%d docs=%d tombstones=%d\n", s.Terms, s.Postings, s.Docs, s.Tombstones)
+		fmt.Printf("  epoch=%d stable=%d\n", s.Epoch, s.StableEpoch)
+		if s.WALSegments > 0 {
+			fmt.Printf("  wal: %d bytes in %d segments, %d records, %d fsyncs (last %v)\n",
+				s.WALBytes, s.WALSegments, s.WALRecords, s.WALSyncs, s.WALLastSync.Round(time.Microsecond))
+		}
+		if s.FullSyncs > 0 || s.Subscribers > 0 {
+			fmt.Printf("  replication: %d full syncs served, %d live subscribers\n", s.FullSyncs, s.Subscribers)
+		}
+		for _, r := range s.Replicas {
+			if r.Err != "" {
+				fmt.Printf("  replica %s: unreachable (%s)\n", r.Addr, r.Err)
+				continue
+			}
+			fmt.Printf("  replica %s: stable=%d lag=%d full-syncs=%d\n", r.Addr, r.StableEpoch, r.EpochLag, r.FullSyncs)
+		}
 	}
 	return nil
 }
@@ -613,18 +678,54 @@ func cmdRemoteDelete(args []string) error {
 	return nil
 }
 
-// cmdServe runs a shard node until interrupted.
+// cmdServe runs a shard node until interrupted. With -wal-dir the node
+// is durable (write-ahead logged, snapshot-compacted, crash-recoverable);
+// with -replica-of it is a read replica tailing the given primary. The
+// two are mutually exclusive — replicas rebuild from their primary, not
+// from a log of their own.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	walDir := fs.String("wal-dir", "", "write-ahead log directory (enables durability)")
+	replicaOf := fs.String("replica-of", "", "run as a read replica of the primary at this address")
+	syncEvery := fs.Int("wal-sync-every", 0, "fsync after this many WAL records (0 = library default)")
+	syncInterval := fs.Duration("wal-sync-interval", 0, "fsync after this long with unsynced WAL records (0 = library default)")
+	segmentBytes := fs.Int64("wal-segment-bytes", 0, "roll WAL segments at this size (0 = library default)")
+	snapshotBytes := fs.Int64("snapshot-bytes", 0, "WAL growth that triggers a compacting snapshot (0 = default, negative = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	node, err := geodabs.StartShardNode(*addr)
+	if *walDir != "" && *replicaOf != "" {
+		return fmt.Errorf("serve: -wal-dir and -replica-of are mutually exclusive")
+	}
+	var opts []geodabs.NodeOption
+	if *walDir != "" {
+		opts = append(opts, geodabs.WithWALDir(*walDir))
+		if *syncEvery != 0 || *syncInterval != 0 {
+			opts = append(opts, geodabs.WithWALSync(*syncEvery, *syncInterval))
+		}
+		if *segmentBytes != 0 {
+			opts = append(opts, geodabs.WithWALSegmentBytes(*segmentBytes))
+		}
+		if *snapshotBytes != 0 {
+			opts = append(opts, geodabs.WithSnapshotBytes(*snapshotBytes))
+		}
+	}
+	if *replicaOf != "" {
+		opts = append(opts, geodabs.WithReplicaOf(*replicaOf))
+	}
+	node, err := geodabs.StartShardNode(*addr, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("shard node listening on %s (ctrl-c to stop)\n", node.Addr())
+	switch {
+	case *replicaOf != "":
+		fmt.Printf("read replica of %s listening on %s (ctrl-c to stop)\n", *replicaOf, node.Addr())
+	case *walDir != "":
+		fmt.Printf("durable shard node listening on %s, WAL in %s (ctrl-c to stop)\n", node.Addr(), *walDir)
+	default:
+		fmt.Printf("shard node listening on %s (ctrl-c to stop)\n", node.Addr())
+	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	<-stop

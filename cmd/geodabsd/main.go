@@ -9,15 +9,26 @@
 //
 //	-snapshot FILE        serve a local index snapshot (geodabs stats -snapshot)
 //	-nodes A,B,C          front a cluster of shard nodes (geodabs serve)
+//	-wal-dir DIR          serve an embedded durable shard node: mutations are
+//	                      write-ahead logged and snapshot-compacted in DIR, and a
+//	                      restart (even after SIGKILL) recovers the exact
+//	                      pre-crash state, coordinator directory included
 //
 // Usage:
 //
 //	geodabsd -addr :7071 -snapshot index.snap
 //	geodabsd -addr :7071 -nodes 10.0.0.1:7070,10.0.0.2:7070 -shards 1024
+//	geodabsd -addr :7071 -wal-dir /var/lib/geodabs
+//
+// With -nodes, -replicas registers per-node read replicas (groups
+// comma-separated matching -nodes order, members |-separated) routed per
+// -read-from, and -recover-directory rebuilds the coordinator's ranking
+// directory from the nodes' durable state at startup.
 //
 // Operational flags: -max-inflight, -max-queue, -max-pipeline,
 // -max-conns bound the admission pipeline; -default-deadline and
-// -max-deadline bound request execution; -metrics-addr serves /metrics;
+// -max-deadline bound request execution; -metrics-addr serves /metrics
+// (cluster backends also export WAL and replication gauges there);
 // -drain-timeout bounds the SIGTERM drain (the process exits 0 when
 // in-flight requests finished in time).
 package main
@@ -31,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -53,6 +65,13 @@ func run(args []string) error {
 	nodes := fs.String("nodes", "", "comma-separated shard node addresses to front as a cluster")
 	shards := fs.Int("shards", 1024, "cluster shard count (with -nodes)")
 	connsPerNode := fs.Int("conns-per-node", 4, "pooled connections per shard node (with -nodes)")
+	replicas := fs.String("replicas", "", "per-node read replica addresses (with -nodes): groups comma-separated, members |-separated")
+	readFrom := fs.String("read-from", "primary", "read routing across replicas: primary or replicas")
+	recoverDirectory := fs.Bool("recover-directory", false, "rebuild the coordinator directory from the nodes' durable state at startup (with -nodes)")
+	walDir := fs.String("wal-dir", "", "serve an embedded durable shard node, WAL and snapshots in this directory")
+	walSyncEvery := fs.Int("wal-sync-every", 0, "fsync after this many WAL records (0 = library default; with -wal-dir)")
+	walSyncInterval := fs.Duration("wal-sync-interval", 0, "fsync after this long with unsynced WAL records (0 = library default; with -wal-dir)")
+	snapshotBytes := fs.Int64("snapshot-bytes", 0, "WAL growth that triggers a compacting snapshot (0 = default, negative = never; with -wal-dir)")
 	maxInFlight := fs.Int("max-inflight", 128, "maximum concurrently executing requests")
 	maxQueue := fs.Int("max-queue", 0, "maximum requests waiting for a slot (0 = -max-inflight)")
 	maxPipeline := fs.Int("max-pipeline", 32, "maximum outstanding requests per connection")
@@ -63,13 +82,21 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*snapshot == "") == (*nodes == "") {
-		return fmt.Errorf("exactly one backend is required: -snapshot or -nodes")
+	backends := 0
+	for _, set := range []bool{*snapshot != "", *nodes != "", *walDir != ""} {
+		if set {
+			backends++
+		}
+	}
+	if backends != 1 {
+		return fmt.Errorf("exactly one backend is required: -snapshot, -nodes, or -wal-dir")
 	}
 
 	var engine server.Engine
+	var cl *geodabs.Cluster // non-nil for the cluster-backed backends
 	cfg := geodabs.DefaultConfig()
-	if *snapshot != "" {
+	switch {
+	case *snapshot != "":
 		f, err := os.Open(*snapshot)
 		if err != nil {
 			return err
@@ -82,10 +109,62 @@ func run(args []string) error {
 		st := idx.Stats()
 		fmt.Printf("loaded snapshot %s: %d trajectories, %d terms\n", *snapshot, st.Trajectories, st.Terms)
 		engine = idx
-	} else {
+	case *walDir != "":
+		// The embedded durable backend: one in-process WAL-backed shard
+		// node on a loopback port, fronted by a single-node cluster that
+		// recovers its ranking directory from the node's state — so a
+		// restarted geodabsd (same -wal-dir) serves exactly what the
+		// killed one did.
+		nodeOpts := []geodabs.NodeOption{geodabs.WithWALDir(*walDir)}
+		if *walSyncEvery != 0 || *walSyncInterval != 0 {
+			nodeOpts = append(nodeOpts, geodabs.WithWALSync(*walSyncEvery, *walSyncInterval))
+		}
+		if *snapshotBytes != 0 {
+			nodeOpts = append(nodeOpts, geodabs.WithSnapshotBytes(*snapshotBytes))
+		}
+		node, err := geodabs.StartShardNode("127.0.0.1:0", nodeOpts...)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		strategy := geodabs.ShardStrategy{PrefixBits: cfg.PrefixBits, Shards: *shards, Nodes: 1}
+		cl, err = geodabs.NewCluster(cfg, strategy, []string{node.Addr()},
+			geodabs.WithConnsPerNode(*connsPerNode), geodabs.WithDirectoryRecovery())
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		fmt.Printf("serving embedded durable shard node %s, WAL in %s\n", node.Addr(), *walDir)
+		engine = cl
+	default:
 		addrs := strings.Split(*nodes, ",")
 		strategy := geodabs.ShardStrategy{PrefixBits: cfg.PrefixBits, Shards: *shards, Nodes: len(addrs)}
-		cl, err := geodabs.NewCluster(cfg, strategy, addrs, geodabs.WithConnsPerNode(*connsPerNode))
+		opts := []geodabs.Option{geodabs.WithConnsPerNode(*connsPerNode)}
+		if *replicas != "" {
+			groups := strings.Split(*replicas, ",")
+			if len(groups) != len(addrs) {
+				return fmt.Errorf("-replicas has %d groups, -nodes has %d addresses", len(groups), len(addrs))
+			}
+			reps := make([][]string, len(groups))
+			for i, g := range groups {
+				if g != "" {
+					reps[i] = strings.Split(g, "|")
+				}
+			}
+			opts = append(opts, geodabs.WithReadReplicas(reps))
+		}
+		switch *readFrom {
+		case "primary":
+		case "replicas":
+			opts = append(opts, geodabs.WithReadPreference(geodabs.ReadReplicas))
+		default:
+			return fmt.Errorf("-read-from must be primary or replicas, got %q", *readFrom)
+		}
+		if *recoverDirectory {
+			opts = append(opts, geodabs.WithDirectoryRecovery())
+		}
+		var err error
+		cl, err = geodabs.NewCluster(cfg, strategy, addrs, opts...)
 		if err != nil {
 			return err
 		}
@@ -106,6 +185,10 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("geodabsd listening on %s\n", srv.Addr())
+
+	if cl != nil {
+		srv.Metrics().SetCollector(clusterCollector(cl))
+	}
 
 	if *metricsAddr != "" {
 		// Bind before logging so the printed address is the real one
@@ -133,4 +216,67 @@ func run(args []string) error {
 	}
 	fmt.Println("drained cleanly")
 	return nil
+}
+
+// clusterCollector returns a metrics hook that exports the cluster's
+// durability and replication state as Prometheus gauges on every scrape:
+// per-node WAL size, segment and fsync counters, last fsync latency,
+// mutation epochs, full syncs served, live stream subscribers, and
+// per-replica epoch lag.
+func clusterCollector(cl *geodabs.Cluster) func(w *strings.Builder) {
+	var scrapeErrs atomic.Uint64
+	return func(w *strings.Builder) {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		stats, err := cl.StatsContext(ctx)
+		cancel()
+		if err != nil {
+			scrapeErrs.Add(1)
+		}
+		fmt.Fprintf(w, "# HELP geodabsd_cluster_stats_errors_total Failed cluster stats gathers during metrics scrapes.\n# TYPE geodabsd_cluster_stats_errors_total counter\ngeodabsd_cluster_stats_errors_total %d\n", scrapeErrs.Load())
+		if err != nil {
+			return
+		}
+		w.WriteString("# HELP geodabsd_node_epoch Highest mutation epoch the shard node has applied.\n# TYPE geodabsd_node_epoch gauge\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "geodabsd_node_epoch{node=\"%d\"} %d\n", s.Node, s.Epoch)
+		}
+		w.WriteString("# HELP geodabsd_node_wal_bytes Live write-ahead log size in bytes.\n# TYPE geodabsd_node_wal_bytes gauge\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "geodabsd_node_wal_bytes{node=\"%d\"} %d\n", s.Node, s.WALBytes)
+		}
+		w.WriteString("# HELP geodabsd_node_wal_segments Live write-ahead log segment files.\n# TYPE geodabsd_node_wal_segments gauge\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "geodabsd_node_wal_segments{node=\"%d\"} %d\n", s.Node, s.WALSegments)
+		}
+		w.WriteString("# HELP geodabsd_node_wal_fsyncs_total WAL fsync batches since the node started.\n# TYPE geodabsd_node_wal_fsyncs_total counter\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "geodabsd_node_wal_fsyncs_total{node=\"%d\"} %d\n", s.Node, s.WALSyncs)
+		}
+		w.WriteString("# HELP geodabsd_node_wal_last_fsync_seconds Duration of the node's most recent WAL fsync.\n# TYPE geodabsd_node_wal_last_fsync_seconds gauge\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "geodabsd_node_wal_last_fsync_seconds{node=\"%d\"} %g\n", s.Node, s.WALLastSync.Seconds())
+		}
+		w.WriteString("# HELP geodabsd_node_full_syncs_total Replica full syncs the node has served.\n# TYPE geodabsd_node_full_syncs_total counter\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "geodabsd_node_full_syncs_total{node=\"%d\"} %d\n", s.Node, s.FullSyncs)
+		}
+		w.WriteString("# HELP geodabsd_node_replica_subscribers Replicas currently tailing the node's mutation stream.\n# TYPE geodabsd_node_replica_subscribers gauge\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "geodabsd_node_replica_subscribers{node=\"%d\"} %d\n", s.Node, s.Subscribers)
+		}
+		headerDone := false
+		for _, s := range stats {
+			for _, r := range s.Replicas {
+				if !headerDone {
+					w.WriteString("# HELP geodabsd_replica_epoch_lag Primary epoch minus replica stable epoch; 0 means fully caught up. -1: unreachable.\n# TYPE geodabsd_replica_epoch_lag gauge\n")
+					headerDone = true
+				}
+				lag := int64(r.EpochLag)
+				if r.Err != "" {
+					lag = -1
+				}
+				fmt.Fprintf(w, "geodabsd_replica_epoch_lag{node=\"%d\",replica=%q} %d\n", s.Node, r.Addr, lag)
+			}
+		}
+	}
 }

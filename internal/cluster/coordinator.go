@@ -32,6 +32,11 @@ var ErrClosed = errors.New("cluster: closed")
 // wedged node cannot hold the error return forever.
 var addCleanupTimeout = 5 * time.Second
 
+// reconcileInterval paces the background reconciler that retries the
+// cleanup deletes an unreachable node missed. Package variable so crash
+// tests can tighten it.
+var reconcileInterval = 2 * time.Second
+
 // Coordinator fronts a cluster of shard nodes: it fingerprints
 // trajectories, routes each term to the node owning its shard, fans out
 // deletions, and scatter-gathers ranked queries. It maintains the
@@ -59,6 +64,28 @@ type Coordinator struct {
 	clients  []*client
 	retain   bool
 	poolSize int
+	// recoverDir makes construction rebuild the directory from the nodes'
+	// durable state (see WithDirectoryRecovery in recover.go).
+	recoverDir bool
+
+	// replicas[i] are pooled clients to node i's read replicas; readPref
+	// picks between primary-preferred reads (replicas are failover only)
+	// and round-robin replica reads (primary is the fallback when a
+	// replica errors or refuses as stale). rr holds the per-node
+	// round-robin cursors.
+	replicaAddrs [][]string
+	replicas     [][]*client
+	readPref     ReadPreference
+	rr           []atomic.Uint32
+
+	// cleanups queues the per-node delete retries a failed Add's cleanup
+	// could not land (node unreachable); the background reconciler drains
+	// it, so stranded postings are reclaimed as soon as the node is back
+	// instead of waiting for a lucky re-Add.
+	cleanupMu     sync.Mutex
+	cleanups      []pendingCleanup
+	stopReconcile chan struct{}
+	reconcileWG   sync.WaitGroup
 
 	// idMu stripes a per-trajectory mutation lock: Add, Delete and Upsert
 	// acquire the ID's stripe for their full node fan-out, so same-ID
@@ -143,6 +170,36 @@ func WithPoolSize(n int) Option {
 	}
 }
 
+// ReadPreference selects how the coordinator routes query reads across a
+// shard's replica set.
+type ReadPreference uint8
+
+const (
+	// ReadPrimary reads from the primary; replicas serve only as
+	// failover when the primary call fails. The default.
+	ReadPrimary ReadPreference = iota
+	// ReadReplicas round-robins reads across a node's replicas, falling
+	// back to the primary when a replica errors or refuses the query as
+	// stale (its replicated state does not yet cover the search's
+	// snapshot epoch). Results remain snapshot-exact either way — a
+	// replica never answers a snapshot it cannot prove complete.
+	ReadReplicas
+)
+
+// WithReadReplicas registers read replicas: replicas[i] lists the
+// addresses of node i's replicas (started with WithReplicaOf pointing at
+// node i). The outer slice must have one entry per shard node; inner
+// slices may be empty. Mutations always go to primaries — replicas only
+// serve reads, per WithReadPreference.
+func WithReadReplicas(replicas [][]string) Option {
+	return func(c *Coordinator) { c.replicaAddrs = replicas }
+}
+
+// WithReadPreference sets the read routing policy (default ReadPrimary).
+func WithReadPreference(p ReadPreference) Option {
+	return func(c *Coordinator) { c.readPref = p }
+}
+
 // NewCoordinator connects to the given node addresses. The strategy's
 // Nodes must equal len(addrs).
 func NewCoordinator(ex index.Extractor, strategy shard.Strategy, addrs []string, opts ...Option) (*Coordinator, error) {
@@ -170,6 +227,33 @@ func NewCoordinator(ex index.Extractor, strategy shard.Strategy, addrs []string,
 		}
 		c.clients = append(c.clients, cl)
 	}
+	if c.replicaAddrs != nil {
+		if len(c.replicaAddrs) != len(addrs) {
+			c.Close()
+			return nil, fmt.Errorf("cluster: replica set has %d entries, cluster has %d nodes", len(c.replicaAddrs), len(addrs))
+		}
+		c.replicas = make([][]*client, len(addrs))
+		c.rr = make([]atomic.Uint32, len(addrs))
+		for i, reps := range c.replicaAddrs {
+			for _, addr := range reps {
+				cl, err := dialPool(addr, c.poolSize)
+				if err != nil {
+					c.Close()
+					return nil, err
+				}
+				c.replicas[i] = append(c.replicas[i], cl)
+			}
+		}
+	}
+	if c.recoverDir {
+		if err := c.recoverDirectory(addrs); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	c.stopReconcile = make(chan struct{})
+	c.reconcileWG.Add(1)
+	go c.reconcileLoop()
 	return c, nil
 }
 
@@ -182,10 +266,21 @@ func (c *Coordinator) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	if c.stopReconcile != nil {
+		close(c.stopReconcile)
+		c.reconcileWG.Wait()
+	}
 	var firstErr error
 	for _, cl := range c.clients {
 		if err := cl.close(); err != nil && firstErr == nil {
 			firstErr = err
+		}
+	}
+	for _, reps := range c.replicas {
+		for _, cl := range reps {
+			if err := cl.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	return firstErr
@@ -366,9 +461,11 @@ func (c *Coordinator) addID(parent context.Context, t *trajectory.Trajectory) er
 // cleanupFailedAdd reclaims the postings a failed Add already applied by
 // fanning a delete to the nodes it touched. The delete's fresh epoch
 // fences the failed add: even if an abandoned add call lands on a node
-// after the cleanup, the node ignores it as stale. Errors are swallowed —
-// the directory check already hides the ID, so a missed cleanup costs
-// memory on an unreachable node, not correctness.
+// after the cleanup, the node ignores it as stale. The directory check
+// already hides the ID from searches, so a node the cleanup cannot reach
+// costs memory, not correctness — its deletes are queued for the
+// background reconciler, which retries them (same fencing epoch) until
+// the node is reachable again, e.g. after it restarts from its WAL.
 func (c *Coordinator) cleanupFailedAdd(id trajectory.ID, nodes []int) {
 	c.mu.Lock()
 	e := c.beginMutationLocked()
@@ -377,14 +474,93 @@ func (c *Coordinator) cleanupFailedAdd(id trajectory.ID, nodes []int) {
 	defer c.endMutation(e)
 	ctx, cancel := context.WithTimeout(context.Background(), addCleanupTimeout)
 	defer cancel()
-	fanOut(ctx, nodes, func(ctx context.Context, node int) error {
-		_, err := c.clients[node].call(ctx, &request{
-			Op:           opDelete,
-			CompactBelow: below,
-			Delete:       &deleteRequest{ID: uint32(id), Epoch: e},
-		})
-		return err
-	})
+	if failed := c.fanDeletes(ctx, id, e, below, nodes); len(failed) > 0 {
+		c.cleanupMu.Lock()
+		c.cleanups = append(c.cleanups, pendingCleanup{id: id, epoch: e, nodes: failed})
+		c.cleanupMu.Unlock()
+	}
+}
+
+// pendingCleanup is one failed Add's unfinished posting reclaim: the
+// nodes whose fencing delete has not landed yet, and the epoch it must
+// carry. The epoch is reused verbatim across retries — it postdates the
+// abandoned add (fencing it) and predates any later mutation of the ID
+// (so a retry can never undo a re-Add).
+type pendingCleanup struct {
+	id    trajectory.ID
+	epoch uint64
+	nodes []int
+}
+
+// fanDeletes sends a fencing delete to each node and returns the nodes
+// whose delete did not land.
+func (c *Coordinator) fanDeletes(ctx context.Context, id trajectory.ID, epoch, below uint64, nodes []int) []int {
+	var mu sync.Mutex
+	var failed []int
+	var wg sync.WaitGroup
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			_, err := c.clients[node].call(ctx, &request{
+				Op:           opDelete,
+				CompactBelow: below,
+				Delete:       &deleteRequest{ID: uint32(id), Epoch: epoch},
+			})
+			if err != nil {
+				mu.Lock()
+				failed = append(failed, node)
+				mu.Unlock()
+			}
+		}(node)
+	}
+	wg.Wait()
+	return failed
+}
+
+// reconcileLoop drains the pending-cleanup queue on a fixed cadence
+// until Close.
+func (c *Coordinator) reconcileLoop() {
+	defer c.reconcileWG.Done()
+	tick := time.NewTicker(reconcileInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopReconcile:
+			return
+		case <-tick.C:
+			c.reconcileOnce()
+		}
+	}
+}
+
+// reconcileOnce retries every queued cleanup delete, re-queueing the
+// nodes that still cannot be reached.
+func (c *Coordinator) reconcileOnce() {
+	c.cleanupMu.Lock()
+	pending := c.cleanups
+	c.cleanups = nil
+	c.cleanupMu.Unlock()
+	for _, p := range pending {
+		below := c.watermark()
+		ctx, cancel := context.WithTimeout(context.Background(), addCleanupTimeout)
+		failed := c.fanDeletes(ctx, p.id, p.epoch, below, p.nodes)
+		cancel()
+		if len(failed) > 0 {
+			c.cleanupMu.Lock()
+			c.cleanups = append(c.cleanups, pendingCleanup{id: p.id, epoch: p.epoch, nodes: failed})
+			c.cleanupMu.Unlock()
+		}
+	}
+}
+
+// PendingCleanups reports how many failed-Add cleanups are still waiting
+// on unreachable nodes — zero once every stranded posting has been
+// fenced and reclaimed.
+func (c *Coordinator) PendingCleanups() int {
+	c.cleanupMu.Lock()
+	defer c.cleanupMu.Unlock()
+	return len(c.cleanups)
 }
 
 // Delete withdraws a trajectory from the cluster and reclaims its
@@ -723,7 +899,7 @@ func (c *Coordinator) SearchPlan(parent context.Context, plan *QueryPlan, maxDis
 	}
 	var sharedMu sync.Mutex
 	err := fanOut(parent, plan.nodes, func(ctx context.Context, node int) error {
-		resp, err := c.clients[node].call(ctx, &request{
+		resp, err := c.readCall(ctx, node, &request{
 			Op:           opQuery,
 			CompactBelow: snap,
 			// QueryCard and MaxDistance let the node apply the
@@ -779,6 +955,49 @@ func (c *Coordinator) SearchPlan(parent context.Context, plan *QueryPlan, maxDis
 	}
 	info.Pruned = ranker.Pruned()
 	return results, info, nil
+}
+
+// readCall routes one read request across a shard's primary and replica
+// set per the coordinator's read preference. Under ReadReplicas, reads
+// round-robin the replicas; a replica that errors or refuses the request
+// as stale falls through to the next, and ultimately the primary. Under
+// ReadPrimary, the primary answers and replicas are failover only. The
+// snapshot watermark the request carries makes either route exact: a
+// replica only answers a snapshot its replicated state provably covers.
+func (c *Coordinator) readCall(ctx context.Context, node int, req *request) (*response, error) {
+	var reps []*client
+	if c.replicas != nil {
+		reps = c.replicas[node]
+	}
+	if len(reps) == 0 {
+		return c.clients[node].call(ctx, req)
+	}
+	if c.readPref == ReadReplicas {
+		start := int(c.rr[node].Add(1))
+		for i := 0; i < len(reps); i++ {
+			resp, err := reps[(start+i)%len(reps)].call(ctx, req)
+			if err == nil && !resp.Stale {
+				return resp, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+		}
+		return c.clients[node].call(ctx, req)
+	}
+	resp, err := c.clients[node].call(ctx, req)
+	if err == nil {
+		return resp, nil
+	}
+	if ctx.Err() != nil {
+		return nil, err
+	}
+	for _, rep := range reps {
+		if resp, rerr := rep.call(ctx, req); rerr == nil && !resp.Stale {
+			return resp, nil
+		}
+	}
+	return nil, err
 }
 
 // rankedCandidate is one merged candidate with its directory snapshot:
@@ -863,12 +1082,42 @@ func (c *Coordinator) Stats(parent context.Context) ([]NodeStats, error) {
 		if err != nil {
 			return err
 		}
+		s := resp.Stats
 		out[i] = NodeStats{
-			Node:       i,
-			Terms:      resp.Stats.Terms,
-			Postings:   resp.Stats.Postings,
-			Docs:       resp.Stats.Docs,
-			Tombstones: resp.Stats.Tombstones,
+			Node:        i,
+			Terms:       s.Terms,
+			Postings:    s.Postings,
+			Docs:        s.Docs,
+			Tombstones:  s.Tombstones,
+			Epoch:       s.Epoch,
+			StableEpoch: s.StableEpoch,
+			WALBytes:    s.WALBytes,
+			WALSegments: s.WALSegments,
+			WALRecords:  s.WALRecords,
+			WALSyncs:    s.WALSyncs,
+			WALLastSync: time.Duration(s.WALLastSyncNS),
+			FullSyncs:   s.FullSyncs,
+			Subscribers: s.Subscribers,
+		}
+		if c.replicas == nil || len(c.replicas[i]) == 0 {
+			return nil
+		}
+		// Replica lag is measured against the primary's highest applied
+		// epoch at the time of this gather; a momentarily larger stable
+		// epoch (the stream ran ahead of our primary read) clamps to 0.
+		for _, rep := range c.replicas[i] {
+			rresp, rerr := rep.call(ctx, &request{Op: opStats})
+			rs := ReplicaStats{Addr: rep.addr}
+			if rerr != nil {
+				rs.Err = rerr.Error()
+			} else {
+				rs.StableEpoch = rresp.Stats.StableEpoch
+				rs.FullSyncs = rresp.Stats.FullSyncs
+				if out[i].Epoch > rs.StableEpoch {
+					rs.EpochLag = out[i].Epoch - rs.StableEpoch
+				}
+			}
+			out[i].Replicas = append(out[i].Replicas, rs)
 		}
 		return nil
 	})
@@ -878,7 +1127,8 @@ func (c *Coordinator) Stats(parent context.Context) ([]NodeStats, error) {
 	return out, nil
 }
 
-// NodeStats is one node's shard statistics.
+// NodeStats is one node's shard statistics, including its durability and
+// replication state.
 type NodeStats struct {
 	Node     int
 	Terms    int
@@ -887,4 +1137,33 @@ type NodeStats struct {
 	// Tombstones counts delete fences not yet reclaimed by compaction.
 	Docs       int
 	Tombstones int
+	// Epoch is the highest mutation epoch the node has applied;
+	// StableEpoch the epoch through which its state is proven complete.
+	Epoch       uint64
+	StableEpoch uint64
+	// Write-ahead log state; zero when the node runs without one.
+	WALBytes    int64
+	WALSegments int
+	WALRecords  uint64
+	WALSyncs    uint64
+	WALLastSync time.Duration
+	// FullSyncs counts full syncs the node served; Subscribers is how
+	// many replicas currently tail its mutation stream; Replicas holds
+	// the per-replica lag gathered alongside.
+	FullSyncs   uint64
+	Subscribers int
+	Replicas    []ReplicaStats
+}
+
+// ReplicaStats is one read replica's replication state as seen during a
+// Stats gather. EpochLag is the primary's highest applied epoch minus
+// the replica's stable epoch — 0 means the replica can serve every
+// snapshot the primary can. Err is set (and the epochs zero) when the
+// replica was unreachable.
+type ReplicaStats struct {
+	Addr        string
+	StableEpoch uint64
+	EpochLag    uint64
+	FullSyncs   uint64
+	Err         string
 }

@@ -1,0 +1,588 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/core"
+	"geodabs/internal/index"
+	"geodabs/internal/shard"
+	"geodabs/internal/trajectory"
+)
+
+// startDurableCluster spins up n WAL-backed nodes and a coordinator,
+// returning the node addresses and WAL directories so tests can kill and
+// restart nodes in place.
+func startDurableCluster(t *testing.T, n int, extra ...NodeOption) (*Coordinator, []*Node, []string, []string) {
+	t.Helper()
+	nodes := make([]*Node, n)
+	addrs := make([]string, n)
+	dirs := make([]string, n)
+	for i := range nodes {
+		dirs[i] = t.TempDir()
+		node, err := StartNode("127.0.0.1:0", append([]NodeOption{WithWALDir(dirs[i])}, extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		addrs[i] = node.Addr()
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.Close() // idempotent; killed nodes no-op
+		}
+	})
+	ex := index.GeodabExtractor{Fingerprinter: core.MustFingerprinter(core.DefaultConfig())}
+	strategy := shard.Strategy{PrefixBits: 16, Shards: 10000, Nodes: n}
+	coord, err := NewCoordinator(ex, strategy, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	return coord, nodes, addrs, dirs
+}
+
+// searchAll runs every workload query and returns the ranked results,
+// retrying transient errors (a restarted node leaves dead pooled
+// connections behind; the pool redials on the next attempt).
+func searchAll(t *testing.T, coord *Coordinator) [][]index.Result {
+	t.Helper()
+	out := make([][]index.Result, len(testWorkload.Queries))
+	for i, q := range testWorkload.Queries {
+		var results []index.Result
+		var err error
+		for attempt := 0; attempt < 20; attempt++ {
+			results, _, err = coord.Search(context.Background(), q, 0.99, 0)
+			if err == nil {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("query %d: %v", q.ID, err)
+		}
+		out[i] = results
+	}
+	return out
+}
+
+// TestNodeRestartFromWALServesIdenticalResults is the durability
+// acceptance criterion: after adds, upserts and deletes, both shard
+// nodes are hard-killed (no flush, no final snapshot) and restarted from
+// their WAL directories at the same addresses — every query must then
+// return byte-identical results to the unkilled cluster's. One node
+// snapshots mid-stream, so recovery exercises snapshot + replay on one
+// node and pure replay on the other; a tiny segment size forces multi-
+// segment logs.
+func TestNodeRestartFromWALServesIdenticalResults(t *testing.T) {
+	coord, nodes, addrs, dirs := startDurableCluster(t, 2, WithWALSegmentBytes(8<<10))
+	ctx := context.Background()
+	trajs := testWorkload.Dataset.Trajectories
+	for _, tr := range trajs {
+		if err := coord.Add(ctx, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact half the mutations into a snapshot on node 0; node 1
+	// recovers from replay alone.
+	if err := nodes[0].Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	// Churn after the snapshot so both the snapshot and the surviving log
+	// carry state: delete some, upsert others with swapped geometry.
+	for _, tr := range trajs[:3] {
+		if err := coord.Delete(ctx, tr.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, tr := range trajs[3:6] {
+		swapped := &trajectory.Trajectory{ID: tr.ID, Points: trajs[6+i].Points}
+		if err := coord.Upsert(ctx, swapped); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := searchAll(t, coord)
+
+	for _, node := range nodes {
+		node.Kill()
+	}
+	for i := range nodes {
+		node, err := StartNode(addrs[i], WithWALDir(dirs[i]), WithWALSegmentBytes(8<<10))
+		if err != nil {
+			t.Fatalf("restart node %d: %v", i, err)
+		}
+		nodes[i] = node
+		t.Cleanup(func() { node.Close() })
+	}
+	got := searchAll(t, coord)
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("query %d after restart: %+v, want %+v", testWorkload.Queries[i].ID, got[i], want[i])
+		}
+	}
+}
+
+// nodeState is a node's full shard state flattened for comparison.
+type nodeState struct {
+	docs     map[uint32]nodeDoc
+	postings map[uint32][]uint32
+}
+
+// dumpState copies a node's docs and postings under its lock.
+func dumpState(n *Node) nodeState {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s := nodeState{docs: make(map[uint32]nodeDoc, len(n.docs)), postings: make(map[uint32][]uint32, len(n.postings))}
+	for id, d := range n.docs {
+		s.docs[id] = nodeDoc{terms: append([]uint32(nil), d.terms...), card: d.card, epoch: d.epoch}
+	}
+	for term, p := range n.postings {
+		var ids []uint32
+		p.Iterate(func(id uint32) bool {
+			ids = append(ids, id)
+			return true
+		})
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		s.postings[term] = ids
+	}
+	return s
+}
+
+// memNode returns a bare in-memory node for direct apply calls — the
+// property tests' reference, never listening or logging.
+func memNode() *Node {
+	return &Node{postings: make(map[uint32]*bitmap.Bitmap), docs: make(map[uint32]nodeDoc)}
+}
+
+// TestNodeCrashRecoveryProperty hard-kills a WAL-backed node at a random
+// point in a random Add/Delete interleaving and asserts the recovered
+// state — docs, cards, epochs, postings — is identical to a reference
+// node that applied the same prefix in memory. SyncEvery=1, so every
+// acknowledged mutation must survive; runs snapshot mid-stream at random
+// to cover snapshot+replay recovery alongside pure replay.
+func TestNodeCrashRecoveryProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		node, err := StartNode("127.0.0.1:0", WithWALDir(dir), WithWALSegmentBytes(4<<10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := memNode()
+		ops := 60 + rng.Intn(120)
+		kill := rng.Intn(ops)
+		epoch := uint64(0)
+		for i := 0; i < kill; i++ {
+			epoch++
+			id := uint32(rng.Intn(12))
+			if rng.Intn(3) == 0 {
+				req := &deleteRequest{ID: id, Epoch: epoch}
+				if err := node.delete(req); err != nil {
+					t.Fatalf("seed %d op %d delete: %v", seed, i, err)
+				}
+				ref.applyDelete(req)
+				continue
+			}
+			terms := make([]uint32, 1+rng.Intn(20))
+			for j := range terms {
+				terms[j] = uint32(rng.Intn(200))
+			}
+			req := &addRequest{ID: id, Terms: terms, Epoch: epoch, Card: len(terms) + rng.Intn(50)}
+			if err := node.add(req); err != nil {
+				t.Fatalf("seed %d op %d add: %v", seed, i, err)
+			}
+			ref.applyAdd(req)
+			if rng.Intn(25) == 0 {
+				if err := node.Snapshot(); err != nil {
+					t.Fatalf("seed %d op %d snapshot: %v", seed, i, err)
+				}
+			}
+		}
+		node.Kill()
+		recovered, err := StartNode("127.0.0.1:0", WithWALDir(dir))
+		if err != nil {
+			t.Fatalf("seed %d recover: %v", seed, err)
+		}
+		got, want := dumpState(recovered), dumpState(ref)
+		if !reflect.DeepEqual(got.docs, want.docs) {
+			t.Fatalf("seed %d kill@%d/%d: recovered docs differ\ngot  %+v\nwant %+v", seed, kill, ops, got.docs, want.docs)
+		}
+		if !reflect.DeepEqual(got.postings, want.postings) {
+			t.Fatalf("seed %d kill@%d/%d: recovered postings differ", seed, kill, ops)
+		}
+		recovered.Close()
+	}
+}
+
+// pollUntil retries cond every 20ms until it holds or the deadline
+// passes.
+func pollUntil(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: %s", msg)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestReplicaServesIdenticalResults is the replication acceptance
+// criterion: once a read replica reaches epoch lag 0 it must answer
+// every query byte-identically to its primary — including after the
+// primary goes away entirely (replica failover).
+func TestReplicaServesIdenticalResults(t *testing.T) {
+	coord, nodes, addrs, _ := startDurableCluster(t, 2)
+	ctx := context.Background()
+	replicaAddrs := make([][]string, len(nodes))
+	replicas := make([]*Node, len(nodes))
+	for i := range nodes {
+		rep, err := StartNode("127.0.0.1:0", WithReplicaOf(addrs[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = rep
+		replicaAddrs[i] = []string{rep.Addr()}
+		t.Cleanup(func() { rep.Close() })
+	}
+	// A second coordinator over the same nodes, replica-aware. It shares
+	// no directory with the mutating one, so all mutations go through
+	// repl-coord to keep ranking state in one place.
+	ex := index.GeodabExtractor{Fingerprinter: core.MustFingerprinter(core.DefaultConfig())}
+	strategy := shard.Strategy{PrefixBits: 16, Shards: 10000, Nodes: len(nodes)}
+	rcoord, err := NewCoordinator(ex, strategy, addrs, WithReadReplicas(replicaAddrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rcoord.Close() })
+	coord.Close() // unused: mutations flow through rcoord only
+
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		if err := rcoord.Add(ctx, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range testWorkload.Dataset.Trajectories[:2] {
+		if err := rcoord.Delete(ctx, tr.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for both replicas to prove themselves complete through the
+	// primaries' current epoch (lag 0). The Stats call itself piggybacks
+	// the watermark that lets the primaries publish it.
+	pollUntil(t, 10*time.Second, func() bool {
+		stats, err := rcoord.Stats(ctx)
+		if err != nil {
+			return false
+		}
+		for _, s := range stats {
+			for _, r := range s.Replicas {
+				if r.Err != "" || r.EpochLag != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}, "replicas never reached epoch lag 0")
+
+	want := searchAll(t, rcoord) // ReadPrimary default: primaries answer
+	rcoord.readPref = ReadReplicas
+	got := searchAll(t, rcoord)
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("query %d via replicas: %+v, want %+v", testWorkload.Queries[i].ID, got[i], want[i])
+		}
+	}
+	// Primary failover: with the primaries gone, replica reads must still
+	// answer byte-identically (no new mutations, so the replicas' stable
+	// epochs still cover the search snapshot).
+	for _, node := range nodes {
+		node.Close()
+	}
+	got = searchAll(t, rcoord)
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("query %d after primary shutdown: %+v, want %+v", testWorkload.Queries[i].ID, got[i], want[i])
+		}
+	}
+	// And the same through the ReadPrimary failover path.
+	rcoord.readPref = ReadPrimary
+	got = searchAll(t, rcoord)
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("query %d primary-preferred failover: %+v, want %+v", testWorkload.Queries[i].ID, got[i], want[i])
+		}
+	}
+}
+
+// TestReplicaStaleGate pins the replica read-consistency protocol at the
+// wire level: a replica refuses (response.Stale) any query whose
+// snapshot epoch exceeds the highest watermark it has seen, and serves
+// it once the primary's stream has proven that epoch complete.
+func TestReplicaStaleGate(t *testing.T) {
+	primary, err := StartNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	replica, err := StartNode("127.0.0.1:0", WithReplicaOf(primary.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	ctx := context.Background()
+	pcl, err := dial(primary.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pcl.close()
+	rcl, err := dial(replica.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcl.close()
+
+	if _, err := pcl.call(ctx, &request{Op: opAdd, Add: &addRequest{ID: 1, Terms: []uint32{7, 8, 9}, Epoch: 5, Card: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations must be refused by the replica outright.
+	if _, err := rcl.call(ctx, &request{Op: opAdd, Add: &addRequest{ID: 2, Terms: []uint32{1}, Epoch: 6, Card: 1}}); err == nil {
+		t.Fatal("replica accepted a mutation")
+	}
+	// Wait for the add to stream over.
+	pollUntil(t, 5*time.Second, func() bool {
+		resp, err := rcl.call(ctx, &request{Op: opStats})
+		return err == nil && resp.Stats.Docs == 1
+	}, "replica never received the streamed add")
+
+	// Snapshot epoch 5 is not yet proven complete on the replica: stale.
+	resp, err := rcl.call(ctx, &request{Op: opQuery, CompactBelow: 5, Query: &queryRequest{Terms: []uint32{7, 8, 9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Stale {
+		t.Fatal("replica answered a snapshot it cannot prove complete")
+	}
+	// Snapshot epoch 0 needs no proof: served.
+	resp, err = rcl.call(ctx, &request{Op: opQuery, Query: &queryRequest{Terms: []uint32{7, 8, 9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stale || len(resp.Query.IDs) != 1 || resp.Query.IDs[0] != 1 {
+		t.Fatalf("replica snapshot-0 query = %+v", resp)
+	}
+	// Advancing the primary's watermark past the epoch un-stales the
+	// replica via the stream.
+	if _, err := pcl.call(ctx, &request{Op: opStats, CompactBelow: 5}); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, 5*time.Second, func() bool {
+		resp, err := rcl.call(ctx, &request{Op: opQuery, CompactBelow: 5, Query: &queryRequest{Terms: []uint32{7, 8, 9}}})
+		return err == nil && !resp.Stale && len(resp.Query.IDs) == 1
+	}, "replica never caught up to watermark 5")
+}
+
+// TestStrandedPostingsReconciled pins the failed-Add recovery loop end
+// to end: an Add dies against a wedged node after a durable node already
+// applied its postings; the cleanup cannot reach the durable node either
+// (it was killed mid-Add), so the postings are stranded on its WAL. The
+// node restarts from the WAL — stranded postings and all — and the
+// coordinator's background reconciler must then fence and reclaim them,
+// leaving no orphaned postings behind after compaction.
+func TestStrandedPostingsReconciled(t *testing.T) {
+	oldInterval, oldTimeout := reconcileInterval, addCleanupTimeout
+	reconcileInterval, addCleanupTimeout = 50*time.Millisecond, 300*time.Millisecond
+	defer func() { reconcileInterval, addCleanupTimeout = oldInterval, oldTimeout }()
+
+	dir := t.TempDir()
+	durable, err := StartNode("127.0.0.1:0", WithWALDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	durableAddr := durable.Addr()
+	// A wedged "node" that accepts and swallows traffic without ever
+	// answering — closable, so the test can later start a real node on
+	// its address to heal the cluster.
+	stallLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stallLn.Close() })
+	go func() {
+		for {
+			conn, err := stallLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(io.Discard, c)
+			}(conn)
+		}
+	}()
+	wedged := stallLn.Addr().String()
+	ex := index.GeodabExtractor{Fingerprinter: core.MustFingerprinter(core.DefaultConfig())}
+	// A fine-grained sharding (one shard per 31-bit curve prefix, node =
+	// parity) guarantees any multi-term trajectory spans both nodes — the
+	// coarse default can place a whole trajectory on one node, which
+	// would let the Add bypass the wedged node entirely.
+	coord, err := NewCoordinator(ex, shard.Strategy{PrefixBits: 31, Shards: 1 << 31, Nodes: 2}, []string{durableAddr, wedged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var victim *trajectory.Trajectory
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		if coord.Analyze(tr).Nodes == 2 {
+			victim = tr
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no trajectory spans both nodes in this workload")
+	}
+	// Run the Add: the durable node applies and fsyncs its postings, the
+	// wedged node hangs. Kill the durable node once its postings landed,
+	// then cancel — the Add fails and its cleanup can reach neither node,
+	// stranding the applied postings in the durable node's WAL.
+	ctx, cancel := context.WithCancel(context.Background())
+	addErr := make(chan error, 1)
+	go func() { addErr <- coord.Add(ctx, victim) }()
+	pollUntil(t, 5*time.Second, func() bool {
+		durable.mu.RLock()
+		defer durable.mu.RUnlock()
+		return len(durable.docs) == 1
+	}, "durable node never applied its half of the Add")
+	durable.Kill()
+	cancel()
+	if err := <-addErr; err == nil {
+		t.Fatal("Add against a half-dead cluster should fail")
+	}
+	// The cleanup must have queued its unreachable deletes.
+	pollUntil(t, 5*time.Second, func() bool { return coord.PendingCleanups() > 0 }, "failed cleanup was not queued for reconciliation")
+
+	// Restart the node from its WAL: the stranded postings come back with
+	// it — and the reconciler must now reach it, fence the orphaned add,
+	// and reclaim the postings.
+	restarted, err := StartNode(durableAddr, WithWALDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	restarted.mu.RLock()
+	docs := len(restarted.docs)
+	restarted.mu.RUnlock()
+	if docs != 1 {
+		t.Fatalf("restarted node recovered %d docs, want the 1 stranded add", docs)
+	}
+	cl, err := dial(restarted.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.close()
+	pollUntil(t, 10*time.Second, func() bool {
+		resp, err := cl.call(context.Background(), &request{Op: opStats})
+		return err == nil && resp.Stats.Postings == 0 && resp.Stats.Docs == 0
+	}, "orphaned postings survived reconciliation")
+
+	// Heal the wedged node: a real (empty) node takes over its address,
+	// the reconciler's outstanding fencing delete lands there, and the
+	// pending-cleanup queue drains completely.
+	stallLn.Close()
+	healed, err := StartNode(wedged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healed.Close()
+	pollUntil(t, 10*time.Second, func() bool { return coord.PendingCleanups() == 0 }, "cleanup queue never drained after the wedged node healed")
+
+	// With the cluster whole again, later mutations advance the watermark
+	// past the fence and compaction reclaims the tombstone — nothing of
+	// the failed Add survives anywhere.
+	var other *trajectory.Trajectory
+	for _, tr := range testWorkload.Dataset.Trajectories {
+		if tr.ID != victim.ID {
+			other = tr
+			break
+		}
+	}
+	if err := coord.Add(context.Background(), other); err != nil {
+		t.Fatalf("Add after heal: %v", err)
+	}
+	pollUntil(t, 10*time.Second, func() bool {
+		resp, err := cl.call(context.Background(), &request{Op: opStats, CompactBelow: coord.watermark()})
+		return err == nil && resp.Stats.Tombstones == 0
+	}, "fence tombstone survived compaction")
+	restarted.mu.RLock()
+	_, orphaned := restarted.docs[uint32(victim.ID)]
+	restarted.mu.RUnlock()
+	if orphaned {
+		t.Fatal("victim trajectory still present on the recovered node")
+	}
+}
+
+// TestCoordinatorDirectoryRecovery restarts the coordinator itself: a
+// fresh coordinator built with WithDirectoryRecovery over the same
+// durable nodes must serve byte-identical results to the one that did
+// the writes, resume the epoch counter past every pre-restart mutation,
+// and keep fencing correctly — duplicate adds of recovered trajectories
+// are rejected, deletes and re-adds of them work.
+func TestCoordinatorDirectoryRecovery(t *testing.T) {
+	coord, _, addrs, _ := startDurableCluster(t, 2)
+	ctx := context.Background()
+	trajs := testWorkload.Dataset.Trajectories
+	for _, tr := range trajs {
+		if err := coord.Add(ctx, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range trajs[:2] {
+		if err := coord.Delete(ctx, tr.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := searchAll(t, coord)
+	oldEpoch := coord.watermark()
+	coord.Close()
+
+	ex := index.GeodabExtractor{Fingerprinter: core.MustFingerprinter(core.DefaultConfig())}
+	strategy := shard.Strategy{PrefixBits: 16, Shards: 10000, Nodes: 2}
+	recovered, err := NewCoordinator(ex, strategy, addrs, WithDirectoryRecovery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { recovered.Close() })
+	if got := recovered.watermark(); got < oldEpoch {
+		t.Fatalf("recovered epoch watermark %d, want >= %d", got, oldEpoch)
+	}
+	got := searchAll(t, recovered)
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("query %d after recovery: %+v, want %+v", testWorkload.Queries[i].ID, got[i], want[i])
+		}
+	}
+	// Recovered entries are first-class: duplicates are rejected, and a
+	// delete + re-add (both fenced against pre-restart epochs) round-trips.
+	if err := recovered.Add(ctx, trajs[5]); err == nil {
+		t.Fatal("duplicate add of a recovered trajectory succeeded")
+	}
+	if err := recovered.Delete(ctx, trajs[5].ID); err != nil {
+		t.Fatalf("delete of recovered trajectory: %v", err)
+	}
+	if err := recovered.Add(ctx, trajs[5]); err != nil {
+		t.Fatalf("re-add of recovered trajectory: %v", err)
+	}
+	// A deleted-before-restart ID must have stayed deleted — and be
+	// re-addable.
+	if err := recovered.Add(ctx, trajs[0]); err != nil {
+		t.Fatalf("re-add of pre-restart-deleted trajectory: %v", err)
+	}
+}

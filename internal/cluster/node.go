@@ -7,6 +7,14 @@
 // the threshold-pruning cardinality window before serializing its
 // partial counts — non-qualifying candidates never cross the wire.
 //
+// Shard nodes are durable when started with a write-ahead log: every
+// applied mutation is appended (group-committed fsync) before it touches
+// the in-memory index, periodic snapshots compact the log, and a restart
+// replays the surviving records on top of the latest snapshot — epoch
+// fencing makes the replay idempotent. Nodes can also run as log-shipped
+// read replicas of a primary (full sync + live mutation stream), and the
+// coordinator can fan reads out across a shard's replica set.
+//
 // Everything speaks length-delimited gob — no dependencies beyond the
 // standard library.
 package cluster
@@ -22,6 +30,7 @@ import (
 
 	"geodabs/internal/bitmap"
 	"geodabs/internal/index"
+	"geodabs/internal/wal"
 )
 
 // nodeDoc is a node's per-trajectory bookkeeping: the terms it owns for
@@ -38,10 +47,90 @@ type nodeDoc struct {
 	epoch uint64
 }
 
+// nodeOptions is the resolved StartNode option set.
+type nodeOptions struct {
+	walDir        string
+	walOpts       wal.Options
+	snapshotBytes int64
+	replicaOf     string
+}
+
+// NodeOption configures a shard node at StartNode.
+type NodeOption func(*nodeOptions)
+
+// WithWALDir makes the node durable: every applied mutation is appended
+// to a write-ahead log in dir before it is applied, and on restart the
+// node recovers its state from the latest snapshot plus the log. The
+// directory is created if missing and must be private to this node.
+func WithWALDir(dir string) NodeOption {
+	return func(o *nodeOptions) { o.walDir = dir }
+}
+
+// WithWALSync tunes the log's durability policy: an fsync at least every
+// `every` records (1 = group-committed fsync on every mutation, the
+// default) and at least every interval when every > 1.
+func WithWALSync(every int, interval time.Duration) NodeOption {
+	return func(o *nodeOptions) {
+		o.walOpts.SyncEvery = every
+		o.walOpts.SyncInterval = interval
+	}
+}
+
+// WithWALSegmentBytes sets the size past which the log rolls to a fresh
+// segment file (default 16 MiB).
+func WithWALSegmentBytes(n int64) NodeOption {
+	return func(o *nodeOptions) { o.walOpts.SegmentBytes = n }
+}
+
+// WithSnapshotBytes sets the log size past which the node snapshots its
+// state and truncates the replayed segments (log compaction). Default
+// 64 MiB; 0 keeps the default, negative disables automatic snapshots
+// (Close still writes a final one).
+func WithSnapshotBytes(n int64) NodeOption {
+	return func(o *nodeOptions) { o.snapshotBytes = n }
+}
+
+// WithReplicaOf starts the node as a read replica: it performs a full
+// sync from the primary at addr, tails its live mutation stream, and
+// serves queries (refusing mutations, and refusing queries whose
+// snapshot epoch its replicated state does not yet cover). Replicas
+// recover by re-syncing, so WithReplicaOf cannot be combined with
+// WithWALDir.
+func WithReplicaOf(addr string) NodeOption {
+	return func(o *nodeOptions) { o.replicaOf = addr }
+}
+
+// defaultSnapshotBytes is the WAL size that triggers an automatic
+// snapshot + truncate when WithSnapshotBytes is not given.
+const defaultSnapshotBytes = 64 << 20
+
+// replBacklog is the per-subscriber event buffer: a replica that falls
+// this many events behind the primary's mutation stream is disconnected
+// and must full-sync afresh.
+const replBacklog = 4096
+
+// replHeartbeatInterval is how often a primary pushes a watermark
+// heartbeat to idle replication streams.
+const replHeartbeatInterval = 500 * time.Millisecond
+
 // Node is a shard server holding the posting lists of the terms routed to
-// it. Start it with StartNode; stop it with Close.
+// it. Start it with StartNode; stop it with Close (graceful: flushes and
+// snapshots a durable node) or Kill (abrupt, for crash testing).
 type Node struct {
 	ln net.Listener
+
+	// wal is the node's write-ahead log, nil for memory-only nodes and
+	// replicas. applyMu is the outer mutation lock: mutations hold it
+	// shared across their append-then-apply window, Snapshot holds it
+	// exclusively, so a snapshot plus the segments below its Seal
+	// boundary always contain exactly the same mutations.
+	wal           *wal.Log
+	walDir        string
+	snapshotBytes int64
+	applyMu       sync.RWMutex
+	snapMu        sync.Mutex // serializes snapshots (single flight)
+	snapWG        sync.WaitGroup
+	snapshotting  atomic.Bool
 
 	mu       sync.RWMutex
 	postings map[uint32]*bitmap.Bitmap
@@ -49,6 +138,8 @@ type Node struct {
 	// tombstones counts docs entries with nil terms, so compaction sweeps
 	// can be skipped when there is nothing to reclaim.
 	tombstones int
+	// maxEpoch is the highest mutation epoch applied to this node.
+	maxEpoch uint64
 	// compactedBelow is the highest compaction watermark seen, so a sweep
 	// runs only when the watermark advances. Atomic so the per-request
 	// fast path stays off the write lock — pooled queries must not
@@ -56,42 +147,150 @@ type Node struct {
 	// watermark.
 	compactedBelow atomic.Uint64
 
+	// Replication. subs are the replicas tailing this primary's stream;
+	// publishes happen under mu's write lock (mutations and watermark
+	// advances are serialized there), so subscriber teardown on overflow
+	// is race-free. fullSyncs counts syncs served (primary) or performed
+	// (replica).
+	subMu     sync.Mutex
+	subs      []*subscriber
+	fullSyncs atomic.Uint64
+
+	// Replica state: primaryAddr is set iff the node is a replica;
+	// stableEpoch is the highest stream watermark seen — its state
+	// provably covers every mutation at or below it.
+	primaryAddr string
+	stableEpoch atomic.Uint64
+
 	connWG    sync.WaitGroup
+	replWG    sync.WaitGroup
 	closing   chan struct{}
 	closeOnce sync.Once
+	killed    atomic.Bool
+}
+
+// subscriber is one replica's tap on the primary's mutation stream.
+type subscriber struct {
+	ch chan replEvent
 }
 
 // StartNode listens on addr (e.g. "127.0.0.1:0") and serves shard requests
-// until Close.
-func StartNode(addr string) (*Node, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: listen: %w", err)
+// until Close. With WithWALDir it first recovers its state from the
+// snapshot and write-ahead log in that directory; with WithReplicaOf it
+// starts as a read replica of the given primary.
+func StartNode(addr string, opts ...NodeOption) (*Node, error) {
+	var o nodeOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.replicaOf != "" && o.walDir != "" {
+		return nil, fmt.Errorf("cluster: a replica recovers by re-syncing from its primary; WithReplicaOf and WithWALDir are mutually exclusive")
 	}
 	n := &Node{
-		ln:       ln,
-		postings: make(map[uint32]*bitmap.Bitmap),
-		docs:     make(map[uint32]nodeDoc),
-		closing:  make(chan struct{}),
+		postings:    make(map[uint32]*bitmap.Bitmap),
+		docs:        make(map[uint32]nodeDoc),
+		closing:     make(chan struct{}),
+		primaryAddr: o.replicaOf,
 	}
+	if o.walDir != "" {
+		n.walDir = o.walDir
+		n.snapshotBytes = o.snapshotBytes
+		if n.snapshotBytes == 0 {
+			n.snapshotBytes = defaultSnapshotBytes
+		}
+		if err := n.recover(o.walDir, o.walOpts); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if n.wal != nil {
+			n.wal.Close()
+		}
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	n.ln = ln
 	n.connWG.Add(1)
 	go n.acceptLoop()
+	if n.primaryAddr != "" {
+		n.replWG.Add(1)
+		go n.replicationLoop()
+	}
 	return n, nil
+}
+
+// recover rebuilds the node's state from its snapshot (if any) plus a
+// replay of the write-ahead log. Replayed records that the snapshot
+// already covers are fenced off by their epochs, so the combination is
+// exact regardless of where the last compaction left the log.
+func (n *Node) recover(dir string, opts wal.Options) error {
+	if err := n.loadSnapshot(dir); err != nil {
+		return err
+	}
+	l, err := wal.Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	if err := l.Replay(func(r *wal.Record) error {
+		switch r.Op {
+		case wal.OpAdd:
+			n.applyAdd(&addRequest{ID: r.ID, Terms: r.Terms, Epoch: r.Epoch, Card: int(r.Card)})
+		case wal.OpDelete:
+			n.applyDelete(&deleteRequest{ID: r.ID, Epoch: r.Epoch})
+		}
+		return nil
+	}); err != nil {
+		l.Close()
+		return fmt.Errorf("cluster: wal replay: %w", err)
+	}
+	n.wal = l
+	return nil
 }
 
 // Addr returns the node's listen address for coordinators to dial.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// Close stops the listener and waits for in-flight connections to finish.
-// It is safe to call multiple times.
+// Close stops the listener, waits for in-flight connections to finish,
+// and — for a durable node — flushes the log and writes a final
+// compacting snapshot so the next start recovers fast. It is safe to
+// call multiple times.
 func (n *Node) Close() error {
 	var err error
 	n.closeOnce.Do(func() {
 		close(n.closing)
 		err = n.ln.Close()
 		n.connWG.Wait()
+		n.replWG.Wait()
+		n.snapWG.Wait()
+		if n.wal != nil {
+			if serr := n.Snapshot(); serr != nil && err == nil {
+				err = serr
+			}
+			if werr := n.wal.Close(); werr != nil && err == nil {
+				err = werr
+			}
+		}
 	})
 	return err
+}
+
+// Kill abruptly stops the node: the listener and connections are torn
+// down and the write-ahead log is abandoned without a flush, snapshot,
+// or final sync — the in-process stand-in for SIGKILL. State the sync
+// policy had already made durable survives a subsequent StartNode on the
+// same WAL directory; nothing else does. For crash testing.
+func (n *Node) Kill() {
+	n.closeOnce.Do(func() {
+		n.killed.Store(true)
+		close(n.closing)
+		n.ln.Close()
+		n.connWG.Wait()
+		n.replWG.Wait()
+		n.snapWG.Wait()
+		if n.wal != nil {
+			n.wal.Kill()
+		}
+	})
 }
 
 // acceptBackoffMax bounds the exponential backoff between retries of a
@@ -132,6 +331,8 @@ func (n *Node) acceptLoop() {
 }
 
 // serve handles one coordinator connection until EOF or node shutdown.
+// An opSync request hijacks the connection into a one-way replication
+// push stream for its remaining lifetime.
 func (n *Node) serve(conn net.Conn) {
 	defer n.connWG.Done()
 	defer conn.Close()
@@ -152,6 +353,10 @@ func (n *Node) serve(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // EOF or connection torn down
 		}
+		if req.Op == opSync {
+			n.serveSync(enc)
+			return
+		}
 		resp := n.handle(&req)
 		if err := enc.Encode(resp); err != nil {
 			return
@@ -160,23 +365,47 @@ func (n *Node) serve(conn net.Conn) {
 }
 
 func (n *Node) handle(req *request) *response {
-	n.compact(req.CompactBelow)
+	// A replica compacts only at watermark events in the replication
+	// stream — the position where its primary compacted — never from a
+	// request's piggybacked watermark. A request can race ahead of the
+	// stream, and sweeping a tombstone fence early would let the replica
+	// apply a stale streamed add that the primary (fence still in place
+	// at that stream position) ignored: silent divergence.
+	if n.primaryAddr == "" {
+		n.compact(req.CompactBelow)
+	}
 	switch req.Op {
 	case opAdd:
 		if req.Add == nil {
 			return &response{Err: "add request missing payload"}
 		}
-		n.add(req.Add)
+		if n.primaryAddr != "" {
+			return &response{Err: "node is a read-only replica"}
+		}
+		if err := n.add(req.Add); err != nil {
+			return &response{Err: err.Error()}
+		}
 		return &response{}
 	case opDelete:
 		if req.Delete == nil {
 			return &response{Err: "delete request missing payload"}
 		}
-		n.delete(req.Delete)
+		if n.primaryAddr != "" {
+			return &response{Err: "node is a read-only replica"}
+		}
+		if err := n.delete(req.Delete); err != nil {
+			return &response{Err: err.Error()}
+		}
 		return &response{}
 	case opQuery:
 		if req.Query == nil {
 			return &response{Err: "query request missing payload"}
+		}
+		if n.primaryAddr != "" && req.CompactBelow > n.stableEpoch.Load() {
+			// The replica's state does not yet cover the search's
+			// snapshot epoch: refuse rather than rank on missing
+			// mutations. The coordinator reads the primary instead.
+			return &response{Stale: true}
 		}
 		return &response{Query: n.query(req.Query)}
 	case opStats:
@@ -186,14 +415,51 @@ func (n *Node) handle(req *request) *response {
 	}
 }
 
-// add applies a trajectory's terms, replacing whatever the node held for
-// the ID. An add at or below the ID's last applied epoch is stale — an
-// abandoned call that lost to its own cleanup delete, or a duplicate
-// retry — and is ignored, so cleanup deletes cannot be undone by the
-// failed add racing them onto the node.
-func (n *Node) add(req *addRequest) {
+// add logs and applies a trajectory's postings. The write-ahead append
+// happens before the in-memory apply and the coordinator's ack, under
+// the shared apply lock, so a crash never acknowledges a mutation the
+// log does not hold.
+func (n *Node) add(req *addRequest) error {
+	n.applyMu.RLock()
+	defer n.applyMu.RUnlock()
+	if n.wal != nil {
+		if err := n.wal.Append(wal.Record{Op: wal.OpAdd, Epoch: req.Epoch, ID: req.ID, Card: uint32(req.Card), Terms: req.Terms}); err != nil {
+			return err
+		}
+	}
+	n.applyAdd(req)
+	n.maybeSnapshot()
+	return nil
+}
+
+// delete logs and applies a posting withdrawal (see add for the
+// durability contract).
+func (n *Node) delete(req *deleteRequest) error {
+	n.applyMu.RLock()
+	defer n.applyMu.RUnlock()
+	if n.wal != nil {
+		if err := n.wal.Append(wal.Record{Op: wal.OpDelete, Epoch: req.Epoch, ID: req.ID}); err != nil {
+			return err
+		}
+	}
+	n.applyDelete(req)
+	n.maybeSnapshot()
+	return nil
+}
+
+// applyAdd applies a trajectory's terms, replacing whatever the node held
+// for the ID. An add at or below the ID's last applied epoch is stale —
+// an abandoned call that lost to its own cleanup delete, or a duplicate
+// retry (or a WAL replay over a snapshot that already covers it) — and
+// is ignored, so cleanup deletes cannot be undone by the failed add
+// racing them onto the node.
+func (n *Node) applyAdd(req *addRequest) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if req.Epoch > n.maxEpoch {
+		n.maxEpoch = req.Epoch
+	}
+	defer n.publishLocked(replEvent{Op: replAdd, ID: req.ID, Terms: req.Terms, Card: req.Card, Epoch: req.Epoch, Watermark: n.compactedBelow.Load()})
 	if doc, ok := n.docs[req.ID]; ok {
 		if doc.epoch >= req.Epoch {
 			return // stale or duplicate mutation
@@ -211,13 +477,17 @@ func (n *Node) add(req *addRequest) {
 	n.docs[req.ID] = nodeDoc{terms: req.Terms, card: req.Card, epoch: req.Epoch}
 }
 
-// delete withdraws a trajectory's postings and leaves a tombstone at the
-// delete's epoch to fence stale adds. Deleting an unknown ID still
+// applyDelete withdraws a trajectory's postings and leaves a tombstone at
+// the delete's epoch to fence stale adds. Deleting an unknown ID still
 // plants the fence: the cleanup of a failed add may reach the node
 // before the add itself does.
-func (n *Node) delete(req *deleteRequest) {
+func (n *Node) applyDelete(req *deleteRequest) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if req.Epoch > n.maxEpoch {
+		n.maxEpoch = req.Epoch
+	}
+	defer n.publishLocked(replEvent{Op: replDelete, ID: req.ID, Epoch: req.Epoch, Watermark: n.compactedBelow.Load()})
 	if doc, ok := n.docs[req.ID]; ok {
 		if doc.epoch > req.Epoch {
 			return // a newer mutation already superseded this delete
@@ -246,12 +516,94 @@ func (n *Node) stripLocked(id uint32, doc nodeDoc) {
 	}
 }
 
+// publishLocked fans an event out to every replication subscriber. The
+// caller holds mu's write lock, so publishes are serialized in apply
+// order. A subscriber whose buffer is full has fallen too far behind to
+// tail the stream: its channel is closed (safe — no other publisher can
+// race this one) and its replica reconnects with a fresh full sync.
+func (n *Node) publishLocked(ev replEvent) {
+	n.subMu.Lock()
+	defer n.subMu.Unlock()
+	kept := n.subs[:0]
+	for _, sub := range n.subs {
+		select {
+		case sub.ch <- ev:
+			kept = append(kept, sub)
+		default:
+			close(sub.ch) // overflow: force a fresh full sync
+		}
+	}
+	n.subs = kept
+}
+
+// unsubscribe withdraws a replication subscriber, if still registered.
+func (n *Node) unsubscribe(sub *subscriber) {
+	n.subMu.Lock()
+	defer n.subMu.Unlock()
+	for i, s := range n.subs {
+		if s == sub {
+			n.subs = append(n.subs[:i], n.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// serveSync answers a replica's full-sync request and then pushes the
+// live mutation stream until the connection dies, the replica falls
+// behind, or the node shuts down. The state snapshot and the stream
+// subscription are taken under one read-lock acquisition, so the stream
+// carries exactly the mutations applied after the snapshot cut.
+func (n *Node) serveSync(enc *gob.Encoder) {
+	if n.primaryAddr != "" {
+		enc.Encode(&response{Err: "node is a replica; sync from the primary"})
+		return
+	}
+	n.mu.RLock()
+	docs := make([]syncDoc, 0, len(n.docs))
+	for id, d := range n.docs {
+		docs = append(docs, syncDoc{ID: id, Terms: d.terms, Card: d.card, Epoch: d.epoch, Tombstone: d.terms == nil})
+	}
+	watermark := n.compactedBelow.Load()
+	sub := &subscriber{ch: make(chan replEvent, replBacklog)}
+	n.subMu.Lock()
+	n.subs = append(n.subs, sub)
+	n.subMu.Unlock()
+	n.mu.RUnlock()
+	defer n.unsubscribe(sub)
+	n.fullSyncs.Add(1)
+	if err := enc.Encode(&response{Sync: &syncResponse{Docs: docs, Watermark: watermark}}); err != nil {
+		return
+	}
+	heartbeat := time.NewTicker(replHeartbeatInterval)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.ch:
+			if !ok {
+				return // overflowed: the replica must full-sync afresh
+			}
+			if err := enc.Encode(&ev); err != nil {
+				return
+			}
+		case <-heartbeat.C:
+			hb := replEvent{Op: replHeartbeat, Watermark: n.compactedBelow.Load()}
+			if err := enc.Encode(&hb); err != nil {
+				return
+			}
+		case <-n.closing:
+			return
+		}
+	}
+}
+
 // compact reclaims tombstones at or below the coordinator's watermark:
 // no mutation that old can still be tracked in flight, so the fences are
 // (almost certainly — see the caveat in the protocol doc) dead weight.
 // Runs only when the watermark advances past the last sweep; the
 // watermark test is lock-free so the query hot path never contends the
-// write lock here.
+// write lock here. An advancing watermark is also published to the
+// replication stream — it is what proves a replica's state complete
+// through an epoch.
 func (n *Node) compact(below uint64) {
 	if below == 0 || below <= n.compactedBelow.Load() {
 		return
@@ -262,6 +614,7 @@ func (n *Node) compact(below uint64) {
 		return // another request swept past this watermark meanwhile
 	}
 	n.compactedBelow.Store(below)
+	n.publishLocked(replEvent{Op: replHeartbeat, Watermark: below})
 	if n.tombstones == 0 {
 		return
 	}
@@ -358,14 +711,32 @@ func cardWindow(req *queryRequest) (minCard, maxCard int) {
 
 func (n *Node) stats() *statsResponse {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
 	s := &statsResponse{
-		Terms:      len(n.postings),
-		Docs:       len(n.docs) - n.tombstones,
-		Tombstones: n.tombstones,
+		Terms:       len(n.postings),
+		Docs:        len(n.docs) - n.tombstones,
+		Tombstones:  n.tombstones,
+		Epoch:       n.maxEpoch,
+		StableEpoch: n.compactedBelow.Load(),
+		FullSyncs:   n.fullSyncs.Load(),
 	}
 	for _, p := range n.postings {
 		s.Postings += p.Cardinality()
+	}
+	n.mu.RUnlock()
+	if n.primaryAddr != "" {
+		s.Role = roleReplica
+		s.StableEpoch = n.stableEpoch.Load()
+	}
+	n.subMu.Lock()
+	s.Subscribers = len(n.subs)
+	n.subMu.Unlock()
+	if n.wal != nil {
+		ws := n.wal.Stats()
+		s.WALBytes = ws.SizeBytes
+		s.WALSegments = ws.Segments
+		s.WALRecords = ws.Records
+		s.WALSyncs = ws.Syncs
+		s.WALLastSyncNS = int64(ws.LastSync)
 	}
 	return s
 }

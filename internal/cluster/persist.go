@@ -1,0 +1,201 @@
+package cluster
+
+// Node snapshot persistence: the compaction half of the durability
+// story. A snapshot captures the node's full shard state; the write-ahead
+// log segments sealed before the snapshot cut are then redundant and are
+// deleted. Recovery loads the snapshot and replays whatever segments
+// survive — epoch fencing makes the replay idempotent, so the crash
+// windows around a snapshot (after the seal but before the rename, or
+// after the rename but before the segment drop) both recover exactly.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"geodabs/internal/bitmap"
+)
+
+const (
+	// snapshotName is the snapshot file inside the node's WAL directory.
+	snapshotName = "node.snap"
+	// snapshotMagic ("GDNS" little-endian) and snapshotVersion frame the
+	// file so recovery rejects foreign or future formats outright.
+	snapshotMagic   uint32 = 0x534e4447
+	snapshotVersion        = 1
+)
+
+// nodeSnapshot is the gob payload of a snapshot file. It reuses the
+// replication full-sync doc shape — a snapshot and a full sync answer
+// the same question (the node's complete shard state) and are rebuilt by
+// the same installDocs.
+type nodeSnapshot struct {
+	Docs []syncDoc
+}
+
+// Snapshot persists the node's current state and truncates the log
+// segments it covers. The seal and the state copy happen under the
+// exclusive apply lock, so the snapshot holds exactly the mutations of
+// the sealed segments; the slow disk write happens after the lock is
+// released, concurrent with new mutations landing in the fresh segment.
+// No-op for nodes running without a write-ahead log.
+func (n *Node) Snapshot() error {
+	if n.wal == nil {
+		return nil
+	}
+	n.snapMu.Lock()
+	defer n.snapMu.Unlock()
+	n.applyMu.Lock()
+	boundary, err := n.wal.Seal()
+	if err != nil {
+		n.applyMu.Unlock()
+		return err
+	}
+	n.mu.RLock()
+	snap := nodeSnapshot{Docs: make([]syncDoc, 0, len(n.docs))}
+	for id, d := range n.docs {
+		snap.Docs = append(snap.Docs, syncDoc{ID: id, Terms: d.terms, Card: d.card, Epoch: d.epoch, Tombstone: d.terms == nil})
+	}
+	n.mu.RUnlock()
+	n.applyMu.Unlock()
+	if err := writeSnapshot(filepath.Join(n.walDir, snapshotName), &snap); err != nil {
+		return err
+	}
+	return n.wal.DropBefore(boundary)
+}
+
+// maybeSnapshot kicks off a background snapshot when the log has grown
+// past the configured threshold. Single flight: while one snapshot runs,
+// growth checks are no-ops.
+func (n *Node) maybeSnapshot() {
+	if n.wal == nil || n.snapshotBytes <= 0 {
+		return
+	}
+	if n.wal.Stats().SizeBytes < n.snapshotBytes {
+		return
+	}
+	if !n.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	n.snapWG.Add(1)
+	go func() {
+		defer n.snapWG.Done()
+		defer n.snapshotting.Store(false)
+		// Best effort: a failed background snapshot just leaves the log
+		// long; the next growth check or the final Close snapshot retries.
+		n.Snapshot()
+	}()
+}
+
+// writeSnapshot atomically replaces path with the encoded snapshot:
+// temp file in the same directory, fsync, rename, directory fsync. A
+// crash at any point leaves either the old snapshot or the new one,
+// never a torn mix.
+func writeSnapshot(path string, snap *nodeSnapshot) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return fmt.Errorf("cluster: encode snapshot: %w", err)
+	}
+	var hdr [13]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], snapshotMagic)
+	hdr[4] = snapshotVersion
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[9:13], crc32.Checksum(payload.Bytes(), crc32.MakeTable(crc32.Castagnoli)))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot temp: %w", err)
+	}
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload.Bytes())
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: install snapshot: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// loadSnapshot populates the node's in-memory state from the snapshot
+// file in dir, if one exists. Called once at startup, before the WAL
+// replay and before the listener exists, so no locking is needed.
+func (n *Node) loadSnapshot(dir string) error {
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: read snapshot: %w", err)
+	}
+	if len(raw) < 13 {
+		return fmt.Errorf("cluster: snapshot truncated (%d bytes)", len(raw))
+	}
+	if m := binary.LittleEndian.Uint32(raw[0:4]); m != snapshotMagic {
+		return fmt.Errorf("cluster: snapshot bad magic %#x", m)
+	}
+	if v := raw[4]; v != snapshotVersion {
+		return fmt.Errorf("cluster: snapshot version %d unsupported", v)
+	}
+	size := binary.LittleEndian.Uint32(raw[5:9])
+	sum := binary.LittleEndian.Uint32(raw[9:13])
+	payload := raw[13:]
+	if uint32(len(payload)) != size {
+		return fmt.Errorf("cluster: snapshot payload %d bytes, header says %d", len(payload), size)
+	}
+	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != sum {
+		return fmt.Errorf("cluster: snapshot CRC mismatch")
+	}
+	var snap nodeSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return fmt.Errorf("cluster: decode snapshot: %w", err)
+	}
+	n.installDocs(snap.Docs)
+	return nil
+}
+
+// installDocs rebuilds docs, postings, tombstone count, and max epoch
+// from a flat doc dump — shared by snapshot recovery and replica full
+// sync. The caller guarantees exclusive access to the node state.
+func (n *Node) installDocs(docs []syncDoc) {
+	n.postings = make(map[uint32]*bitmap.Bitmap)
+	n.docs = make(map[uint32]nodeDoc, len(docs))
+	n.tombstones = 0
+	n.maxEpoch = 0
+	for _, d := range docs {
+		if d.Epoch > n.maxEpoch {
+			n.maxEpoch = d.Epoch
+		}
+		if d.Tombstone {
+			n.docs[d.ID] = nodeDoc{epoch: d.Epoch}
+			n.tombstones++
+			continue
+		}
+		n.docs[d.ID] = nodeDoc{terms: d.Terms, card: d.Card, epoch: d.Epoch}
+		for _, term := range d.Terms {
+			p, ok := n.postings[term]
+			if !ok {
+				p = bitmap.New()
+				n.postings[term] = p
+			}
+			p.Add(d.ID)
+		}
+	}
+}

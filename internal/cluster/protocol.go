@@ -44,6 +44,30 @@ package cluster
 // summed count passes it. The bar therefore stays coordinator-side,
 // applied after the partials are merged.
 
+// Replication (opSync) breaks the request/response cadence on purpose:
+// a replica sends one opSync request and the primary answers with a
+// full-sync snapshot of its shard state (every doc with its terms,
+// replicated cardinality, epoch, and tombstone flag, plus the highest
+// compaction watermark the primary has proven complete), then keeps the
+// connection as a one-way push stream of replEvent values — every
+// mutation the primary applies after the snapshot cut, in apply order,
+// interleaved with heartbeats that carry the advancing watermark. Epoch
+// fencing makes the stream idempotent and order-insensitive per ID, so
+// a replica that reconnects and full-syncs again always converges. A
+// replica that falls behind the primary's event backlog is disconnected
+// and full-syncs afresh (the Redis replication shape).
+//
+// Replica reads stay consistent with the coordinator's snapshot
+// isolation through the watermark: a replica's state provably covers
+// every mutation at or below the highest watermark it has seen in the
+// stream (the coordinator only advances the watermark past an epoch
+// once every owning node acknowledged it, and the primary's stream is
+// in apply order). A query whose piggybacked CompactBelow — the
+// coordinator's search snapshot — exceeds that stable epoch is refused
+// with response.Stale instead of being answered wrong; the coordinator
+// falls back to the primary, whose next request also carries the
+// watermark forward and thereby un-stales the replica.
+
 // op discriminates request types.
 type op uint8
 
@@ -52,6 +76,7 @@ const (
 	opQuery
 	opStats
 	opDelete
+	opSync
 )
 
 // addRequest routes the terms a node owns for one trajectory. Epoch is
@@ -104,7 +129,65 @@ type queryResponse struct {
 	Pruned int
 }
 
-// statsResponse summarizes a node's shard contents.
+// syncRequest asks a primary for a full sync. The empty struct is a
+// placeholder for future options (e.g. incremental resume offsets).
+type syncRequest struct{}
+
+// syncDoc is one trajectory's shard state in a full-sync snapshot:
+// everything a replica needs to reconstruct the primary's docs and
+// postings for this node. Tombstones ship too — they fence stale
+// mutations on the replica exactly as on the primary.
+type syncDoc struct {
+	ID        uint32
+	Terms     []uint32
+	Card      int
+	Epoch     uint64
+	Tombstone bool
+}
+
+// syncResponse is the primary's full-sync answer: the complete shard
+// state at the snapshot cut plus the highest compaction watermark the
+// primary has seen — the replica's starting stable epoch. Every
+// mutation applied after the cut follows on the same connection as
+// replEvent values.
+type syncResponse struct {
+	Docs      []syncDoc
+	Watermark uint64
+}
+
+// replOp discriminates replication stream events.
+type replOp uint8
+
+const (
+	replAdd replOp = iota + 1
+	replDelete
+	replHeartbeat
+)
+
+// replEvent is one replication stream message: a mutation the primary
+// applied (replAdd/replDelete, carrying the same fields as the original
+// request), or a heartbeat. Watermark piggybacks the primary's highest
+// known compaction watermark: the replica's state provably covers every
+// mutation at or below it, so it gates replica reads.
+type replEvent struct {
+	Op        replOp
+	ID        uint32
+	Terms     []uint32
+	Card      int
+	Epoch     uint64
+	Watermark uint64
+}
+
+// nodeRole distinguishes primaries from read replicas in stats.
+type nodeRole uint8
+
+const (
+	rolePrimary nodeRole = iota
+	roleReplica
+)
+
+// statsResponse summarizes a node's shard contents, durability, and
+// replication state.
 type statsResponse struct {
 	Terms    int
 	Postings int
@@ -112,6 +195,26 @@ type statsResponse struct {
 	// Tombstones counts delete fences not yet reclaimed by compaction.
 	Docs       int
 	Tombstones int
+	// Role reports whether the node is a primary or a read replica.
+	// Epoch is the highest mutation epoch the node has applied;
+	// StableEpoch is the epoch through which its state is proven
+	// complete (the compaction watermark for a primary, the highest
+	// stream watermark for a replica) — the coordinator derives replica
+	// lag from it.
+	Role        nodeRole
+	Epoch       uint64
+	StableEpoch uint64
+	// WAL state (zero when the node runs without a write-ahead log).
+	WALBytes      int64
+	WALSegments   int
+	WALRecords    uint64
+	WALSyncs      uint64
+	WALLastSyncNS int64
+	// FullSyncs counts full syncs served (primary) or performed
+	// (replica); Subscribers is the number of replicas currently
+	// tailing this primary's stream.
+	FullSyncs   uint64
+	Subscribers int
 }
 
 // request is the envelope sent from coordinator to node. CompactBelow is
@@ -131,11 +234,17 @@ type request struct {
 	Add          *addRequest
 	Delete       *deleteRequest
 	Query        *queryRequest
+	Sync         *syncRequest
 }
 
 // response is the envelope sent back. Err is non-empty on failure.
+// Stale is a replica's typed refusal of a query whose snapshot epoch
+// exceeds the replica's stable epoch: not an error, but a signal for
+// the coordinator to read from the primary instead.
 type response struct {
 	Err   string
+	Stale bool
 	Query *queryResponse
 	Stats *statsResponse
+	Sync  *syncResponse
 }

@@ -89,6 +89,9 @@ type Metrics struct {
 
 	inFlight atomic.Int64
 	queued   atomic.Int64
+	// collector, when set, appends engine-specific exposition lines on
+	// every scrape (see SetCollector).
+	collector atomic.Pointer[func(w *strings.Builder)]
 	// shed counts requests refused with StatusOverloaded; draining those
 	// refused with StatusShuttingDown. Both are also visible in the
 	// per-op status counters; these totals make the load-shedding story
@@ -174,6 +177,24 @@ func (m *Metrics) writeTo(w *strings.Builder) {
 		fmt.Fprintf(w, "geodabsd_request_seconds_sum{op=%q} %g\n", op.String(), time.Duration(h.sumNS.Load()).Seconds())
 		fmt.Fprintf(w, "geodabsd_request_seconds_count{op=%q} %d\n", op.String(), cum)
 	}
+
+	if fn := m.collector.Load(); fn != nil {
+		(*fn)(w)
+	}
+}
+
+// SetCollector registers fn to append extra Prometheus exposition lines
+// at the end of every scrape — the hook cmd/geodabsd uses to export the
+// backing cluster's durability gauges (WAL size, fsync latency, replica
+// epoch lag) without the server package knowing the engine's shape. fn
+// runs on the scrape goroutine and must be safe for concurrent use; nil
+// removes the collector.
+func (m *Metrics) SetCollector(fn func(w *strings.Builder)) {
+	if fn == nil {
+		m.collector.Store(nil)
+		return
+	}
+	m.collector.Store(&fn)
 }
 
 // Handler returns the /metrics HTTP handler exposing the registry in the

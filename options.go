@@ -17,6 +17,10 @@ type Option func(*engineOptions) error
 type engineOptions struct {
 	retainPoints bool
 	connsPerNode int
+	readReplicas [][]string
+	readPref     ReadPreference
+	readPrefSet  bool
+	recoverDir   bool
 }
 
 func newEngineOptions(opts []Option) (engineOptions, error) {
@@ -56,10 +60,59 @@ func WithConnsPerNode(n int) Option {
 	}
 }
 
+// WithReadReplicas registers read replicas with a Cluster: replicas[i]
+// lists the addresses of node i's replicas (shard nodes started with
+// WithReplicaOf pointing at node i). The outer slice must have one entry
+// per cluster node; inner slices may be empty. Mutations always go to
+// primaries — replicas serve reads only, routed per WithReadPreference.
+func WithReadReplicas(replicas [][]string) Option {
+	return func(o *engineOptions) error {
+		if replicas == nil {
+			return errors.New("geodabs: WithReadReplicas(nil) — pass one (possibly empty) entry per node")
+		}
+		o.readReplicas = replicas
+		return nil
+	}
+}
+
+// WithReadPreference sets a Cluster's read routing policy: ReadPrimary
+// (the default) or ReadReplicas. It applies only to NewCluster.
+func WithReadPreference(p ReadPreference) Option {
+	return func(o *engineOptions) error {
+		if p != ReadPrimary && p != ReadReplicas {
+			return fmt.Errorf("geodabs: unknown ReadPreference %d", p)
+		}
+		o.readPref = p
+		o.readPrefSet = true
+		return nil
+	}
+}
+
+// WithDirectoryRecovery makes NewCluster rebuild its ranking directory
+// from the shard nodes' current state before serving — the restart path
+// for a coordinator fronting durable (WithWALDir) nodes. Retained points
+// are not recoverable, so exact re-ranking covers only trajectories
+// added after recovery.
+func WithDirectoryRecovery() Option {
+	return func(o *engineOptions) error {
+		o.recoverDir = true
+		return nil
+	}
+}
+
 // localOnly rejects cluster-only options on local index constructors.
 func (o engineOptions) localOnly() error {
 	if o.connsPerNode != 0 {
 		return errors.New("geodabs: WithConnsPerNode applies to clusters, not local indexes")
+	}
+	if o.readReplicas != nil {
+		return errors.New("geodabs: WithReadReplicas applies to clusters, not local indexes")
+	}
+	if o.readPrefSet {
+		return errors.New("geodabs: WithReadPreference applies to clusters, not local indexes")
+	}
+	if o.recoverDir {
+		return errors.New("geodabs: WithDirectoryRecovery applies to clusters, not local indexes")
 	}
 	return nil
 }

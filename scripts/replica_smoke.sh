@@ -1,0 +1,213 @@
+#!/usr/bin/env bash
+# Durability + replication smoke for geodabsd.
+#
+# Phase 1 — crash recovery: serve the embedded durable backend
+# (-wal-dir), ingest a dataset, capture query results, SIGKILL the
+# server mid-churn (no flush, no drain), restart it on the same WAL
+# directory, and assert the recovered server ranks the same results.
+#
+# Phase 2 — read replica: start a durable primary shard node and a
+# log-shipped read replica (geodabs serve -replica-of), front the
+# primary with two geodabsd instances — one routing reads to the
+# replica, one to the primary — wait for replica lag 0 on /metrics, and
+# assert both route byte-identical rankings.
+#
+# Usage: scripts/replica_smoke.sh
+#   RACE=1 scripts/replica_smoke.sh   # build everything with -race
+#
+# Exits non-zero with a FAIL line on the first broken step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  for log in "$TMP"/*.log; do
+    [ -f "$log" ] || continue
+    echo "--- $(basename "$log") ---" >&2
+    cat "$log" >&2
+  done
+  exit 1
+}
+
+# wait_line FILE SED_PATTERN PID — polls FILE until the sed pattern
+# extracts a non-empty line, echoing it; fails if PID exits first.
+wait_line() {
+  local file=$1 pat=$2 pid=$3 out=""
+  for _ in $(seq 1 150); do
+    out=$(sed -n "$pat" "$file" 2>/dev/null | head -1)
+    [ -n "$out" ] && { echo "$out"; return 0; }
+    kill -0 "$pid" 2>/dev/null || return 1
+    sleep 0.2
+  done
+  return 1
+}
+
+BUILD_FLAGS=()
+[ "${RACE:-0}" = "1" ] && BUILD_FLAGS+=(-race)
+
+echo "== build"
+go build "${BUILD_FLAGS[@]}" -o "$TMP/geodabs" ./cmd/geodabs
+go build "${BUILD_FLAGS[@]}" -o "$TMP/geodabsd" ./cmd/geodabsd
+
+echo "== dataset"
+"$TMP/geodabs" gen -out "$TMP/data" -routes 20 -per-direction 3 -seed 42
+TRAJS=$("$TMP/geodabs" stats -data "$TMP/data/dataset.bin" | sed -n 's/^trajectories: *//p')
+[ -n "$TRAJS" ] || fail "could not count dataset trajectories"
+
+# hits FILE strips everything but the ranked hit lines — the
+# deterministic part of remote-query output (timings vary run to run).
+hits() { grep -E '^[ 0-9]+\. trajectory' "$1" || true; }
+
+query_into() { # ADDR OUT — three held-out queries, ranked hits only
+  local addr=$1 out=$2 q
+  : >"$out"
+  for q in 0 1 2; do
+    "$TMP/geodabs" remote-query -addr "$addr" -queries "$TMP/data/queries.bin" \
+      -q "$q" -limit 5 >"$out.raw" || fail "remote-query -q $q against $addr"
+    hits "$out.raw" >>"$out"
+  done
+}
+
+echo "== phase 1: start durable geodabsd (-wal-dir)"
+start_durable() { # LOG — starts geodabsd on the WAL dir, sets SERVER_PID/ADDR
+  local log=$1
+  "$TMP/geodabsd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+    -wal-dir "$TMP/wal" -drain-timeout 10s >"$log" 2>&1 &
+  SERVER_PID=$!
+  PIDS+=("$SERVER_PID")
+  ADDR=$(wait_line "$log" 's/^geodabsd listening on //p' "$SERVER_PID") \
+    || fail "geodabsd (-wal-dir) never reported a listen address"
+  METRICS_URL=$(wait_line "$log" 's/^metrics on //p' "$SERVER_PID") \
+    || fail "geodabsd (-wal-dir) never reported a metrics address"
+}
+mkdir -p "$TMP/wal"
+start_durable "$TMP/durable1.log"
+echo "   serving on $ADDR"
+
+echo "== ingest + capture reference ranking"
+"$TMP/geodabs" remote-upsert -addr "$ADDR" -data "$TMP/data/dataset.bin" >/dev/null \
+  || fail "initial upsert"
+query_into "$ADDR" "$TMP/pre.hits"
+[ -s "$TMP/pre.hits" ] || fail "reference queries returned no hits"
+
+curl -sSf "$METRICS_URL" >"$TMP/m1.out"
+grep -q 'geodabsd_node_wal_bytes' "$TMP/m1.out" || fail "metrics missing WAL gauges"
+grep -q 'geodabsd_node_epoch' "$TMP/m1.out" || fail "metrics missing epoch gauge"
+
+echo "== SIGKILL mid-churn"
+# Churn: keep re-upserting the same dataset (same geometry, fresh
+# epochs) while the server is killed — recovery must land on a state
+# that ranks identically once any single torn upsert is healed.
+(
+  while :; do
+    "$TMP/geodabs" remote-upsert -addr "$ADDR" -data "$TMP/data/dataset.bin" || break
+  done
+) >/dev/null 2>&1 &
+CHURN_PID=$!
+PIDS+=("$CHURN_PID")
+sleep 1
+kill -9 "$SERVER_PID" || fail "could not SIGKILL geodabsd"
+wait "$SERVER_PID" 2>/dev/null || true
+kill "$CHURN_PID" 2>/dev/null || true
+wait "$CHURN_PID" 2>/dev/null || true
+
+echo "== restart from WAL"
+start_durable "$TMP/durable2.log"
+echo "   recovered on $ADDR"
+NODE_ADDR=$(sed -n 's/^serving embedded durable shard node \([^,]*\),.*/\1/p' "$TMP/durable2.log" | head -1)
+[ -n "$NODE_ADDR" ] || fail "restarted geodabsd never reported its node address"
+
+# The WAL must have carried the data through the kill: all trajectories
+# recovered except at most the single upsert torn mid-flight.
+DOCS=$("$TMP/geodabs" stats -nodes "$NODE_ADDR" | sed -n 's/.*postings=[0-9]* docs=\([0-9]*\).*/\1/p' | head -1)
+[ -n "$DOCS" ] || fail "could not read recovered doc count"
+[ "$DOCS" -ge $((TRAJS - 1)) ] \
+  || fail "recovered only $DOCS of $TRAJS trajectories from the WAL"
+echo "   $DOCS/$TRAJS trajectories recovered"
+
+# Heal the (at most one) torn upsert, then the ranking must match the
+# pre-kill reference byte for byte.
+"$TMP/geodabs" remote-upsert -addr "$ADDR" -data "$TMP/data/dataset.bin" >/dev/null \
+  || fail "heal upsert after restart"
+query_into "$ADDR" "$TMP/post.hits"
+diff -u "$TMP/pre.hits" "$TMP/post.hits" \
+  || fail "post-restart ranking differs from pre-kill reference"
+kill -TERM "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+echo "   rankings match"
+
+echo "== phase 2: primary + read replica pair"
+"$TMP/geodabs" serve -addr 127.0.0.1:0 -wal-dir "$TMP/primary-wal" \
+  >"$TMP/primary.log" 2>&1 &
+PRIMARY_PID=$!
+PIDS+=("$PRIMARY_PID")
+PRIMARY=$(wait_line "$TMP/primary.log" 's/^durable shard node listening on \([^,]*\),.*/\1/p' "$PRIMARY_PID") \
+  || fail "primary shard node never reported its address"
+
+"$TMP/geodabs" serve -addr 127.0.0.1:0 -replica-of "$PRIMARY" \
+  >"$TMP/replica.log" 2>&1 &
+REPLICA_PID=$!
+PIDS+=("$REPLICA_PID")
+REPLICA=$(wait_line "$TMP/replica.log" 's/^read replica of .* listening on //p' "$REPLICA_PID") \
+  || fail "replica shard node never reported its address"
+REPLICA=${REPLICA% (ctrl-c to stop)}
+echo "   primary $PRIMARY, replica $REPLICA"
+
+# Two fronts over the same primary: one reads from the replica set, the
+# control reads from the primary.
+"$TMP/geodabsd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+  -nodes "$PRIMARY" -replicas "$REPLICA" -read-from replicas \
+  >"$TMP/front-replica.log" 2>&1 &
+FRONT_R_PID=$!
+PIDS+=("$FRONT_R_PID")
+FRONT_R=$(wait_line "$TMP/front-replica.log" 's/^geodabsd listening on //p' "$FRONT_R_PID") \
+  || fail "replica-routed geodabsd never reported a listen address"
+FRONT_R_METRICS=$(wait_line "$TMP/front-replica.log" 's/^metrics on //p' "$FRONT_R_PID") \
+  || fail "replica-routed geodabsd never reported a metrics address"
+
+echo "== ingest through the replica-routed front"
+"$TMP/geodabs" remote-upsert -addr "$FRONT_R" -data "$TMP/data/dataset.bin" >/dev/null \
+  || fail "upsert through replica-routed front"
+
+# The control front starts after the ingest, so it must rebuild its
+# coordinator directory from the primary's durable state to rank
+# anything at all — the -recover-directory restart path.
+"$TMP/geodabsd" -addr 127.0.0.1:0 -nodes "$PRIMARY" -recover-directory \
+  >"$TMP/front-primary.log" 2>&1 &
+FRONT_P_PID=$!
+PIDS+=("$FRONT_P_PID")
+FRONT_P=$(wait_line "$TMP/front-primary.log" 's/^geodabsd listening on //p' "$FRONT_P_PID") \
+  || fail "primary-routed geodabsd never reported a listen address"
+
+echo "== wait for replica lag 0"
+LAG_OK=""
+for _ in $(seq 1 150); do
+  if curl -sSf "$FRONT_R_METRICS" 2>/dev/null \
+      | grep -E "^geodabsd_replica_epoch_lag\{" | grep -q ' 0$'; then
+    LAG_OK=1
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$LAG_OK" ] || fail "replica never reached epoch lag 0"
+
+echo "== compare replica-routed vs primary-routed rankings"
+query_into "$FRONT_R" "$TMP/replica.hits"
+query_into "$FRONT_P" "$TMP/primary.hits"
+[ -s "$TMP/replica.hits" ] || fail "replica-routed queries returned no hits"
+diff -u "$TMP/primary.hits" "$TMP/replica.hits" \
+  || fail "replica-routed ranking differs from primary-routed"
+echo "   rankings match"
+
+echo "PASS: replica smoke"
