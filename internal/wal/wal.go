@@ -17,8 +17,10 @@
 // record's CRC. A record that fails the check — or runs past the end of
 // the file — in the final segment is a torn tail from a crash mid-write:
 // the segment is truncated to the last good record and the log continues
-// from there. A bad record in any earlier segment is real corruption and
-// fails Open. Replay streams the surviving records to the caller in
+// from there. A final segment shorter than its header (a crash between
+// segment creation and the header fsync) holds no records and is deleted
+// and recreated. A bad record in any earlier segment is real corruption
+// and fails Open. Replay streams the surviving records to the caller in
 // append order; the node's epoch fencing makes re-applying records that
 // a snapshot already covers a no-op, so replay never needs to know where
 // the snapshot cut off.
@@ -157,6 +159,16 @@ type segmentInfo struct {
 	bytes int64
 }
 
+// segmentFile is what the writer needs from the active segment. It is an
+// *os.File in production; tests substitute fault-injecting wrappers to
+// exercise the torn-write recovery paths.
+type segmentFile interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
 // Log is a write-ahead mutation log over a directory of segment files.
 // Append is safe for concurrent use; Seal, DropBefore, Replay, Stats and
 // Close may run concurrently with appends.
@@ -170,9 +182,15 @@ type Log struct {
 	// under stopped coordination in Seal/Close).
 	mu       sync.Mutex // guards the fields below and file rotation
 	segments []segmentInfo
-	active   *os.File
+	active   segmentFile
 	activeSz int64
 	unsynced int // records written but not yet fsynced
+	// failed latches the log unusable after an error that leaves on-disk
+	// state unreconcilable with the in-memory ledger (a torn write that
+	// could not be truncated away, or a failed fsync — the kernel may
+	// already have dropped the dirty pages, so retrying cannot restore
+	// durability). Every subsequent Append is rejected with it.
+	failed error
 
 	records  atomic.Uint64
 	syncs    atomic.Uint64
@@ -224,12 +242,28 @@ func Open(dir string, opts Options) (*Log, error) {
 		if err != nil {
 			return nil, err
 		}
+		if last && size < segmentHdrSize {
+			// A crash between segment creation and the header fsync left
+			// the final segment without a complete header, so it provably
+			// holds no records. It cannot be reused as-is: appends would
+			// land in a headerless file the next Open rejects wholesale.
+			// Delete it; the fresh-segment path below recreates it.
+			if err := os.Remove(l.segmentPath(seq)); err != nil {
+				return nil, fmt.Errorf("wal: remove headerless segment %s: %w", segmentName(seq), err)
+			}
+			continue
+		}
 		l.segments = append(l.segments, segmentInfo{seq: seq, bytes: size})
 		l.records.Add(n)
 	}
-	// Open (or create) the active segment: the last existing one, or the
-	// first of a fresh log.
+	// Open (or create) the active segment: the last surviving one, or a
+	// fresh segment — at the deleted headerless tail's own sequence, so
+	// sequence numbers never move backwards across restarts, or at 1 for
+	// a brand-new log.
 	var seq uint64 = 1
+	if n := len(seqs); n > 0 {
+		seq = seqs[n-1]
+	}
 	if n := len(l.segments); n > 0 {
 		seq = l.segments[n-1].seq
 		f, err := os.OpenFile(l.segmentPath(seq), os.O_WRONLY|os.O_APPEND, 0o644)
@@ -255,7 +289,11 @@ func (l *Log) segmentPath(seq uint64) string {
 // openFreshSegment creates segment seq with its header and makes it the
 // active segment. Callers must ensure no active segment is open.
 func (l *Log) openFreshSegment(seq uint64) error {
-	f, err := os.OpenFile(l.segmentPath(seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	// O_APPEND (matching the reopen path in Open) keeps every write at
+	// the true EOF even after a torn write is truncated away — without
+	// it the file offset would sit past EOF and the next write would
+	// leave a zero-filled hole recovery reads as a torn tail.
+	f, err := os.OpenFile(l.segmentPath(seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -426,7 +464,9 @@ func decodeRecord(p []byte) (*Record, error) {
 	}
 	count := v
 	p = p[n:]
-	if count > maxRecordBytes { // a term costs ≥1 byte; reject absurd counts
+	// A term delta costs at least one byte, so a count beyond the bytes
+	// remaining is corrupt — reject before allocating from it.
+	if count > uint64(len(p)) {
 		return nil, errors.New("implausible term count")
 	}
 	r.Terms = make([]uint32, 0, count)
@@ -521,14 +561,11 @@ func (l *Log) Append(recs ...Record) error {
 	case <-l.closing:
 		return ErrClosed
 	}
-	select {
-	case err := <-req.done:
-		return err
-	case <-l.closing:
-		// The writer drains in-flight requests before exiting on Close,
-		// so a closed signal here means Kill: durability is unknowable.
-		return ErrClosed
-	}
+	// Once the request is accepted, the writer guarantees exactly one ack
+	// on done — a commit result, or ErrClosed from the Kill drain — so
+	// block on it alone: racing l.closing here could report ErrClosed for
+	// a record that committed durably.
+	return <-req.done
 }
 
 // writeLoop is the single goroutine that owns the active segment: it
@@ -580,7 +617,7 @@ func (l *Log) writeLoop() {
 // commit writes one batch, syncs it per policy, and acks every append.
 func (l *Log) commit(batch []appendReq) {
 	l.mu.Lock()
-	var err error
+	err := l.failed
 	var n int
 	var frame [recordHdrSize]byte
 	for _, req := range batch {
@@ -603,15 +640,29 @@ func (l *Log) commit(batch []appendReq) {
 			n++
 		}
 	}
+	// Records fully written before a failure stay in the log (their
+	// callers see the error, but at-least-once is fine — epoch fencing
+	// makes re-application a no-op), so they still need syncing and
+	// counting.
+	l.unsynced += n
+	l.records.Add(uint64(n))
 	if err == nil {
-		l.unsynced += n
 		if l.opts.SyncEvery == 1 || l.unsynced >= l.opts.SyncEvery {
 			err = l.syncLocked()
 		}
-		l.records.Add(uint64(n))
-	}
-	if err == nil && l.activeSz >= l.opts.SegmentBytes {
-		err = l.rollLocked()
+		if err == nil && l.activeSz >= l.opts.SegmentBytes {
+			err = l.rollLocked()
+		}
+	} else if l.failed == nil {
+		// A partial record write (e.g. ENOSPC mid-payload) leaves torn
+		// frame bytes past activeSz; later appends written after them
+		// would be unreachable to recovery, which stops scanning at the
+		// torn record. Cut the file back to the last good boundary; if
+		// even that fails, latch the log failed so no later append can
+		// land beyond bytes we cannot account for.
+		if terr := l.active.Truncate(l.activeSz); terr != nil {
+			l.failed = fmt.Errorf("wal: failed (torn write not truncatable: %v): %w", terr, err)
+		}
 	}
 	l.mu.Unlock()
 	for _, req := range batch {
@@ -619,14 +670,19 @@ func (l *Log) commit(batch []appendReq) {
 	}
 }
 
-// syncLocked fsyncs the active segment. Callers hold l.mu.
+// syncLocked fsyncs the active segment, latching the log failed if the
+// fsync fails. Callers hold l.mu.
 func (l *Log) syncLocked() error {
+	if l.failed != nil {
+		return l.failed
+	}
 	if l.unsynced == 0 {
 		return nil
 	}
 	start := time.Now()
 	if err := l.active.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		l.failed = fmt.Errorf("wal: fsync: %w", err)
+		return l.failed
 	}
 	l.lastSync.Store(int64(time.Since(start)))
 	l.syncs.Add(1)

@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"encoding/binary"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -342,6 +344,215 @@ func TestStats(t *testing.T) {
 	}
 	if fi.Size() != st.SizeBytes {
 		t.Fatalf("SizeBytes = %d, file is %d", st.SizeBytes, fi.Size())
+	}
+}
+
+// TestHeaderlessTailSegmentDiscarded: a crash between segment creation
+// and the header fsync leaves a final segment shorter than its header.
+// Open must not reuse it as-is — appends would land in a headerless file
+// the next Open rejects wholesale, losing acked records. It holds no
+// records, so Open deletes and recreates it.
+func TestHeaderlessTailSegmentDiscarded(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		hdr     []byte
+		prelude int // records appended (and expected to survive) before the crash artifact
+	}{
+		{"empty-only-segment", nil, 0},
+		{"partial-header-only-segment", []byte{0x47, 0x44}, 0},
+		{"empty-after-sealed", nil, 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			var want []Record
+			crashSeq := uint64(1)
+			if tc.prelude > 0 {
+				l, err := Open(dir, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < tc.prelude; i++ {
+					r := Record{Op: OpDelete, Epoch: uint64(i + 1), ID: uint32(i)}
+					want = append(want, r)
+					if err := l.Append(r); err != nil {
+						t.Fatal(err)
+					}
+				}
+				l.Close()
+				crashSeq = 2
+			}
+			if err := os.WriteFile(filepath.Join(dir, segmentName(crashSeq)), tc.hdr, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("Open with headerless tail: %v", err)
+			}
+			extra := Record{Op: OpDelete, Epoch: 999, ID: 42}
+			want = append(want, extra)
+			if err := l.Append(extra); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			// The acked record must survive another Open — the pre-fix
+			// failure mode was a headerless active segment whose records
+			// the next Open silently discarded before Replay failed.
+			if got := collect(t, dir, Options{}); !reflect.DeepEqual(got, want) {
+				t.Fatalf("replay after headerless-tail recovery: got %d records, want %d", len(got), len(want))
+			}
+		})
+	}
+}
+
+// flakySegment wraps the active segment file, failing operations on
+// demand to exercise the writer's error recovery.
+type flakySegment struct {
+	segmentFile
+	failWriteAfter int  // fail the write once this many more bytes have been written
+	partialBytes   int  // bytes of the failing write that still reach the file
+	armed          bool // one-shot write failure pending
+	failTruncate   bool
+	failSync       bool
+}
+
+var errInjected = errors.New("injected fault")
+
+func (f *flakySegment) Write(p []byte) (int, error) {
+	if f.armed {
+		if len(p) <= f.failWriteAfter {
+			f.failWriteAfter -= len(p)
+			return f.segmentFile.Write(p)
+		}
+		f.armed = false
+		n, _ := f.segmentFile.Write(p[:f.failWriteAfter+f.partialBytes])
+		return n, errInjected
+	}
+	return f.segmentFile.Write(p)
+}
+
+func (f *flakySegment) Truncate(size int64) error {
+	if f.failTruncate {
+		return errInjected
+	}
+	return f.segmentFile.Truncate(size)
+}
+
+func (f *flakySegment) Sync() error {
+	if f.failSync {
+		return errInjected
+	}
+	return f.segmentFile.Sync()
+}
+
+// inject swaps the log's active segment for a flaky wrapper.
+func inject(l *Log, mutate func(*flakySegment)) {
+	l.mu.Lock()
+	fs := &flakySegment{segmentFile: l.active}
+	mutate(fs)
+	l.active = fs
+	l.mu.Unlock()
+}
+
+// TestTornWriteTruncated: a write that fails mid-payload (ENOSPC shape)
+// leaves torn frame bytes in the active segment. The writer must cut
+// them off before accepting more appends — otherwise recovery stops at
+// the torn record and silently drops every later acked, fsynced record.
+func TestTornWriteTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 5; i++ {
+		r := Record{Op: OpAdd, Epoch: uint64(i + 1), ID: uint32(i), Card: 3, Terms: []uint32{1, 5, 9}}
+		want = append(want, r)
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fail the next record's payload write after the frame header plus
+	// two payload bytes have reached the file.
+	inject(l, func(fs *flakySegment) {
+		fs.armed = true
+		fs.failWriteAfter = recordHdrSize
+		fs.partialBytes = 2
+	})
+	if err := l.Append(Record{Op: OpAdd, Epoch: 6, ID: 6, Card: 3, Terms: []uint32{2, 4, 6}}); err == nil {
+		t.Fatal("Append with injected write fault succeeded")
+	}
+	// The log stays usable, and the post-failure append must survive
+	// recovery — it would be unreachable behind the torn frame otherwise.
+	extra := Record{Op: OpDelete, Epoch: 7, ID: 7}
+	want = append(want, extra)
+	if err := l.Append(extra); err != nil {
+		t.Fatalf("Append after torn write: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := collect(t, dir, Options{}); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay after torn write: got %d records, want %d", len(got), len(want))
+	}
+}
+
+// TestUntruncatableTornWriteLatchesFailure: if the post-error truncate
+// also fails, the on-disk tail no longer matches the ledger and nothing
+// more may be appended — the log must latch failed and reject every
+// subsequent Append rather than write past bytes it cannot account for.
+func TestUntruncatableTornWriteLatchesFailure(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject(l, func(fs *flakySegment) {
+		fs.armed = true
+		fs.partialBytes = 2
+		fs.failTruncate = true
+	})
+	if err := l.Append(Record{Op: OpDelete, Epoch: 1, ID: 1}); err == nil {
+		t.Fatal("Append with injected write fault succeeded")
+	}
+	if err := l.Append(Record{Op: OpDelete, Epoch: 2, ID: 2}); err == nil {
+		t.Fatal("Append on a latched-failed log succeeded")
+	}
+	l.Close()
+}
+
+// TestSyncErrorLatchesFailure: after a failed fsync the kernel may have
+// dropped the dirty pages, so durability of everything unsynced is
+// unknowable — the log must reject further appends instead of acking
+// records whose predecessors may be gone.
+func TestSyncErrorLatchesFailure(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject(l, func(fs *flakySegment) { fs.failSync = true })
+	if err := l.Append(Record{Op: OpDelete, Epoch: 1, ID: 1}); err == nil {
+		t.Fatal("Append with failing fsync succeeded")
+	}
+	if err := l.Append(Record{Op: OpDelete, Epoch: 2, ID: 2}); err == nil {
+		t.Fatal("Append on a latched-failed log succeeded")
+	}
+	l.Close()
+}
+
+// TestCorruptTermCountRejectedCheaply: a corrupt add record claiming an
+// enormous term count must be rejected by bounds-checking against the
+// payload size, not by attempting a giant allocation during scan.
+func TestCorruptTermCountRejectedCheaply(t *testing.T) {
+	payload := encodeRecord(&Record{Op: OpAdd, Epoch: 1, ID: 1, Card: 1, Terms: []uint32{1}})
+	// Rewrite the term-count varint (last two fields are count=1, delta).
+	payload = payload[:len(payload)-2]
+	payload = binary.AppendUvarint(payload, maxRecordBytes-1)
+	if _, err := decodeRecord(payload); err == nil {
+		t.Fatal("decodeRecord accepted a term count far beyond the payload size")
 	}
 }
 
