@@ -385,6 +385,30 @@ func BenchmarkSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchSharded measures the ranked search through the
+// in-process sharded engine (4 shards): the same counting merge per
+// shard, fanned out in parallel and merged through one Ranker. On a
+// single core the fan-out adds goroutine overhead over BenchmarkSearch;
+// on multi-core machines the per-shard merges overlap. Rankings are
+// byte-identical either way (TestShardedMatchesInverted).
+func BenchmarkSearchSharded(b *testing.B) {
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig(), geodabs.WithShards(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := idx.AddAll(benchWorkload().Dataset, 8); err != nil {
+		b.Fatal(err)
+	}
+	q := benchWorkload().Queries[0]
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Search(ctx, q, geodabs.WithMaxDistance(1), geodabs.WithLimit(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSearchPrepared measures the same ranked search over a
 // prepared *Query: extraction is cached inside the value, so an
 // iteration pays only the counting-merge core plus option resolution.

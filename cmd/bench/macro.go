@@ -1,0 +1,485 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/core"
+	"geodabs/internal/gen"
+	"geodabs/internal/index"
+	"geodabs/internal/roadnet"
+	"geodabs/internal/trajectory"
+)
+
+// The macro benchmark is the scale proof the micro-benches cannot give:
+// it ingests on the order of a million synthetic trajectories (chunked
+// generation on one city graph, so memory holds the indexes rather than
+// the raw dataset) into the in-process sharded engine and the flat
+// single-lock engine, checks their rankings stay byte-identical on the
+// live corpus, measures ingest throughput, closed-loop search qps and
+// p50/p99 latency at several operating points, RSS, and a v3 snapshot
+// write — and anchors everything with a brute-force linear-scan baseline
+// (full-corpus bitmap Jaccard per query), the geo-index-rtree
+// comparison-table idiom, for the speedup_vs_brute headline.
+
+type macroSearchResult struct {
+	Engine      string  `json:"engine"`
+	MaxDistance float64 `json:"max_distance"`
+	KNN         int     `json:"knn"`
+	Workers     int     `json:"workers"`
+	Requests    int     `json:"requests"`
+	QPS         float64 `json:"qps"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+type macroIngestResult struct {
+	Engine     string  `json:"engine"`
+	Shards     int     `json:"shards"`
+	Trajs      int     `json:"trajectories"`
+	Seconds    float64 `json:"seconds"`
+	TrajPerSec float64 `json:"traj_per_sec"`
+}
+
+type macroBruteResult struct {
+	Queries int     `json:"queries"`
+	AvgMS   float64 `json:"avg_ms"`
+	QPS     float64 `json:"qps"`
+}
+
+type macroMemory struct {
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
+	VmRSSBytes     int64  `json:"vm_rss_bytes"`
+}
+
+type macroReport struct {
+	Workload string `json:"workload"`
+
+	Trajectories int   `json:"trajectories"`
+	TotalPoints  int64 `json:"total_points"`
+	QueryPool    int   `json:"query_pool"`
+	Shards       int   `json:"shards"`
+
+	Ingest []macroIngestResult `json:"ingest"`
+	Search []macroSearchResult `json:"search"`
+	Brute  macroBruteResult    `json:"brute_force"`
+
+	// SpeedupVsBrute is the headline: sharded single-worker qps at the
+	// widest operating point over the brute-force linear scan's qps.
+	SpeedupVsBrute float64 `json:"speedup_vs_brute"`
+	// ShardedVsSingleQPS compares sharded to the flat engine at the same
+	// operating point (multi-worker where it exists): > 1 means the
+	// fan-out won, ≈ 1 is the expected single-core result.
+	ShardedVsSingleQPS float64 `json:"sharded_vs_single_qps"`
+
+	// Parity records the byte-identical check between the two engines on
+	// the live corpus ("ok: N queries" or a failure is fatal before the
+	// report is written).
+	Parity string `json:"parity"`
+
+	// Memory is sampled after both engines are built (both resident, so
+	// roughly twice a production footprint of one engine).
+	Memory            macroMemory `json:"memory_after_ingest"`
+	SnapshotV3Bytes   int64       `json:"snapshot_v3_bytes"`
+	SnapshotV3Seconds float64     `json:"snapshot_v3_seconds"`
+}
+
+// macroChunk is one generated slice of the corpus: trajectory IDs are
+// reassigned to a global offset so chunks cannot collide.
+func macroChunk(city *roadnet.Graph, chunkIdx int, routes, perDirection, queriesPerRoute int) (*trajectory.Dataset, []*trajectory.Trajectory, error) {
+	cfg := gen.DefaultConfig()
+	cfg.Routes = routes
+	cfg.TrajectoriesPerDirection = perDirection
+	cfg.QueriesPerRoute = queriesPerRoute
+	cfg.MinRouteMeters = 1000 // ~100-point trajectories: a dense urban corpus that fits 1M in memory
+	cfg.Seed = int64(1000 + chunkIdx)
+	out, err := gen.Generate(city, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.Dataset, out.Queries, nil
+}
+
+func runMacro(n, shards, queryPool int, pointDur time.Duration) macroReport {
+	gomax := runtime.GOMAXPROCS(0)
+	if shards <= 0 {
+		// Default the shard count to at least 2 so the fan-out machinery is
+		// genuinely exercised even on a single-core box (where a GOMAXPROCS
+		// default would collapse to the flat engine).
+		shards = 2
+		for shards < gomax {
+			shards <<= 1
+		}
+	}
+	ctx := context.Background()
+	cf := core.MustFingerprinter(core.DefaultConfig())
+	ex := index.GeodabExtractor{Fingerprinter: cf}
+	sharded := index.NewSharded(ex, shards)
+	single := index.NewInverted(ex)
+	log.Printf("macro: target %d trajectories, %d shards, GOMAXPROCS=%d", n, sharded.NumShards(), gomax)
+
+	city, err := roadnet.GenerateCity(roadnet.CityConfig{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Chunked generate-and-ingest: each chunk is generated once, pushed
+	// through both engines' AddAll (so each ingest number includes the
+	// fingerprint extraction it would pay in production), then dropped.
+	const chunkRoutes, perDirection = 128, 10
+	chunkSize := chunkRoutes * 2 * perDirection
+	var (
+		queries      []*trajectory.Trajectory
+		total        int
+		totalPoints  int64
+		genSeconds   float64
+		shardedSecs  float64
+		singleSecs   float64
+		workers      = gomax
+		chunkIdx     int
+		logEvery     = 1
+		nextLogCount = 0
+	)
+	if workers < 2 {
+		workers = 2 // overlap extraction with insertion even on one core
+	}
+	for total < n {
+		t0 := time.Now()
+		queriesPerRoute := 0
+		if chunkIdx == 0 {
+			queriesPerRoute = (queryPool + chunkRoutes - 1) / chunkRoutes
+		}
+		chunk, held, err := macroChunk(city, chunkIdx, chunkRoutes, perDirection, queriesPerRoute)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if chunkIdx == 0 {
+			queries = held
+			if len(queries) > queryPool {
+				queries = queries[:queryPool]
+			}
+		}
+		// Rebase IDs onto the global sequence; sequential IDs are the
+		// adversarial case for naive placement, which the hash handles.
+		if len(chunk.Trajectories) > n-total {
+			chunk.Trajectories = chunk.Trajectories[:n-total]
+		}
+		for i, tr := range chunk.Trajectories {
+			tr.ID = trajectory.ID(total + i)
+			totalPoints += int64(len(tr.Points))
+		}
+		genSeconds += time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		if err := sharded.AddAll(ctx, chunk, workers); err != nil {
+			log.Fatal(err)
+		}
+		shardedSecs += time.Since(t0).Seconds()
+		t0 = time.Now()
+		if err := single.AddAll(ctx, chunk, workers); err != nil {
+			log.Fatal(err)
+		}
+		singleSecs += time.Since(t0).Seconds()
+		total += len(chunk.Trajectories)
+		chunkIdx++
+		if total >= nextLogCount {
+			log.Printf("macro: ingested %d/%d (gen %.0fs, sharded %.0fs, single %.0fs)",
+				total, n, genSeconds, shardedSecs, singleSecs)
+			logEvery *= 2
+			nextLogCount = total + chunkSize*logEvery
+		}
+	}
+	if len(queries) == 0 {
+		log.Fatal("macro: no held-out queries generated")
+	}
+	log.Printf("macro: corpus built — %d trajectories, %d points, %d queries", total, totalPoints, len(queries))
+
+	// Pre-extract the query fingerprint sets once: the search loops below
+	// measure the engines' ranked retrieval, the prepared-query steady
+	// state of a production workload.
+	querySets := make([]*bitmap.Bitmap, len(queries))
+	for i, q := range queries {
+		querySets[i] = cf.FingerprintSet(q.Points)
+	}
+
+	// Parity: the tentpole contract on the live corpus. Byte-identical or
+	// the run dies before writing a report.
+	parityQueries := len(querySets)
+	if parityQueries > 32 {
+		parityQueries = 32
+	}
+	for i := 0; i < parityQueries; i++ {
+		for _, op := range []struct {
+			d float64
+			k int
+		}{{1, 10}, {0.5, 10}} {
+			a, _, err := sharded.SearchFingerprints(ctx, querySets[i], op.d, op.k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			b, _, err := single.SearchFingerprints(ctx, querySets[i], op.d, op.k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(a) != len(b) {
+				log.Fatalf("macro: parity failure on query %d (d=%.1f): %d vs %d hits", i, op.d, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					log.Fatalf("macro: parity failure on query %d (d=%.1f) hit %d: %+v vs %+v", i, op.d, j, a[j], b[j])
+				}
+			}
+		}
+	}
+	parity := fmt.Sprintf("ok: %d queries x 2 operating points byte-identical", parityQueries)
+	log.Printf("macro: parity %s", parity)
+
+	mem := sampleMemory()
+	log.Printf("macro: memory heap_inuse=%dMB sys=%dMB vmrss=%dMB",
+		mem.HeapInuseBytes>>20, mem.SysBytes>>20, mem.VmRSSBytes>>20)
+
+	ingest := []macroIngestResult{
+		{Engine: "sharded", Shards: sharded.NumShards(), Trajs: total,
+			Seconds: shardedSecs, TrajPerSec: float64(total) / shardedSecs},
+		{Engine: "single", Shards: 1, Trajs: total,
+			Seconds: singleSecs, TrajPerSec: float64(total) / singleSecs},
+	}
+	for _, r := range ingest {
+		log.Printf("macro: ingest %-8s %8.0f traj/s (%.1fs)", r.Engine, r.TrajPerSec, r.Seconds)
+	}
+
+	// Closed-loop search at the operating-point grid. Worker counts cover
+	// the single-caller latency view and a saturating concurrent load.
+	workerPoints := []int{1, gomax}
+	if gomax == 1 {
+		workerPoints = []int{1, 4} // still measure concurrent callers queuing on one core
+	}
+	var search []macroSearchResult
+	engines := []struct {
+		name string
+		eng  index.Engine
+	}{{"sharded", sharded}, {"single", single}}
+	for _, e := range engines {
+		for _, op := range []struct {
+			d float64
+			k int
+		}{{1, 10}, {0.5, 10}} {
+			for _, w := range workerPoints {
+				r := runMacroSearch(ctx, e.eng, querySets, op.d, op.k, w, pointDur)
+				r.Engine = e.name
+				search = append(search, r)
+				log.Printf("macro: search %-8s d=%.1f k=%d w=%-2d %8.0f qps  p50=%.3fms p99=%.3fms",
+					e.name, op.d, op.k, w, r.QPS, r.P50MS, r.P99MS)
+			}
+		}
+	}
+
+	// Brute force: full-corpus linear scan per query, Jaccard on every
+	// document bitmap, ranked through the shared sort contract. This is
+	// the PostGIS-table-scan analogue anchoring the speedup headline.
+	bruteQueries := len(querySets)
+	if bruteQueries > 8 {
+		bruteQueries = 8
+	}
+	t0 := time.Now()
+	for i := 0; i < bruteQueries; i++ {
+		got := bruteForceScan(single, querySets[i], 1, 10)
+		want, _, err := sharded.SearchFingerprints(ctx, querySets[i], 1, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(got) != len(want) {
+			log.Fatalf("macro: brute-force mismatch on query %d: %d vs %d hits", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				log.Fatalf("macro: brute-force mismatch on query %d hit %d: %+v vs %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+	bruteElapsed := time.Since(t0)
+	brute := macroBruteResult{
+		Queries: bruteQueries,
+		AvgMS:   bruteElapsed.Seconds() * 1000 / float64(bruteQueries),
+		QPS:     float64(bruteQueries) / bruteElapsed.Seconds(),
+	}
+	log.Printf("macro: brute force %d queries, avg %.1fms (%.2f qps)", brute.Queries, brute.AvgMS, brute.QPS)
+
+	// Snapshot the sharded corpus (v3) to a byte-counting sink: the
+	// durability cost of the scale corpus without touching disk.
+	t0 = time.Now()
+	snapBytes, err := sharded.WriteTo(countingDiscard{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snapSecs := time.Since(t0).Seconds()
+	log.Printf("macro: v3 snapshot %d bytes in %.1fs", snapBytes, snapSecs)
+
+	findQPS := func(engine string, d float64, w int) float64 {
+		for _, r := range search {
+			if r.Engine == engine && r.MaxDistance == d && r.Workers == w {
+				return r.QPS
+			}
+		}
+		return 0
+	}
+	concurrent := workerPoints[len(workerPoints)-1]
+	rep := macroReport{
+		Workload: fmt.Sprintf("synthetic city seed 7, chunked %d-route x %d/direction generation, 1km+ routes, default fingerprint config",
+			chunkRoutes, perDirection),
+		Trajectories:       total,
+		TotalPoints:        totalPoints,
+		QueryPool:          len(querySets),
+		Shards:             sharded.NumShards(),
+		Ingest:             ingest,
+		Search:             search,
+		Brute:              brute,
+		SpeedupVsBrute:     findQPS("sharded", 1, 1) / brute.QPS,
+		ShardedVsSingleQPS: findQPS("sharded", 1, concurrent) / findQPS("single", 1, concurrent),
+		Parity:             parity,
+		Memory:             mem,
+		SnapshotV3Bytes:    snapBytes,
+		SnapshotV3Seconds:  snapSecs,
+	}
+	log.Printf("macro: speedup_vs_brute %.0fx, sharded_vs_single %.2fx (w=%d)",
+		rep.SpeedupVsBrute, rep.ShardedVsSingleQPS, concurrent)
+	return rep
+}
+
+// runMacroSearch drives one engine closed-loop from w workers for
+// roughly dur, cycling the query pool, and reports throughput and
+// latency quantiles.
+func runMacroSearch(ctx context.Context, eng index.Engine, querySets []*bitmap.Bitmap, maxDistance float64, knn, w int, dur time.Duration) macroSearchResult {
+	var mu sync.Mutex
+	var lats []time.Duration
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			var local []time.Duration
+			dst := make([]index.Result, 0, knn)
+			for qi := seed; time.Now().Before(deadline); qi++ {
+				set := querySets[qi%len(querySets)]
+				t0 := time.Now()
+				out, _, err := eng.AppendSearchSet(ctx, dst[:0], set, set.Cardinality(), maxDistance, knn)
+				if err != nil {
+					log.Fatal(err)
+				}
+				local = append(local, time.Since(t0))
+				dst = out[:0]
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	quantile := func(q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return float64(lats[int(q*float64(len(lats)-1))].Microseconds()) / 1000
+	}
+	return macroSearchResult{
+		MaxDistance: maxDistance,
+		KNN:         knn,
+		Workers:     w,
+		Requests:    len(lats),
+		QPS:         float64(len(lats)) / elapsed.Seconds(),
+		P50MS:       quantile(0.50),
+		P99MS:       quantile(0.99),
+	}
+}
+
+// bruteForceScan is the baseline: walk every indexed document, compute
+// the exact Jaccard distance from the cached cardinality and a full
+// bitmap intersection, rank through the shared contract. No postings, no
+// counting merge, no pruning — what retrieval costs without the index.
+func bruteForceScan(eng index.Engine, set *bitmap.Bitmap, maxDistance float64, limit int) []index.Result {
+	qc := set.Cardinality()
+	var results []index.Result
+	eng.ScanDocs(func(id trajectory.ID, doc *bitmap.Bitmap, card int) bool {
+		shared := bitmap.AndCardinality(set, doc)
+		if shared == 0 {
+			return true
+		}
+		union := qc + card - shared
+		d := 1.0
+		if union > 0 {
+			d = 1 - float64(shared)/float64(union)
+		}
+		if d <= maxDistance {
+			results = append(results, index.Result{ID: id, Distance: d, Shared: shared})
+		}
+		return true
+	})
+	index.SortResults(results)
+	if limit > 0 && len(results) > limit {
+		results = results[:limit]
+	}
+	return results
+}
+
+// sampleMemory reads the Go heap gauges and the OS-observed RSS.
+func sampleMemory() macroMemory {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return macroMemory{
+		HeapInuseBytes: ms.HeapInuse,
+		SysBytes:       ms.Sys,
+		VmRSSBytes:     readVmRSS(),
+	}
+}
+
+// readVmRSS parses VmRSS from /proc/self/status; -1 when unavailable
+// (non-Linux platforms).
+func readVmRSS() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return -1
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return -1
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return -1
+		}
+		return kb << 10
+	}
+	return -1
+}
+
+// countingDiscard is an io.Writer sink: the snapshot benchmark measures
+// serialization, not disk.
+type countingDiscard struct{}
+
+func (countingDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+var _ io.Writer = countingDiscard{}

@@ -15,12 +15,21 @@
 // batched group-commit default, quantifying what durability costs and
 // what group commit buys back.
 //
+// Since issue 8 the -macro mode is the scale proof: it ingests on the
+// order of a million synthetic trajectories into the in-process sharded
+// engine and the flat single-lock engine, verifies their rankings stay
+// byte-identical, and reports ingest throughput, closed-loop search qps
+// with p50/p99 latency, RSS, and a brute-force linear-scan baseline for
+// the speedup headline (see macro.go).
+//
 // Regenerate the committed snapshot with:
 //
-//	go run ./cmd/bench -out BENCH_7.json
+//	go run ./cmd/bench -macro -out BENCH_8.json
 //
-// The workload is deterministic (seeded synthetic city, 50 routes), so
-// ns/op moves only with the hardware and the code.
+// (-macro appends the million-trajectory section to the same report;
+// without it only the micro benches run). The workload is deterministic
+// (seeded synthetic city), so the numbers move only with the hardware
+// and the code.
 package main
 
 import (
@@ -125,11 +134,19 @@ type report struct {
 	ClusterPruning         []clusterPruningStats `json:"cluster_pruning"`
 	Served                 []servedResult        `json:"served"`
 	DurableWrites          []durableWriteResult  `json:"durable_writes"`
+	// Macro is the million-trajectory sharded-engine section, present when
+	// the run was invoked with -macro (see macro.go).
+	Macro *macroReport `json:"macro,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	out := flag.String("out", "BENCH_8.json", "output JSON path")
 	servedDur := flag.Duration("served-duration", 1500*time.Millisecond, "duration of each served-workload operating point")
+	macro := flag.Bool("macro", false, "also run the million-trajectory macro benchmark")
+	macroN := flag.Int("n", 1_000_000, "macro: number of trajectories to ingest")
+	macroShards := flag.Int("macro-shards", 0, "macro: shard count (0 = power of two from GOMAXPROCS, min 2)")
+	macroDur := flag.Duration("macro-duration", 3*time.Second, "macro: duration of each search operating point")
+	macroQueries := flag.Int("macro-queries", 64, "macro: held-out query pool size")
 	flag.Parse()
 
 	city, err := roadnet.GenerateCity(roadnet.CityConfig{Seed: 7})
@@ -412,8 +429,8 @@ func main() {
 	}
 
 	rep := report{
-		Issue:                  7,
-		Regenerate:             "go run ./cmd/bench -out BENCH_7.json",
+		Issue:                  8,
+		Regenerate:             "go run ./cmd/bench -macro -out BENCH_8.json",
 		GoVersion:              runtime.Version(),
 		GOMAXPROCS:             runtime.GOMAXPROCS(0),
 		Workload:               "synthetic city seed 7, 50 routes, default fingerprint config",
@@ -427,15 +444,25 @@ func main() {
 	}
 	fmt.Printf("prepared speedup: search %.2fx, cluster %.2fx\n",
 		rep.PreparedSpeedupSearch, rep.PreparedSpeedupCluster)
+
+	if *macro {
+		m := runMacro(*macroN, *macroShards, *macroQueries, *macroDur)
+		rep.Macro = &m
+	}
+	writeReport(rep, *out)
+}
+
+// writeReport marshals rep to indented JSON and writes it to path.
+func writeReport(rep report, path string) {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", path)
 }
 
 // runDurableWrites ingests trajs from 8 concurrent writers through a

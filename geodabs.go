@@ -73,6 +73,7 @@ package geodabs
 import (
 	"context"
 	"io"
+	"runtime"
 
 	"geodabs/internal/bitmap"
 	"geodabs/internal/core"
@@ -133,8 +134,14 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // caller's backing array, not a copy) so searches can refine candidates
 // with WithExactRerank. Retention is off by default — rerank-free
 // workloads no longer pay the pinned point memory.
+//
+// With WithShards(n), the index is split into n in-process shards (own
+// locks, own posting lists) whose searches fan out in parallel and whose
+// mutations stop contending — rankings stay byte-identical to the
+// unsharded engine. The default WithShards(0) sizes the shard count from
+// GOMAXPROCS, so a single-core process keeps the unsharded engine.
 type Index struct {
-	inv *index.Inverted
+	eng index.Engine
 }
 
 // NewIndex returns an empty geodab index.
@@ -169,12 +176,21 @@ func newIndex(ex index.Extractor, opts []Option) (*Index, error) {
 	if o.retainPoints {
 		invOpts = append(invOpts, index.RetainPoints())
 	}
-	return &Index{inv: index.NewInverted(ex, invOpts...)}, nil
+	shards := o.shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards == 1 {
+		// One shard is exactly the unsharded engine; keep it, so single-core
+		// processes also keep the v2 snapshot format.
+		return &Index{eng: index.NewInverted(ex, invOpts...)}, nil
+	}
+	return &Index{eng: index.NewSharded(ex, shards, invOpts...)}, nil
 }
 
 // Add fingerprints and indexes a trajectory. IDs must be unique; use
 // Upsert to replace an indexed trajectory in place.
-func (ix *Index) Add(t *Trajectory) error { return ix.inv.Add(t) }
+func (ix *Index) Add(t *Trajectory) error { return ix.eng.Add(t) }
 
 // AddAll indexes a whole dataset, fingerprinting on the given number of
 // parallel workers. It fails fast — the first error stops job dispatch —
@@ -182,14 +198,14 @@ func (ix *Index) Add(t *Trajectory) error { return ix.inv.Add(t) }
 // are removed again, so the same dataset can be retried after fixing the
 // cause.
 func (ix *Index) AddAll(d *Dataset, workers int) error {
-	return ix.inv.AddAll(context.Background(), d, workers)
+	return ix.eng.AddAll(context.Background(), d, workers)
 }
 
 // AddAllContext is AddAll honoring cancellation and deadlines: a
 // cancelled ctx stops dispatching fingerprint jobs, rolls back this
 // call's insertions, and returns the context's error.
 func (ix *Index) AddAllContext(ctx context.Context, d *Dataset, workers int) error {
-	return ix.inv.AddAll(ctx, d, workers)
+	return ix.eng.AddAll(ctx, d, workers)
 }
 
 // Query returns the indexed trajectories within Jaccard distance
@@ -207,7 +223,7 @@ func (ix *Index) AddAllContext(ctx context.Context, d *Dataset, workers int) err
 // since Jaccard distances never exceed 1) maps to WithMaxDistance(1) or
 // to omitting WithMaxDistance.
 func (ix *Index) Query(q *Trajectory, maxDistance float64, limit int) []Result {
-	return ix.inv.Query(q, maxDistance, limit)
+	return ix.eng.Query(q, maxDistance, limit)
 }
 
 // DiscardPoints releases the raw point sequences retained for exact
@@ -219,25 +235,25 @@ func (ix *Index) Query(q *Trajectory, maxDistance float64, limit int) []Result {
 // without WithPointRetention never pins point memory, making the
 // all-or-nothing release unnecessary. DiscardPoints remains for
 // retaining indexes that want to drop their points mid-lifetime.
-func (ix *Index) DiscardPoints() { ix.inv.DiscardPoints() }
+func (ix *Index) DiscardPoints() { ix.eng.DiscardPoints() }
 
 // Len returns the number of indexed trajectories.
-func (ix *Index) Len() int { return ix.inv.Len() }
+func (ix *Index) Len() int { return ix.eng.Len() }
 
 // Stats summarizes the index composition.
-func (ix *Index) Stats() index.Stats { return ix.inv.Stats() }
+func (ix *Index) Stats() index.Stats { return ix.eng.Stats() }
 
 // WriteTo snapshots the index's fingerprint sets (raw points are not part
 // of the snapshot). It implements io.WriterTo. Load snapshots with
 // ReadIndex (or ReadFrom on an index built with the same configuration).
-func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.inv.WriteTo(w) }
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.eng.WriteTo(w) }
 
 // ReadFrom loads a snapshot written by WriteTo into the receiver,
 // replacing its contents. The receiver must have been constructed with
 // the same configuration (and index flavor) that built the snapshot —
 // the snapshot stores fingerprints, not the fingerprinting parameters.
 // It implements io.ReaderFrom.
-func (ix *Index) ReadFrom(r io.Reader) (int64, error) { return ix.inv.ReadFrom(r) }
+func (ix *Index) ReadFrom(r io.Reader) (int64, error) { return ix.eng.ReadFrom(r) }
 
 // ReadIndex loads a geodab index snapshot written by Index.WriteTo. The
 // configuration must be the one the snapshot was built with. A loaded

@@ -17,11 +17,39 @@
 // the full-sort contract: distance ascending, ID tiebreak. The same
 // Ranker drives the cluster coordinator, so local and distributed
 // rankings cannot drift.
+//
+// # Sharding
+//
+// Two engines implement the Engine surface: Inverted, a single structure
+// behind one RWMutex, and Sharded (sharded.go), which partitions the
+// documents across a power-of-two number of independent Inverted shards
+// by a hash of the trajectory ID. Every trajectory lives wholly in one
+// shard — its postings, cached cardinality and retained points included —
+// so a mutation takes exactly one shard's write lock (mutations on
+// different shards stop contending) and stays atomic with respect to
+// searches exactly as on Inverted.
+//
+// A Sharded search fans out across the shards in parallel: each shard
+// runs the same counting merge (or wide-query fallback) it would run
+// standalone, pre-filters its candidates with the static threshold
+// bounds (the CardinalityWindow and the shared-count bar at the query's
+// distance cutoff — the exact bounds the Ranker starts from, so nothing
+// a full search would keep is lost), and hands back (id, cardinality,
+// shared-count) partials. A coordinator-style merge then ranks all
+// partials through one Ranker — the in-process mirror of the cluster's
+// scatter-gather, with no serialization and no wire. Rankings are
+// byte-identical to Inverted's: the shards see disjoint documents with
+// their full term sets, so the merged candidate multiset equals the
+// single-structure one, and the strict (distance, ID) total order makes
+// the final top-k independent of arrival order. Differential and fuzz
+// tests (sharded_diff_test.go) pin this across shard counts and both
+// query paths.
 package index
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 
 	"geodabs/internal/bitmap"
@@ -96,6 +124,42 @@ func hashCell(h geohash.Hash) uint32 {
 	v *= prime32
 	return v
 }
+
+// Engine is the full local-index surface, implemented by both Inverted
+// (one structure, one lock) and Sharded (hash-partitioned shards with
+// parallel intra-query fan-out). The two return byte-identical rankings;
+// they differ only in concurrency behavior and snapshot format (Inverted
+// writes version 2, Sharded version 3 — both read versions 1 through 3).
+type Engine interface {
+	Add(t *trajectory.Trajectory) error
+	AddFingerprints(id trajectory.ID, set *bitmap.Bitmap) error
+	AddAll(ctx context.Context, d *trajectory.Dataset, workers int) error
+	Delete(id trajectory.ID) bool
+	Upsert(t *trajectory.Trajectory)
+	DeleteAll(ctx context.Context, ids []trajectory.ID) (int, error)
+	Epoch() uint64
+	Extractor() Extractor
+	Len() int
+	Stats() Stats
+	Fingerprints(id trajectory.ID) *bitmap.Bitmap
+	PointsOf(id trajectory.ID) []geo.Point
+	DiscardPoints()
+	ScanDocs(f func(id trajectory.ID, set *bitmap.Bitmap, card int) bool)
+	Query(q *trajectory.Trajectory, maxDistance float64, limit int) []Result
+	QueryFingerprints(set *bitmap.Bitmap, maxDistance float64, limit int) []Result
+	Search(ctx context.Context, q *trajectory.Trajectory, maxDistance float64, limit int) ([]Result, SearchStats, error)
+	SearchFingerprints(ctx context.Context, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, SearchStats, error)
+	AppendSearchFingerprints(ctx context.Context, dst []Result, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, SearchStats, error)
+	AppendSearchSet(ctx context.Context, dst []Result, set *bitmap.Bitmap, qc int, maxDistance float64, limit int) ([]Result, SearchStats, error)
+	io.WriterTo
+	io.ReaderFrom
+}
+
+// Compile-time proof that both engines present the one surface.
+var (
+	_ Engine = (*Inverted)(nil)
+	_ Engine = (*Sharded)(nil)
+)
 
 // Result is one ranked retrieval hit.
 type Result struct {
@@ -214,6 +278,28 @@ func (ix *Inverted) insertLocked(id trajectory.ID, set *bitmap.Bitmap, pts []geo
 // again, so the caller can retry the same dataset after fixing the
 // cause.
 func (ix *Inverted) AddAll(ctx context.Context, d *trajectory.Dataset, workers int) error {
+	return ingestAll(ctx, d, workers, ix.ex.Extract, ix.insert, func(inserted []trajectory.ID) {
+		// Roll back this call's insertions so a retry starts clean, under
+		// one write-lock acquisition instead of re-locking per ID.
+		ix.mu.Lock()
+		for _, id := range inserted {
+			ix.deleteLocked(id)
+		}
+		ix.mu.Unlock()
+	})
+}
+
+// ingestAll is the parallel-extraction ingest pipeline shared by
+// Inverted.AddAll and Sharded.AddAll: workers fingerprint trajectories
+// concurrently, insert applies each extraction (routing to a shard on the
+// sharded engine), and the pipeline fails fast — the first insertion
+// error or cancellation stops job dispatch, in-flight extractions are
+// drained, and rollback receives the IDs this call had inserted so the
+// whole ingest stays all-or-nothing.
+func ingestAll(ctx context.Context, d *trajectory.Dataset, workers int,
+	extract func([]geo.Point) *bitmap.Bitmap,
+	insert func(trajectory.ID, *bitmap.Bitmap, []geo.Point) error,
+	rollback func([]trajectory.ID)) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -246,7 +332,7 @@ func (ix *Inverted) AddAll(ctx context.Context, d *trajectory.Dataset, workers i
 			defer wg.Done()
 			for t := range jobs {
 				select {
-				case results <- extracted{id: t.ID, set: ix.ex.Extract(t.Points), pts: t.Points}:
+				case results <- extracted{id: t.ID, set: extract(t.Points), pts: t.Points}:
 				case <-ctx.Done():
 					return
 				}
@@ -266,7 +352,7 @@ func (ix *Inverted) AddAll(ctx context.Context, d *trajectory.Dataset, workers i
 		if firstErr != nil {
 			continue // dispatch is already cancelled; drain in-flight work
 		}
-		if err := ix.insert(r.id, r.set, r.pts); err != nil {
+		if err := insert(r.id, r.set, r.pts); err != nil {
 			firstErr = err
 			cancel()
 		} else {
@@ -277,13 +363,7 @@ func (ix *Inverted) AddAll(ctx context.Context, d *trajectory.Dataset, workers i
 		firstErr = ctx.Err()
 	}
 	if firstErr != nil {
-		// Roll back this call's insertions so a retry starts clean, under
-		// one write-lock acquisition instead of re-locking per ID.
-		ix.mu.Lock()
-		for _, id := range inserted {
-			ix.deleteLocked(id)
-		}
-		ix.mu.Unlock()
+		rollback(inserted)
 	}
 	return firstErr
 }
@@ -327,11 +407,16 @@ func (ix *Inverted) deleteLocked(id trajectory.ID) bool {
 // under the write lock: a concurrent search observes either the old or
 // the new version in full, never a mixture.
 func (ix *Inverted) Upsert(t *trajectory.Trajectory) {
-	set := ix.ex.Extract(t.Points)
+	ix.upsertSet(t.ID, ix.ex.Extract(t.Points), t.Points)
+}
+
+// upsertSet applies an upsert with an already-extracted fingerprint set,
+// so the sharded engine can extract once and route to the owning shard.
+func (ix *Inverted) upsertSet(id trajectory.ID, set *bitmap.Bitmap, pts []geo.Point) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.deleteLocked(t.ID)
-	ix.insertLocked(t.ID, set, t.Points)
+	ix.deleteLocked(id)
+	ix.insertLocked(id, set, pts)
 }
 
 // DeleteAll deletes a batch of IDs under a single write-lock acquisition
@@ -403,6 +488,21 @@ func (ix *Inverted) DiscardPoints() {
 	ix.points = make(map[trajectory.ID][]geo.Point)
 }
 
+// ScanDocs visits every indexed trajectory with its fingerprint set and
+// cached cardinality, under the read lock, until f returns false. The
+// visit order is unspecified. The set must not be mutated; brute-force
+// baselines and diagnostics use this to walk the corpus without copying
+// it.
+func (ix *Inverted) ScanDocs(f func(id trajectory.ID, set *bitmap.Bitmap, card int) bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for id, set := range ix.docs {
+		if !f(id, set, ix.cards[id]) {
+			return
+		}
+	}
+}
+
 // Query returns the trajectories whose Jaccard distance to q is at most
 // maxDistance, ordered by increasing distance (ties by ID for
 // determinism), truncated to limit results (limit ≤ 0 means no limit).
@@ -427,13 +527,17 @@ type Stats struct {
 	// BitmapBytes estimates the memory held by posting and document
 	// bitmaps.
 	BitmapBytes int
+	// Shards is the number of in-process shards (1 for Inverted). On a
+	// Sharded index, Terms counts per-shard term entries, so a term whose
+	// documents span shards is counted once per shard.
+	Shards int
 }
 
 // Stats computes summary statistics; it is linear in the index size.
 func (ix *Inverted) Stats() Stats {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	s := Stats{Trajectories: len(ix.docs), Terms: len(ix.postings)}
+	s := Stats{Trajectories: len(ix.docs), Terms: len(ix.postings), Shards: 1}
 	for _, p := range ix.postings {
 		s.Postings += p.Cardinality()
 		s.BitmapBytes += p.SizeInBytes()

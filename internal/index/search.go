@@ -359,6 +359,111 @@ func (ix *Inverted) AppendSearchSet(ctx context.Context, dst []Result, set *bitm
 	return dst, stats, nil
 }
 
+// shardPartial is one surviving candidate from a shard-local counting
+// merge: enough for the coordinating Ranker to score it without touching
+// the shard again. It is the in-process analogue of the wire partials the
+// cluster's shard nodes ship, minus gob and the network.
+type shardPartial struct {
+	id           trajectory.ID
+	card, shared int
+}
+
+// appendSearchPartials runs the shard-local half of a fanned-out search:
+// the counting merge (or the wide-query union fallback) over this shard's
+// postings, followed by the *static* threshold bounds — the cardinality
+// window [minCard, maxCard] and the shared-count bar at similarity
+// 1 − maxDistance, both with one count of slack. Survivors are appended
+// to dst as (id, card, shared) triples for the coordinating Ranker.
+//
+// Only static bounds are applied here: the Ranker's rising top-k bar
+// tightens monotonically from the static bar, so every candidate pruned
+// shard-side is one the Ranker would prune anyway, and rankings stay
+// byte-identical to the single-shard engine. candidates and pruned feed
+// the aggregated SearchStats.
+func (ix *Inverted) appendSearchPartials(ctx context.Context, dst []shardPartial, set *bitmap.Bitmap, qc int, maxDistance float64) (partials []shardPartial, candidates, pruned int, err error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if qc == 0 {
+		return dst, 0, 0, nil
+	}
+	sim := 1 - maxDistance
+	if sim < 0 {
+		sim = 0
+	}
+	minCard, maxCard := cardinalityWindow(sim, qc)
+	consider := func(id trajectory.ID, card, shared int) {
+		if !InWindow(card, minCard, maxCard) {
+			pruned++
+			return
+		}
+		if sim > 0 && float64(shared+1)*(1+sim) < sim*float64(qc+card) {
+			pruned++
+			return
+		}
+		dst = append(dst, shardPartial{id: id, card: card, shared: shared})
+	}
+
+	if qc > math.MaxUint16 {
+		// Wide-query fallback, mirroring searchUnionLocked: the counter's
+		// 16-bit counts could wrap, so materialize the union and intersect
+		// per candidate.
+		union := bitmap.New()
+		set.Iterate(func(term uint32) bool {
+			if p, ok := ix.postings[term]; ok {
+				union.OrInPlace(p)
+			}
+			return true
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, err
+		}
+		candidates = union.Cardinality()
+		ranked := 0
+		cancelled := false
+		union.Iterate(func(idBits uint32) bool {
+			if ranked++; ranked%1024 == 0 && ctx.Err() != nil {
+				cancelled = true
+				return false
+			}
+			id := trajectory.ID(idBits)
+			consider(id, ix.cards[id], bitmap.AndCardinality(set, ix.docs[id]))
+			return true
+		})
+		if cancelled {
+			return nil, candidates, pruned, ctx.Err()
+		}
+		return dst, candidates, pruned, nil
+	}
+
+	sc := getSearchScratch()
+	defer sc.release()
+	it := set.Iterator()
+	for {
+		n := it.NextMany(sc.terms)
+		if n == 0 {
+			break
+		}
+		for _, term := range sc.terms[:n] {
+			if p, ok := ix.postings[term]; ok {
+				sc.counter.Add(p)
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, 0, 0, ctx.Err()
+		}
+	}
+	cands := sc.counter.Candidates()
+	candidates = len(cands)
+	for i, v := range cands {
+		if i%1024 == 1023 && ctx.Err() != nil {
+			return nil, candidates, pruned, ctx.Err()
+		}
+		id := trajectory.ID(v)
+		consider(id, ix.cards[id], sc.counter.Count(v))
+	}
+	return dst, candidates, pruned, nil
+}
+
 // searchUnionLocked is the pre-counting document-at-a-time path, kept as
 // the fallback for queries whose term count exceeds the counter's 16-bit
 // range: materialize the candidate union, intersect per candidate. It

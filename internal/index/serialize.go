@@ -14,12 +14,19 @@ import (
 // Index snapshot format (little endian):
 //
 //	magic   uint32  "GDIX" (0x58494447)
-//	version uint8   2
-//	docs    uint32
-//	epoch   uint64  (version ≥ 2)
-//	per document:
-//	  id    uint32
-//	  fingerprint set (bitmap serialization)
+//	version uint8   2 (Inverted) or 3 (Sharded)
+//	version ≤ 2 body:
+//	  docs    uint32
+//	  epoch   uint64  (version 2 only)
+//	  per document:
+//	    id    uint32
+//	    fingerprint set (bitmap serialization)
+//	version 3 body:
+//	  shards  uint32
+//	  per shard:
+//	    docs  uint32
+//	    epoch uint64
+//	    per document: id uint32 + fingerprint set
 //
 // Posting lists are not stored: they are the exact inverse of the document
 // sets and are rebuilt on load, which halves the snapshot size and cannot
@@ -27,10 +34,20 @@ import (
 // memory), so a mutated index round-trips as exactly its live documents;
 // the mutation epoch is persisted so snapshot lineages of a mutated index
 // stay ordered. Version 1 snapshots (pre-mutation-API) load with epoch 0.
+//
+// Both engines read every version and rebalance as needed: Inverted
+// flattens a v3 snapshot into its single structure (epoch = sum of shard
+// epochs); Sharded re-places every document by its ID hash, so a v2
+// snapshot — or a v3 snapshot written with a different shard count —
+// loads into the receiver's own layout, with the total epoch carried on
+// shard 0. Placement is a pure function of (ID, shard count), so a
+// duplicated ID always collides in its target shard and is rejected
+// exactly as on the flat path.
 const (
 	indexMagic      = 0x58494447
 	indexVersion    = 2
 	indexVersionV1  = 1
+	indexVersionV3  = 3
 	indexHeaderSize = 9
 )
 
@@ -73,55 +90,23 @@ func (ix *Inverted) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// ReadFrom loads a snapshot written by WriteTo into the receiver,
-// replacing its contents and rebuilding the posting lists. It implements
-// io.ReaderFrom.
+// ReadFrom loads a snapshot of any version into the receiver, replacing
+// its contents and rebuilding the posting lists; a v3 (sharded) snapshot
+// is flattened, its total epoch preserved. It implements io.ReaderFrom.
 func (ix *Inverted) ReadFrom(r io.Reader) (int64, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var n int64
-	readErr := func(err error) (int64, error) {
-		return n, fmt.Errorf("index: read: %w", err)
-	}
-	hdr := make([]byte, indexHeaderSize)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return readErr(err)
-	}
-	n += int64(len(hdr))
-	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != indexMagic {
-		return n, fmt.Errorf("index: bad magic %#x", m)
-	}
-	if hdr[4] != indexVersion && hdr[4] != indexVersionV1 {
-		return n, fmt.Errorf("index: unsupported version %d", hdr[4])
-	}
-	count := binary.LittleEndian.Uint32(hdr[5:9])
-	var epoch uint64
-	if hdr[4] >= indexVersion {
-		var epochBuf [8]byte
-		if _, err := io.ReadFull(br, epochBuf[:]); err != nil {
-			return readErr(err)
-		}
-		n += 8
-		epoch = binary.LittleEndian.Uint64(epochBuf[:])
-	}
-
-	docs := make(map[trajectory.ID]*bitmap.Bitmap, count)
-	cards := make(map[trajectory.ID]int, count)
+	var docs map[trajectory.ID]*bitmap.Bitmap
+	var cards map[trajectory.ID]int
 	postings := make(map[uint32]*bitmap.Bitmap)
-	var idBuf [4]byte
-	for i := uint32(0); i < count; i++ {
-		if _, err := io.ReadFull(br, idBuf[:]); err != nil {
-			return readErr(err)
+	epoch, n, err := readSnapshotDocs(r, func(count uint32) {
+		// v3 snapshots hint once per shard section; size on the first hint
+		// and let the maps grow through the rest.
+		if docs == nil {
+			docs = make(map[trajectory.ID]*bitmap.Bitmap, count)
+			cards = make(map[trajectory.ID]int, count)
 		}
-		n += 4
-		id := trajectory.ID(binary.LittleEndian.Uint32(idBuf[:]))
+	}, func(id trajectory.ID, set *bitmap.Bitmap) error {
 		if _, dup := docs[id]; dup {
-			return n, fmt.Errorf("index: duplicate trajectory %d in snapshot", id)
-		}
-		set := bitmap.New()
-		m, err := set.ReadFrom(br)
-		n += m
-		if err != nil {
-			return readErr(err)
+			return fmt.Errorf("index: duplicate trajectory %d in snapshot", id)
 		}
 		docs[id] = set
 		cards[id] = set.Cardinality()
@@ -134,6 +119,14 @@ func (ix *Inverted) ReadFrom(r io.Reader) (int64, error) {
 			p.Add(uint32(id))
 			return true
 		})
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	if docs == nil { // empty snapshot: no sizeHint call reached us
+		docs = make(map[trajectory.ID]*bitmap.Bitmap)
+		cards = make(map[trajectory.ID]int)
 	}
 	ix.mu.Lock()
 	ix.docs = docs
@@ -144,5 +137,194 @@ func (ix *Inverted) ReadFrom(r io.Reader) (int64, error) {
 	// fingerprint-ranked searches but cannot exactly re-rank.
 	ix.points = make(map[trajectory.ID][]geo.Point)
 	ix.mu.Unlock()
+	return n, nil
+}
+
+// readSnapshotDocs parses a snapshot of any version, invoking sizeHint
+// with the total document count (v1/v2) or each shard section's count
+// (v3) before its documents stream, and emit once per document. It
+// returns the snapshot's total mutation epoch (summed across v3 shard
+// sections) and the bytes consumed. An error returned by emit aborts the
+// parse and is returned verbatim.
+func readSnapshotDocs(r io.Reader, sizeHint func(count uint32), emit func(id trajectory.ID, set *bitmap.Bitmap) error) (epoch uint64, n int64, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	readErr := func(err error) (uint64, int64, error) {
+		return 0, n, fmt.Errorf("index: read: %w", err)
+	}
+	hdr := make([]byte, indexHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return readErr(err)
+	}
+	n += int64(len(hdr))
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != indexMagic {
+		return 0, n, fmt.Errorf("index: bad magic %#x", m)
+	}
+	version := hdr[4]
+	readDocs := func(count uint32) error {
+		sizeHint(count)
+		var idBuf [4]byte
+		for i := uint32(0); i < count; i++ {
+			if _, err := io.ReadFull(br, idBuf[:]); err != nil {
+				return fmt.Errorf("index: read: %w", err)
+			}
+			n += 4
+			id := trajectory.ID(binary.LittleEndian.Uint32(idBuf[:]))
+			set := bitmap.New()
+			m, err := set.ReadFrom(br)
+			n += m
+			if err != nil {
+				return fmt.Errorf("index: read: %w", err)
+			}
+			if err := emit(id, set); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch version {
+	case indexVersionV1, indexVersion:
+		count := binary.LittleEndian.Uint32(hdr[5:9])
+		if version == indexVersion {
+			var epochBuf [8]byte
+			if _, err := io.ReadFull(br, epochBuf[:]); err != nil {
+				return readErr(err)
+			}
+			n += 8
+			epoch = binary.LittleEndian.Uint64(epochBuf[:])
+		}
+		if err := readDocs(count); err != nil {
+			return 0, n, err
+		}
+	case indexVersionV3:
+		shards := binary.LittleEndian.Uint32(hdr[5:9])
+		if shards == 0 {
+			return 0, n, fmt.Errorf("index: snapshot declares zero shards")
+		}
+		var shHdr [12]byte
+		for s := uint32(0); s < shards; s++ {
+			if _, err := io.ReadFull(br, shHdr[:]); err != nil {
+				return readErr(err)
+			}
+			n += int64(len(shHdr))
+			count := binary.LittleEndian.Uint32(shHdr[0:4])
+			epoch += binary.LittleEndian.Uint64(shHdr[4:12])
+			if err := readDocs(count); err != nil {
+				return 0, n, err
+			}
+		}
+	default:
+		return 0, n, fmt.Errorf("index: unsupported version %d", version)
+	}
+	return epoch, n, nil
+}
+
+// WriteTo snapshots the sharded index in format v3: one section per
+// shard, each carrying its document count, epoch and documents. All
+// shard read locks are taken up front so the snapshot is a consistent
+// cut — safe against deadlock because mutations never hold more than one
+// shard lock. It implements io.WriterTo.
+func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.RUnlock()
+		}
+	}()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	writeErr := func(err error) (int64, error) {
+		return n, fmt.Errorf("index: write: %w", err)
+	}
+	hdr := make([]byte, indexHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], indexMagic)
+	hdr[4] = indexVersionV3
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(s.shards)))
+	if _, err := bw.Write(hdr); err != nil {
+		return writeErr(err)
+	}
+	n += int64(len(hdr))
+	var shHdr [12]byte
+	var idBuf [4]byte
+	for _, sh := range s.shards {
+		binary.LittleEndian.PutUint32(shHdr[0:4], uint32(len(sh.docs)))
+		binary.LittleEndian.PutUint64(shHdr[4:12], sh.epoch)
+		if _, err := bw.Write(shHdr[:]); err != nil {
+			return writeErr(err)
+		}
+		n += int64(len(shHdr))
+		for id, set := range sh.docs {
+			binary.LittleEndian.PutUint32(idBuf[:], uint32(id))
+			if _, err := bw.Write(idBuf[:]); err != nil {
+				return writeErr(err)
+			}
+			n += 4
+			m, err := set.WriteTo(bw)
+			n += m
+			if err != nil {
+				return writeErr(err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return writeErr(err)
+	}
+	return n, nil
+}
+
+// ReadFrom loads a snapshot of any version into the sharded index,
+// replacing its contents. Every document is re-placed by its ID hash, so
+// v1/v2 snapshots and v3 snapshots written with a different shard count
+// rebalance into the receiver's layout. The snapshot's total epoch is
+// carried on shard 0 (the sum across shards — the engine's Epoch — is
+// what is preserved, and it stays monotone). It implements io.ReaderFrom.
+func (s *Sharded) ReadFrom(r io.Reader) (int64, error) {
+	type shardState struct {
+		docs     map[trajectory.ID]*bitmap.Bitmap
+		cards    map[trajectory.ID]int
+		postings map[uint32]*bitmap.Bitmap
+	}
+	states := make([]shardState, len(s.shards))
+	for i := range states {
+		states[i] = shardState{
+			docs:     make(map[trajectory.ID]*bitmap.Bitmap),
+			cards:    make(map[trajectory.ID]int),
+			postings: make(map[uint32]*bitmap.Bitmap),
+		}
+	}
+	epoch, n, err := readSnapshotDocs(r, func(uint32) {}, func(id trajectory.ID, set *bitmap.Bitmap) error {
+		st := &states[shardIndex(uint32(id), s.mask)]
+		if _, dup := st.docs[id]; dup {
+			return fmt.Errorf("index: duplicate trajectory %d in snapshot", id)
+		}
+		st.docs[id] = set
+		st.cards[id] = set.Cardinality()
+		set.Iterate(func(term uint32) bool {
+			p, ok := st.postings[term]
+			if !ok {
+				p = bitmap.New()
+				st.postings[term] = p
+			}
+			p.Add(uint32(id))
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		sh.docs = states[i].docs
+		sh.cards = states[i].cards
+		sh.postings = states[i].postings
+		sh.epoch = 0
+		if i == 0 {
+			sh.epoch = epoch
+		}
+		sh.points = make(map[trajectory.ID][]geo.Point)
+		sh.mu.Unlock()
+	}
 	return n, nil
 }

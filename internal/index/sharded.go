@@ -1,0 +1,355 @@
+package index
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/geo"
+	"geodabs/internal/trajectory"
+)
+
+// Sharded partitions the corpus across a power-of-two number of
+// independent Inverted shards by a hash of the trajectory ID. Every
+// trajectory lives wholly in one shard (postings, cached cardinality,
+// retained points), so a mutation takes exactly one shard's write lock
+// and mutations on different shards proceed without contending. A search
+// fans out across the shards in parallel and merges the surviving
+// partials through one Ranker, producing rankings byte-identical to
+// Inverted's (see the package doc's Sharding section for why).
+//
+// Concurrency semantics match Inverted per trajectory: a concurrent
+// search observes each trajectory either fully or not at all. What is
+// weaker is the cross-shard snapshot: a search overlapping mutations on
+// several shards may observe them at different epochs — the same
+// isolation the network cluster's scatter-gather provides.
+type Sharded struct {
+	ex     Extractor
+	shards []*Inverted
+	mask   uint32
+}
+
+// NewSharded returns an empty sharded index with n shards, rounded up to
+// the next power of two. n ≤ 0 selects GOMAXPROCS (again rounded up), so
+// the default fan-out matches the cores available to the process.
+// Options apply to every shard.
+func NewSharded(ex Extractor, n int, opts ...InvertedOption) *Sharded {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	n = ceilPow2(n)
+	s := &Sharded{ex: ex, shards: make([]*Inverted, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = NewInverted(ex, opts...)
+	}
+	return s
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NumShards returns the shard count (a power of two, fixed at
+// construction).
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// shardIndex places a trajectory ID: a strong 32-bit integer hash
+// (lowbias32) masked down to the shard count. Sequentially assigned IDs —
+// the common ingest pattern — would all land in shard 0 under a plain
+// modulo of the low bits once the count divides them; the hash spreads
+// them uniformly instead. The placement is a pure function of (ID, shard
+// count), so snapshots can be rebalanced deterministically.
+func shardIndex(id, mask uint32) uint32 {
+	id ^= id >> 16
+	id *= 0x7feb352d
+	id ^= id >> 15
+	id *= 0x846ca68b
+	id ^= id >> 16
+	return id & mask
+}
+
+// shardOf returns the shard owning a trajectory ID.
+func (s *Sharded) shardOf(id trajectory.ID) *Inverted {
+	return s.shards[shardIndex(uint32(id), s.mask)]
+}
+
+// Add fingerprints the trajectory and inserts it into the owning shard.
+// Re-adding an ID fails; use Upsert to replace in place.
+func (s *Sharded) Add(t *trajectory.Trajectory) error {
+	return s.insert(t.ID, s.ex.Extract(t.Points), t.Points)
+}
+
+// AddFingerprints inserts a pre-computed fingerprint set (no raw points,
+// so no exact re-ranking for this trajectory).
+func (s *Sharded) AddFingerprints(id trajectory.ID, set *bitmap.Bitmap) error {
+	return s.insert(id, set, nil)
+}
+
+func (s *Sharded) insert(id trajectory.ID, set *bitmap.Bitmap, pts []geo.Point) error {
+	return s.shardOf(id).insert(id, set, pts)
+}
+
+// AddAll indexes a dataset through the shared parallel-extraction
+// pipeline; insertions route to the owning shards, and duplicate-ID
+// detection still works because a given ID always hashes to the same
+// shard. Like Inverted.AddAll it is all-or-nothing: on failure the
+// trajectories this call inserted are removed again, one lock
+// acquisition per touched shard.
+func (s *Sharded) AddAll(ctx context.Context, d *trajectory.Dataset, workers int) error {
+	return ingestAll(ctx, d, workers, s.ex.Extract, s.insert, func(inserted []trajectory.ID) {
+		perShard := make([][]trajectory.ID, len(s.shards))
+		for _, id := range inserted {
+			si := shardIndex(uint32(id), s.mask)
+			perShard[si] = append(perShard[si], id)
+		}
+		for si, ids := range perShard {
+			if len(ids) == 0 {
+				continue
+			}
+			sh := s.shards[si]
+			sh.mu.Lock()
+			for _, id := range ids {
+				sh.deleteLocked(id)
+			}
+			sh.mu.Unlock()
+		}
+	})
+}
+
+// Delete removes a trajectory from its owning shard, reporting whether it
+// was indexed.
+func (s *Sharded) Delete(id trajectory.ID) bool {
+	return s.shardOf(id).Delete(id)
+}
+
+// Upsert fingerprints the trajectory and replaces any previous version in
+// its owning shard; the swap is atomic under that shard's write lock.
+func (s *Sharded) Upsert(t *trajectory.Trajectory) {
+	s.shardOf(t.ID).upsertSet(t.ID, s.ex.Extract(t.Points), t.Points)
+}
+
+// DeleteAll groups the IDs by owning shard and deletes each group under a
+// single acquisition of that shard's write lock, honoring ctx between
+// shards and (via Inverted.DeleteAll) inside each batch. It returns how
+// many of the IDs were actually indexed; unknown IDs are skipped.
+func (s *Sharded) DeleteAll(ctx context.Context, ids []trajectory.ID) (int, error) {
+	if len(s.shards) == 1 {
+		return s.shards[0].DeleteAll(ctx, ids)
+	}
+	perShard := make([][]trajectory.ID, len(s.shards))
+	for _, id := range ids {
+		si := shardIndex(uint32(id), s.mask)
+		perShard[si] = append(perShard[si], id)
+	}
+	deleted := 0
+	for si, group := range perShard {
+		if len(group) == 0 {
+			continue
+		}
+		n, err := s.shards[si].DeleteAll(ctx, group)
+		deleted += n
+		if err != nil {
+			return deleted, err
+		}
+	}
+	return deleted, nil
+}
+
+// Epoch returns the sum of the shard epochs. Every mutation bumps exactly
+// one shard's epoch, so the sum is a monotone mutation counter exactly as
+// on Inverted.
+func (s *Sharded) Epoch() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.Epoch()
+	}
+	return total
+}
+
+// Extractor returns the shared term extractor.
+func (s *Sharded) Extractor() Extractor { return s.ex }
+
+// Len returns the total number of indexed trajectories.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Stats aggregates the per-shard statistics. Terms counts per-shard term
+// entries (a term spanning k shards counts k times), mirroring the memory
+// actually held by the per-shard posting maps.
+func (s *Sharded) Stats() Stats {
+	var total Stats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		total.Trajectories += st.Trajectories
+		total.Terms += st.Terms
+		total.Postings += st.Postings
+		total.BitmapBytes += st.BitmapBytes
+	}
+	total.Shards = len(s.shards)
+	return total
+}
+
+// Fingerprints returns the stored fingerprint set of a trajectory, or nil.
+func (s *Sharded) Fingerprints(id trajectory.ID) *bitmap.Bitmap {
+	return s.shardOf(id).Fingerprints(id)
+}
+
+// PointsOf returns the retained raw points of a trajectory, or nil.
+func (s *Sharded) PointsOf(id trajectory.ID) []geo.Point {
+	return s.shardOf(id).PointsOf(id)
+}
+
+// DiscardPoints releases every shard's retained point sequences.
+func (s *Sharded) DiscardPoints() {
+	for _, sh := range s.shards {
+		sh.DiscardPoints()
+	}
+}
+
+// ScanDocs visits every indexed trajectory shard by shard until f returns
+// false. Each shard is visited under its own read lock; the order is
+// unspecified.
+func (s *Sharded) ScanDocs(f func(id trajectory.ID, set *bitmap.Bitmap, card int) bool) {
+	stopped := false
+	for _, sh := range s.shards {
+		if stopped {
+			return
+		}
+		sh.ScanDocs(func(id trajectory.ID, set *bitmap.Bitmap, card int) bool {
+			if !f(id, set, card) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Query mirrors Inverted.Query: at most maxDistance, distance ascending,
+// ID tiebreak, truncated to limit (≤ 0 for no limit).
+func (s *Sharded) Query(q *trajectory.Trajectory, maxDistance float64, limit int) []Result {
+	return s.QueryFingerprints(s.ex.Extract(q.Points), maxDistance, limit)
+}
+
+// QueryFingerprints ranks against a pre-computed fingerprint set.
+func (s *Sharded) QueryFingerprints(set *bitmap.Bitmap, maxDistance float64, limit int) []Result {
+	results, _, _ := s.SearchFingerprints(context.Background(), set, maxDistance, limit)
+	return results
+}
+
+// Search is the context-aware ranked retrieval entry point.
+func (s *Sharded) Search(ctx context.Context, q *trajectory.Trajectory, maxDistance float64, limit int) ([]Result, SearchStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, SearchStats{}, err
+	}
+	return s.SearchFingerprints(ctx, s.ex.Extract(q.Points), maxDistance, limit)
+}
+
+// SearchFingerprints ranks against a pre-computed fingerprint set.
+func (s *Sharded) SearchFingerprints(ctx context.Context, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, SearchStats, error) {
+	return s.AppendSearchFingerprints(ctx, nil, set, maxDistance, limit)
+}
+
+// AppendSearchFingerprints is SearchFingerprints appending into dst.
+func (s *Sharded) AppendSearchFingerprints(ctx context.Context, dst []Result, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, SearchStats, error) {
+	return s.AppendSearchSet(ctx, dst, set, set.Cardinality(), maxDistance, limit)
+}
+
+// fanoutScratch is the pooled per-query state of a sharded search: one
+// partial buffer per shard (each written by exactly one goroutine), the
+// per-shard stat and error slots, and the coordinating ranker. Pooling it
+// makes a steady-state fanned-out search allocation-free once the
+// buffers have grown to the workload.
+type fanoutScratch struct {
+	partials   [][]shardPartial
+	candidates []int
+	pruned     []int
+	errs       []error
+	ranker     Ranker
+}
+
+var fanoutScratchPool = sync.Pool{New: func() any { return new(fanoutScratch) }}
+
+// getFanoutScratch returns a scratch sized for n shards, reusing the
+// per-shard partial buffers' capacity across queries.
+func getFanoutScratch(n int) *fanoutScratch {
+	fs := fanoutScratchPool.Get().(*fanoutScratch)
+	if cap(fs.partials) < n {
+		fs.partials = make([][]shardPartial, n)
+		fs.candidates = make([]int, n)
+		fs.pruned = make([]int, n)
+		fs.errs = make([]error, n)
+	}
+	fs.partials = fs.partials[:n]
+	fs.candidates = fs.candidates[:n]
+	fs.pruned = fs.pruned[:n]
+	fs.errs = fs.errs[:n]
+	return fs
+}
+
+func (fs *fanoutScratch) release() { fanoutScratchPool.Put(fs) }
+
+// AppendSearchSet is the fanned-out ranked search: every shard runs its
+// counting merge (or wide-query fallback) in parallel — one goroutine per
+// extra shard, shard 0 on the calling goroutine — pre-filtering with the
+// static threshold bounds, and the surviving (id, cardinality, shared)
+// partials merge through one Ranker. Stats aggregate across shards:
+// Candidates is the total candidate count, Pruned counts both shard-side
+// static pruning and the coordinator's rising-bar pruning. qc must equal
+// set.Cardinality().
+func (s *Sharded) AppendSearchSet(ctx context.Context, dst []Result, set *bitmap.Bitmap, qc int, maxDistance float64, limit int) ([]Result, SearchStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, SearchStats{}, err
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].AppendSearchSet(ctx, dst, set, qc, maxDistance, limit)
+	}
+	if qc == 0 {
+		return dst, SearchStats{}, nil
+	}
+	fs := getFanoutScratch(len(s.shards))
+	defer fs.release()
+
+	var wg sync.WaitGroup
+	for i := 1; i < len(s.shards); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fs.partials[i], fs.candidates[i], fs.pruned[i], fs.errs[i] =
+				s.shards[i].appendSearchPartials(ctx, fs.partials[i][:0], set, qc, maxDistance)
+		}(i)
+	}
+	fs.partials[0], fs.candidates[0], fs.pruned[0], fs.errs[0] =
+		s.shards[0].appendSearchPartials(ctx, fs.partials[0][:0], set, qc, maxDistance)
+	wg.Wait()
+
+	var stats SearchStats
+	for i := range fs.errs {
+		if err := fs.errs[i]; err != nil {
+			return nil, stats, err
+		}
+		stats.Candidates += fs.candidates[i]
+		stats.Pruned += fs.pruned[i]
+	}
+
+	fs.ranker.Init(qc, maxDistance, limit)
+	for _, partials := range fs.partials {
+		for _, p := range partials {
+			fs.ranker.Consider(p.id, p.card, p.shared)
+		}
+	}
+	dst = fs.ranker.Finish(dst)
+	stats.Pruned += fs.ranker.Pruned()
+	return dst, stats, nil
+}

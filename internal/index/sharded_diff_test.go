@@ -1,0 +1,323 @@
+package index
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"geodabs/internal/bitmap"
+	"geodabs/internal/trajectory"
+)
+
+// shardCountsUnderTest covers the degenerate single-shard fast path, the
+// smallest real fan-out, a wider one, and whatever this machine's
+// GOMAXPROCS resolves to.
+func shardCountsUnderTest() []int {
+	counts := []int{1, 2, 4}
+	if g := ceilPow2(runtime.GOMAXPROCS(0)); g != 1 && g != 2 && g != 4 {
+		counts = append(counts, g)
+	}
+	return counts
+}
+
+// buildShardedFrom mirrors an Inverted's reference contents into a
+// Sharded index with the given shard count.
+func buildShardedFrom(t testing.TB, reference map[trajectory.ID]*bitmap.Bitmap, shards int) *Sharded {
+	t.Helper()
+	s := NewSharded(stubExtractor{}, shards)
+	for id, set := range reference {
+		if err := s.AddFingerprints(id, set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestShardedMatchesInverted is the tentpole differential: the same
+// corpus in an Inverted and in Sharded indexes of several shard counts,
+// driven with random queries across range semantics, result caps and
+// distance cutoffs — rankings must be byte-identical, and the candidate
+// count (a partition of the same multiset) must agree too.
+func TestShardedMatchesInverted(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	flat, reference := buildRandomIndex(t, rng, 3000)
+	var shardeds []*Sharded
+	for _, n := range shardCountsUnderTest() {
+		shardeds = append(shardeds, buildShardedFrom(t, reference, n))
+	}
+	ctx := context.Background()
+	for q := 0; q < 200; q++ {
+		set := randomSet(rng, 60, 500)
+		maxDistance := rng.Float64()
+		limit := 0
+		if rng.Intn(2) == 0 {
+			limit = 1 + rng.Intn(20)
+		}
+		want, wantStats, err := flat.SearchFingerprints(ctx, set, maxDistance, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range shardeds {
+			got, stats, err := s.SearchFingerprints(ctx, set, maxDistance, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalResults(t, "sharded vs inverted", got, want)
+			if stats.Candidates != wantStats.Candidates {
+				t.Fatalf("shards=%d: candidates %d, want %d (shards must partition the candidate multiset)",
+					s.NumShards(), stats.Candidates, wantStats.Candidates)
+			}
+		}
+	}
+}
+
+// TestShardedMatchesInvertedAfterMutations runs the same differential
+// after interleaved deletes and upserts, so shard routing of mutations
+// cannot silently diverge from the flat engine.
+func TestShardedMatchesInvertedAfterMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	flat, reference := buildRandomIndex(t, rng, 2000)
+	sharded := buildShardedFrom(t, reference, 4)
+
+	ids := make([]trajectory.ID, 0, len(reference))
+	for id := range reference {
+		ids = append(ids, id)
+	}
+	// Delete a third, upsert (via delete+re-add of a fresh set) another
+	// third, on both engines.
+	for i, id := range ids {
+		switch i % 3 {
+		case 0:
+			flat.Delete(id)
+			sharded.Delete(id)
+			delete(reference, id)
+		case 1:
+			set := randomSet(rng, 60, 500)
+			flat.Delete(id)
+			sharded.Delete(id)
+			if err := flat.AddFingerprints(id, set); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.AddFingerprints(id, set); err != nil {
+				t.Fatal(err)
+			}
+			reference[id] = set
+		}
+	}
+	ctx := context.Background()
+	for q := 0; q < 100; q++ {
+		set := randomSet(rng, 60, 500)
+		want, _, err := flat.SearchFingerprints(ctx, set, 0.9, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := sharded.SearchFingerprints(ctx, set, 0.9, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalResults(t, "post-mutation", got, want)
+		equalResults(t, "post-mutation vs brute", got, bruteForceSearch(reference, set, 0.9, 10))
+	}
+}
+
+// TestShardedWideQueryFallback pins the >65535-term union fallback on the
+// fanned-out path against both the flat engine and brute force.
+func TestShardedWideQueryFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	flat := NewInverted(stubExtractor{})
+	sharded := NewSharded(stubExtractor{}, 4)
+	reference := make(map[trajectory.ID]*bitmap.Bitmap)
+	// Documents drawn from a wide universe so the wide query overlaps them.
+	for i := 0; i < 300; i++ {
+		id := trajectory.ID(i)
+		set := bitmap.New()
+		for n := 0; n < 30+rng.Intn(60); n++ {
+			set.Add(rng.Uint32() % 90000)
+		}
+		if set.Cardinality() == 0 {
+			set.Add(uint32(i))
+		}
+		if err := flat.AddFingerprints(id, set); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.AddFingerprints(id, set); err != nil {
+			t.Fatal(err)
+		}
+		reference[id] = set
+	}
+	query := bitmap.New()
+	for term := uint32(0); term < 70000; term++ {
+		query.Add(term)
+	}
+	if query.Cardinality() <= 65535 {
+		t.Fatal("query not wide enough to exercise the fallback")
+	}
+	ctx := context.Background()
+	for _, limit := range []int{0, 5, 50} {
+		want, _, err := flat.SearchFingerprints(ctx, query, 0.999, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := sharded.SearchFingerprints(ctx, query, 0.999, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalResults(t, "wide sharded vs inverted", got, want)
+		equalResults(t, "wide sharded vs brute", got, bruteForceSearch(reference, query, 0.999, limit))
+	}
+}
+
+// TestShardedConcurrentMutateAndSearch churns Upsert/Delete on many
+// goroutines while searches fan out, under -race. Results cannot be
+// compared to a reference mid-churn; instead every emitted result must
+// satisfy the ranking invariants (sorted by the contract, distance within
+// the cutoff, limit respected).
+func TestShardedConcurrentMutateAndSearch(t *testing.T) {
+	s := NewSharded(stubExtractor{}, 4)
+	rng := rand.New(rand.NewSource(34))
+	for i := 0; i < 500; i++ {
+		set := randomSet(rng, 40, 300)
+		set.Add(uint32(i))
+		if err := s.AddFingerprints(trajectory.ID(i), set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := trajectory.ID(rng.Intn(500))
+				if rng.Intn(3) == 0 {
+					s.Delete(id)
+				} else {
+					set := randomSet(rng, 40, 300)
+					set.Add(uint32(id))
+					s.Delete(id)
+					_ = s.AddFingerprints(id, set)
+				}
+			}
+		}(int64(100 + w))
+	}
+	ctx := context.Background()
+	searchRng := rand.New(rand.NewSource(35))
+	for q := 0; q < 300; q++ {
+		set := randomSet(searchRng, 40, 300)
+		const maxDistance, limit = 0.95, 10
+		results, _, err := s.SearchFingerprints(ctx, set, maxDistance, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) > limit {
+			t.Fatalf("got %d results over limit %d", len(results), limit)
+		}
+		for i, r := range results {
+			if r.Distance > maxDistance {
+				t.Fatalf("result %d distance %v over cutoff", i, r.Distance)
+			}
+			if i > 0 && resultLess(r, results[i-1]) {
+				t.Fatalf("results out of order at %d: %+v before %+v", i, results[i-1], r)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// FuzzShardedParity fuzzes corpus shape, query shape, shard count,
+// distance cutoff and limit, requiring sharded rankings byte-identical
+// to the flat engine and to brute force.
+func FuzzShardedParity(f *testing.F) {
+	f.Add(int64(1), uint8(50), uint8(2), uint8(90), uint8(10))
+	f.Add(int64(2), uint8(200), uint8(4), uint8(50), uint8(0))
+	f.Add(int64(3), uint8(10), uint8(8), uint8(100), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, docs, shards, distPct, limit uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		nDocs := int(docs)%256 + 1
+		nShards := int(shards)%16 + 1
+		maxDistance := float64(distPct%101) / 100
+		flat := NewInverted(stubExtractor{})
+		sharded := NewSharded(stubExtractor{}, nShards)
+		reference := make(map[trajectory.ID]*bitmap.Bitmap)
+		for i := 0; i < nDocs; i++ {
+			id := trajectory.ID(rng.Uint32() % 10000)
+			if _, dup := reference[id]; dup {
+				continue
+			}
+			set := randomSet(rng, 30, 200)
+			if set.Cardinality() == 0 {
+				set.Add(uint32(id))
+			}
+			if err := flat.AddFingerprints(id, set); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.AddFingerprints(id, set); err != nil {
+				t.Fatal(err)
+			}
+			reference[id] = set
+		}
+		query := randomSet(rng, 30, 200)
+		ctx := context.Background()
+		want, _, err := flat.SearchFingerprints(ctx, query, maxDistance, int(limit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := sharded.SearchFingerprints(ctx, query, maxDistance, int(limit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalResults(t, "fuzz sharded vs inverted", got, want)
+		equalResults(t, "fuzz sharded vs brute", got,
+			bruteForceSearch(reference, query, maxDistance, int(limit)))
+	})
+}
+
+// FuzzShardedSnapshot fuzzes raw snapshot bytes through both loaders; they
+// must reject or accept without panicking, and an accepted load must leave
+// a consistent engine (Len equals the number of scannable docs).
+func FuzzShardedSnapshot(f *testing.F) {
+	s := NewSharded(stubExtractor{}, 2)
+	set := bitmap.New()
+	set.Add(1)
+	set.Add(99)
+	if err := s.AddFingerprints(5, set); err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if _, err := s.WriteTo(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	hdr := make([]byte, 9)
+	binary.LittleEndian.PutUint32(hdr[0:4], indexMagic)
+	hdr[4] = indexVersionV3
+	binary.LittleEndian.PutUint32(hdr[5:9], 1000000) // absurd shard count
+	f.Add(hdr)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, eng := range []Engine{NewSharded(stubExtractor{}, 4), NewInverted(stubExtractor{})} {
+			if _, err := eng.ReadFrom(bytes.NewReader(data)); err != nil {
+				continue
+			}
+			docs := 0
+			eng.ScanDocs(func(trajectory.ID, *bitmap.Bitmap, int) bool {
+				docs++
+				return true
+			})
+			if docs != eng.Len() {
+				t.Fatalf("loaded engine inconsistent: Len %d, scanned %d", eng.Len(), docs)
+			}
+		}
+	})
+}

@@ -50,7 +50,7 @@ func (ix *Index) Delete(ctx context.Context, id ID) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if !ix.inv.Delete(id) {
+	if !ix.eng.Delete(id) {
 		return ErrNotFound
 	}
 	return nil
@@ -64,7 +64,7 @@ func (ix *Index) Upsert(ctx context.Context, t *Trajectory) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	ix.inv.Upsert(t)
+	ix.eng.Upsert(t)
 	return nil
 }
 
@@ -74,13 +74,13 @@ func (ix *Index) Upsert(ctx context.Context, t *Trajectory) error {
 // parameter exists for signature parity with Cluster.DeleteAll.
 func (ix *Index) DeleteAll(ctx context.Context, ids []ID, workers int) (int, error) {
 	_ = workers
-	return ix.inv.DeleteAll(ctx, ids)
+	return ix.eng.DeleteAll(ctx, ids)
 }
 
 // Epoch returns the index's mutation epoch: a monotone counter bumped by
 // every insert, delete and upsert, persisted by WriteTo/ReadFrom so
 // snapshot lineages of a mutated index stay ordered.
-func (ix *Index) Epoch() uint64 { return ix.inv.Epoch() }
+func (ix *Index) Epoch() uint64 { return ix.eng.Epoch() }
 
 // Delete withdraws a trajectory from the cluster and reclaims its
 // postings on every shard node, honoring ctx cancellation while waiting

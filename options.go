@@ -21,6 +21,8 @@ type engineOptions struct {
 	readPref     ReadPreference
 	readPrefSet  bool
 	recoverDir   bool
+	shards       int
+	shardsSet    bool
 }
 
 func newEngineOptions(opts []Option) (engineOptions, error) {
@@ -84,6 +86,31 @@ func WithReadPreference(p ReadPreference) Option {
 		}
 		o.readPref = p
 		o.readPrefSet = true
+		return nil
+	}
+}
+
+// WithShards splits a local Index into n in-process shards (rounded up
+// to the next power of two), each with its own lock and posting lists:
+// mutations on different shards stop contending, and a single search
+// fans out across the shards in parallel, merging to rankings
+// byte-identical to the unsharded index. n = 0 (the default) sizes the
+// shard count automatically from GOMAXPROCS — one core, one shard; more
+// cores, a power-of-two shard count matching them. n = 1 forces the
+// unsharded engine.
+//
+// Snapshots interoperate across shard counts: a sharded index writes
+// format v3 (per-shard sections) and an unsharded one v2, and both load
+// either, rebalancing documents into the receiver's layout. It applies
+// only to NewIndex and NewGeohashIndex; NewCluster rejects it (cluster
+// sharding is configured by the node address list).
+func WithShards(n int) Option {
+	return func(o *engineOptions) error {
+		if n < 0 {
+			return fmt.Errorf("geodabs: WithShards(%d) must not be negative (0 means auto)", n)
+		}
+		o.shards = n
+		o.shardsSet = true
 		return nil
 	}
 }

@@ -245,12 +245,12 @@ func (ix *Index) searchPrepared(ctx context.Context, q *Query, o searchOptions) 
 		return nil, err
 	}
 	start := time.Now()
-	set, card := q.termSet(ix.inv.Extractor())
-	hits, istats, err := ix.inv.AppendSearchSet(ctx, nil, set, card, o.maxDistance, o.fetchLimit())
+	set, card := q.termSet(ix.eng.Extractor())
+	hits, istats, err := ix.eng.AppendSearchSet(ctx, nil, set, card, o.maxDistance, o.fetchLimit())
 	if err != nil {
 		return nil, err
 	}
-	if hits, err = rerankHits(ctx, o, hits, q.Points(), ix.inv.PointsOf); err != nil {
+	if hits, err = rerankHits(ctx, o, hits, q.Points(), ix.eng.PointsOf); err != nil {
 		return nil, err
 	}
 	return &SearchResult{
