@@ -570,6 +570,45 @@ func BenchmarkClusterSearch(b *testing.B) {
 	})
 }
 
+// BenchmarkClusterRerank measures the pushed-down §VI-C refinement on a
+// live cluster: the fingerprint shortlist ships to the shard nodes that
+// retain the raw points, DTW runs node-side behind the lower-bound
+// gate, and only (ID, score) pairs cross the wire back to the merging
+// coordinator.
+func BenchmarkClusterRerank(b *testing.B) {
+	cfg := geodabs.DefaultConfig()
+	const nodeCount = 3
+	strategy := geodabs.ShardStrategy{PrefixBits: cfg.PrefixBits, Shards: 1000, Nodes: nodeCount}
+	addrs := make([]string, nodeCount)
+	for i := range addrs {
+		n, err := geodabs.StartShardNode("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		addrs[i] = n.Addr()
+	}
+	cl, err := geodabs.NewCluster(cfg, strategy, addrs, geodabs.WithPointRetention())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	for _, t := range benchWorkload().Dataset.Trajectories {
+		if err := cl.Add(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := benchWorkload().Queries[0]
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Search(ctx, q, geodabs.WithKNN(5), geodabs.WithExactRerank(geodabs.DTW)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSearchExactRerank measures the §VI-C refinement: fingerprint
 // pruning plus a DTW pass over the shortlist.
 func BenchmarkSearchExactRerank(b *testing.B) {

@@ -389,6 +389,29 @@ func WithKNN(k int) SearchOption {
 	return func(r *wire.Request) { r.KNN = k }
 }
 
+// Metric names a built-in exact rerank metric the server can evaluate.
+// Only built-ins are addressable over the wire: a custom function
+// cannot cross a process boundary.
+type Metric uint8
+
+const (
+	// DTW selects dynamic time warping; DFD the discrete Fréchet
+	// distance. Both are in meters, matching geodabs.DTW and geodabs.DFD.
+	DTW Metric = Metric(wire.MetricDTW)
+	DFD Metric = Metric(wire.MetricDFD)
+)
+
+// WithExactRerank asks the server to refine the fingerprint ranking
+// with the named exact metric, like geodabs.WithExactRerank — the
+// server's engine must retain points (and on a cluster the scoring runs
+// on the shard nodes owning them; raw candidate points never move).
+// Applies to Search only: a fingerprint-only search carries no raw
+// query points to score, so SearchFingerprint rejects it, matching the
+// local engine's behavior.
+func WithExactRerank(m Metric) SearchOption {
+	return func(r *wire.Request) { r.Metric = uint8(m) }
+}
+
 // Stats reports a remote search's execution statistics, the wire view of
 // geodabs.SearchStats (Elapsed is the server-side engine time).
 type Stats struct {
@@ -452,6 +475,9 @@ func (c *Client) SearchFingerprint(ctx context.Context, fp *geodabs.Fingerprint,
 		return nil, errors.New("client: nil fingerprint")
 	}
 	req := searchRequest(wire.OpSearchFP, opts)
+	if req.Metric != 0 {
+		return nil, errors.New("client: WithExactRerank needs the query's raw points, which a fingerprint-only search does not carry — use Search instead")
+	}
 	req.Terms = fp.Set.ToSlice()
 	resp, err := c.do(ctx, req, true)
 	if err != nil {
@@ -465,6 +491,9 @@ func (c *Client) SearchFingerprint(ctx context.Context, fp *geodabs.Fingerprint,
 // sends less and reveals less.
 func (c *Client) Search(ctx context.Context, points []geodabs.Point, opts ...SearchOption) (*Result, error) {
 	req := searchRequest(wire.OpSearch, opts)
+	if req.Metric != 0 {
+		req.Op = wire.OpSearchRerank
+	}
 	req.Points = toWirePoints(points)
 	resp, err := c.do(ctx, req, true)
 	if err != nil {

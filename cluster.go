@@ -176,14 +176,16 @@ func (c *Cluster) AnalyzeQuery(q *Query) QueryStats {
 	return q.clusterPlan(c.coord, set).Stats()
 }
 
-// DiscardPoints releases the raw point sequences retained for exact
-// re-ranking, shrinking the coordinator's directory to the fingerprint
-// cardinalities. After the call, WithExactRerank fails for the
-// trajectories added so far; fingerprint-ranked searches are unaffected.
+// DiscardPoints severs the coordinator's point-ownership map: after the
+// call, WithExactRerank fails for the trajectories added so far;
+// fingerprint-ranked searches are unaffected. The shard nodes' retained
+// copies are released lazily — when a trajectory is deleted or
+// re-upserted — not eagerly broadcast.
 //
 // Deprecated: retention is now opt-in at construction — a cluster built
-// without WithPointRetention never pins point memory. DiscardPoints
-// remains for retaining clusters that want to drop points mid-lifetime.
+// without WithPointRetention never ships or pins point memory.
+// DiscardPoints remains for retaining clusters that want to stop
+// re-ranking mid-lifetime.
 func (c *Cluster) DiscardPoints() { c.coord.DiscardPoints() }
 
 // Stats gathers per-node term and posting counts, slice index i matching

@@ -22,9 +22,17 @@
 // with p50/p99 latency, RSS, and a brute-force linear-scan baseline for
 // the speedup headline (see macro.go).
 //
+// Since issue 9 it also measures the pushed-down exact rerank: the
+// cluster is built with point retention (raw points spill to their
+// owner nodes at ingest), and a kNN+DTW search that scores its
+// shortlist on the shard nodes is compared against a reproduction of
+// the pre-pushdown architecture — the coordinator scoring every
+// shortlist candidate serially in its own process. The report carries
+// the speedup and the nodes' lower-bound skip rate.
+//
 // Regenerate the committed snapshot with:
 //
-//	go run ./cmd/bench -macro -out BENCH_8.json
+//	go run ./cmd/bench -macro -out BENCH_9.json
 //
 // (-macro appends the million-trajectory section to the same report;
 // without it only the micro benches run). The workload is deterministic
@@ -118,6 +126,27 @@ type durableWriteResult struct {
 	WALBytes   int64   `json:"wal_bytes"`
 }
 
+// rerankResult quantifies the pushed-down exact rerank against the
+// architecture it replaced. Pushdown ships the fingerprint shortlist to
+// the shard nodes owning the retained points and merges (ID, score)
+// pairs; the coordinator baseline reproduces the old design — the same
+// fingerprint shortlist, then every candidate scored serially in the
+// coordinator process from a local ID→points map. Scored and Skipped
+// are the nodes' counters summed over the measured pushdown runs:
+// skipped candidates were discarded by the cheap lower bound without
+// paying the O(n·m) dynamic program.
+type rerankResult struct {
+	Metric             string  `json:"metric"`
+	KNN                int     `json:"knn"`
+	Shortlist          int     `json:"shortlist"`
+	NsPerOpPushdown    float64 `json:"ns_per_op_pushdown"`
+	NsPerOpCoordinator float64 `json:"ns_per_op_coordinator_baseline"`
+	PushdownSpeedup    float64 `json:"rerank_pushdown_speedup"`
+	Scored             uint64  `json:"rerank_scored"`
+	Skipped            uint64  `json:"rerank_skipped"`
+	SkipRate           float64 `json:"rerank_lb_skip_rate"`
+}
+
 type report struct {
 	Issue      int    `json:"issue"`
 	Regenerate string `json:"regenerate"`
@@ -134,13 +163,14 @@ type report struct {
 	ClusterPruning         []clusterPruningStats `json:"cluster_pruning"`
 	Served                 []servedResult        `json:"served"`
 	DurableWrites          []durableWriteResult  `json:"durable_writes"`
+	Rerank                 *rerankResult         `json:"rerank,omitempty"`
 	// Macro is the million-trajectory sharded-engine section, present when
 	// the run was invoked with -macro (see macro.go).
 	Macro *macroReport `json:"macro,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "output JSON path")
+	out := flag.String("out", "BENCH_9.json", "output JSON path")
 	servedDur := flag.Duration("served-duration", 1500*time.Millisecond, "duration of each served-workload operating point")
 	macro := flag.Bool("macro", false, "also run the million-trajectory macro benchmark")
 	macroN := flag.Int("n", 1_000_000, "macro: number of trajectories to ingest")
@@ -286,7 +316,8 @@ func main() {
 		defer n.Close()
 		addrs[i] = n.Addr()
 	}
-	cl, err := geodabs.NewCluster(geodabs.DefaultConfig(), strategy, addrs)
+	cl, err := geodabs.NewCluster(geodabs.DefaultConfig(), strategy, addrs,
+		geodabs.WithPointRetention())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -332,6 +363,78 @@ func main() {
 			}
 		}
 	}))
+
+	// The pushed-down exact rerank versus the architecture it replaced.
+	// Pushdown: the top k×8 fingerprint shortlist ships to the owner
+	// nodes, DTW runs node-side behind the lower-bound gate, (ID, score)
+	// pairs come back. Coordinator baseline: the same shortlist, every
+	// candidate scored serially in this process from a local ID→points
+	// map — the pre-pushdown coordinator-retention design. The nodes'
+	// scored/skipped counter deltas over the measured pushdown runs give
+	// the lower-bound skip rate.
+	const rerankK = 10
+	statsBefore, err := cl.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	record("ClusterRerankPushdown", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Search(ctx, q, geodabs.WithKNN(rerankK), geodabs.WithExactRerank(geodabs.DTW)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	statsAfter, err := cl.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rerankScored, rerankSkipped uint64
+	for i := range statsAfter {
+		rerankScored += statsAfter[i].RerankScored - statsBefore[i].RerankScored
+		rerankSkipped += statsAfter[i].RerankSkipped - statsBefore[i].RerankSkipped
+	}
+	ptsByID := make(map[geodabs.ID][]geodabs.Point, len(workload.Dataset.Trajectories))
+	for _, t := range workload.Dataset.Trajectories {
+		ptsByID[t.ID] = t.Points
+	}
+	record("ClusterRerankCoordinator", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := cl.Search(ctx, q, geodabs.WithLimit(rerankK*8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			hits := res.Hits
+			for j := range hits {
+				hits[j].Distance = geodabs.DTW(q.Points, ptsByID[hits[j].ID])
+			}
+			sort.Slice(hits, func(a, b int) bool {
+				if hits[a].Distance != hits[b].Distance {
+					return hits[a].Distance < hits[b].Distance
+				}
+				return hits[a].ID < hits[b].ID
+			})
+			if len(hits) > rerankK {
+				hits = hits[:rerankK]
+			}
+		}
+	}))
+	rerank := &rerankResult{
+		Metric:             "dtw",
+		KNN:                rerankK,
+		Shortlist:          rerankK * 8,
+		NsPerOpPushdown:    nsOf("ClusterRerankPushdown"),
+		NsPerOpCoordinator: nsOf("ClusterRerankCoordinator"),
+		PushdownSpeedup:    nsOf("ClusterRerankCoordinator") / nsOf("ClusterRerankPushdown"),
+		Scored:             rerankScored,
+		Skipped:            rerankSkipped,
+	}
+	if total := rerankScored + rerankSkipped; total > 0 {
+		rerank.SkipRate = float64(rerankSkipped) / float64(total)
+	}
+	fmt.Printf("rerank pushdown speedup: %.2fx  lb skip rate: %.1f%% (%d skipped of %d shortlist candidates)\n",
+		rerank.PushdownSpeedup, 100*rerank.SkipRate, rerankSkipped, rerankScored+rerankSkipped)
 
 	// The served workload: a geodabsd front-end on the live cluster,
 	// driven closed-loop by N concurrent client connections shipping the
@@ -429,8 +532,8 @@ func main() {
 	}
 
 	rep := report{
-		Issue:                  8,
-		Regenerate:             "go run ./cmd/bench -macro -out BENCH_8.json",
+		Issue:                  9,
+		Regenerate:             "go run ./cmd/bench -macro -out BENCH_9.json",
 		GoVersion:              runtime.Version(),
 		GOMAXPROCS:             runtime.GOMAXPROCS(0),
 		Workload:               "synthetic city seed 7, 50 routes, default fingerprint config",
@@ -441,6 +544,7 @@ func main() {
 		ClusterPruning:         clusterPruning,
 		Served:                 served,
 		DurableWrites:          durableWrites,
+		Rerank:                 rerank,
 	}
 	fmt.Printf("prepared speedup: search %.2fx, cluster %.2fx\n",
 		rep.PreparedSpeedupSearch, rep.PreparedSpeedupCluster)

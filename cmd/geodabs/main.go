@@ -291,6 +291,12 @@ func clusterStats(nodeSpec, replicaSpec string) error {
 		if s.FullSyncs > 0 || s.Subscribers > 0 {
 			fmt.Printf("  replication: %d full syncs served, %d live subscribers\n", s.FullSyncs, s.Subscribers)
 		}
+		if s.RetainedDocs > 0 || s.RerankScored > 0 || s.RerankSkipped > 0 {
+			fmt.Printf("  retained points: %d trajectories, %d points (%d bytes)\n",
+				s.RetainedDocs, s.RetainedPoints, s.RetainedBytes)
+			fmt.Printf("  rerank: %d candidates scored, %d skipped by lower bound\n",
+				s.RerankScored, s.RerankSkipped)
+		}
 		for _, r := range s.Replicas {
 			if r.Err != "" {
 				fmt.Printf("  replica %s: unreachable (%s)\n", r.Addr, r.Err)
@@ -550,7 +556,9 @@ func cmdDelete(args []string) error {
 // cmdRemoteQuery runs a held-out query against a geodabsd service. By
 // default it winnows locally and ships only the fingerprint (the
 // thin-client path); -raw ships the raw points for server-side
-// winnowing instead.
+// winnowing instead. -rerank dtw|dfd asks the server for the exact
+// refinement (SEARCH_RERANK) — that always ships raw points, since the
+// exact metrics compare trajectories, not term sets.
 func cmdRemoteQuery(args []string) error {
 	fs := flag.NewFlagSet("remote-query", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7071", "geodabsd address")
@@ -560,6 +568,7 @@ func cmdRemoteQuery(args []string) error {
 	knn := fs.Int("knn", 0, "return the k nearest trajectories instead of -limit")
 	maxDist := fs.Float64("max-distance", 0.99, "Jaccard distance cutoff Δmax")
 	raw := fs.Bool("raw", false, "ship raw points instead of a locally winnowed fingerprint")
+	rerank := fs.String("rerank", "", "exactly re-rank candidates server-side: dtw or dfd (meters; implies raw points)")
 	timeout := fs.Duration("timeout", 5*time.Second, "request deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -579,6 +588,15 @@ func cmdRemoteQuery(args []string) error {
 	} else if *limit > 0 {
 		opts = append(opts, client.WithLimit(*limit))
 	}
+	switch *rerank {
+	case "":
+	case "dtw":
+		opts = append(opts, client.WithExactRerank(client.DTW))
+	case "dfd":
+		opts = append(opts, client.WithExactRerank(client.DFD))
+	default:
+		return fmt.Errorf("unknown rerank metric %q (want dtw or dfd)", *rerank)
+	}
 	cl, err := client.Dial(*addr)
 	if err != nil {
 		return err
@@ -587,7 +605,9 @@ func cmdRemoteQuery(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	var res *client.Result
-	if *raw {
+	if *raw || *rerank != "" {
+		// Rerank needs the query's raw points server-side: the exact
+		// metrics compare trajectories, not term sets.
 		res, err = cl.Search(ctx, q.Points, opts...)
 	} else {
 		// The thin-client split: run the geodab pipeline locally so only
@@ -604,8 +624,12 @@ func cmdRemoteQuery(args []string) error {
 	fmt.Printf("query %d: %d points — %d results from %d candidates in %v (server), %d/%d shards/nodes\n",
 		q.ID, q.Len(), len(res.Hits), res.Stats.Candidates, res.Stats.Elapsed.Round(time.Microsecond),
 		res.Stats.Shards, res.Stats.Nodes)
+	unit := "dJ"
+	if *rerank != "" {
+		unit = *rerank + " m"
+	}
 	for i, r := range res.Hits {
-		fmt.Printf("%2d. trajectory %5d  dJ=%.3f  shared=%3d\n", i+1, r.ID, r.Distance, r.Shared)
+		fmt.Printf("%2d. trajectory %5d  %s=%.3f  shared=%3d\n", i+1, r.ID, unit, r.Distance, r.Shared)
 	}
 	return nil
 }

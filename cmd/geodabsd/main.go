@@ -25,6 +25,10 @@
 // -read-from, and -recover-directory rebuilds the coordinator's ranking
 // directory from the nodes' durable state at startup.
 //
+// With -nodes or -wal-dir, -retain-points spills each trajectory's raw
+// points to its owner shard node at ingest, enabling the SEARCH_RERANK
+// op (exact DTW/Fréchet refinement, scored node-side).
+//
 // Operational flags: -max-inflight, -max-queue, -max-pipeline,
 // -max-conns bound the admission pipeline; -default-deadline and
 // -max-deadline bound request execution; -metrics-addr serves /metrics
@@ -68,6 +72,7 @@ func run(args []string) error {
 	replicas := fs.String("replicas", "", "per-node read replica addresses (with -nodes): groups comma-separated, members |-separated")
 	readFrom := fs.String("read-from", "primary", "read routing across replicas: primary or replicas")
 	recoverDirectory := fs.Bool("recover-directory", false, "rebuild the coordinator directory from the nodes' durable state at startup (with -nodes)")
+	retainPoints := fs.Bool("retain-points", false, "spill raw trajectory points to their owner shard nodes at ingest, enabling exact rerank (with -nodes or -wal-dir)")
 	walDir := fs.String("wal-dir", "", "serve an embedded durable shard node, WAL and snapshots in this directory")
 	walSyncEvery := fs.Int("wal-sync-every", 0, "fsync after this many WAL records (0 = library default; with -wal-dir)")
 	walSyncInterval := fs.Duration("wal-sync-interval", 0, "fsync after this long with unsynced WAL records (0 = library default; with -wal-dir)")
@@ -90,6 +95,9 @@ func run(args []string) error {
 	}
 	if backends != 1 {
 		return fmt.Errorf("exactly one backend is required: -snapshot, -nodes, or -wal-dir")
+	}
+	if *retainPoints && *snapshot != "" {
+		return fmt.Errorf("-retain-points needs a cluster backend (-nodes or -wal-dir): a snapshot-loaded index carries no raw points to retain")
 	}
 
 	var engine server.Engine
@@ -128,8 +136,11 @@ func run(args []string) error {
 		}
 		defer node.Close()
 		strategy := geodabs.ShardStrategy{PrefixBits: cfg.PrefixBits, Shards: *shards, Nodes: 1}
-		cl, err = geodabs.NewCluster(cfg, strategy, []string{node.Addr()},
-			geodabs.WithConnsPerNode(*connsPerNode), geodabs.WithDirectoryRecovery())
+		clOpts := []geodabs.Option{geodabs.WithConnsPerNode(*connsPerNode), geodabs.WithDirectoryRecovery()}
+		if *retainPoints {
+			clOpts = append(clOpts, geodabs.WithPointRetention())
+		}
+		cl, err = geodabs.NewCluster(cfg, strategy, []string{node.Addr()}, clOpts...)
 		if err != nil {
 			return err
 		}
@@ -162,6 +173,9 @@ func run(args []string) error {
 		}
 		if *recoverDirectory {
 			opts = append(opts, geodabs.WithDirectoryRecovery())
+		}
+		if *retainPoints {
+			opts = append(opts, geodabs.WithPointRetention())
 		}
 		var err error
 		cl, err = geodabs.NewCluster(cfg, strategy, addrs, opts...)
@@ -221,8 +235,9 @@ func run(args []string) error {
 // clusterCollector returns a metrics hook that exports the cluster's
 // durability and replication state as Prometheus gauges on every scrape:
 // per-node WAL size, segment and fsync counters, last fsync latency,
-// mutation epochs, full syncs served, live stream subscribers, and
-// per-replica epoch lag.
+// mutation epochs, full syncs served, live stream subscribers,
+// per-replica epoch lag, and the exact-rerank pushdown state — retained
+// point footprint and lower-bound scored/skipped counters.
 func clusterCollector(cl *geodabs.Cluster) func(w *strings.Builder) {
 	var scrapeErrs atomic.Uint64
 	return func(w *strings.Builder) {
@@ -263,6 +278,22 @@ func clusterCollector(cl *geodabs.Cluster) func(w *strings.Builder) {
 		w.WriteString("# HELP geodabsd_node_replica_subscribers Replicas currently tailing the node's mutation stream.\n# TYPE geodabsd_node_replica_subscribers gauge\n")
 		for _, s := range stats {
 			fmt.Fprintf(w, "geodabsd_node_replica_subscribers{node=\"%d\"} %d\n", s.Node, s.Subscribers)
+		}
+		w.WriteString("# HELP geodabsd_node_retained_points Raw trajectory points the node retains as point owner for exact rerank.\n# TYPE geodabsd_node_retained_points gauge\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "geodabsd_node_retained_points{node=\"%d\"} %d\n", s.Node, s.RetainedPoints)
+		}
+		w.WriteString("# HELP geodabsd_node_retained_bytes Approximate memory held by the node's retained raw points.\n# TYPE geodabsd_node_retained_bytes gauge\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "geodabsd_node_retained_bytes{node=\"%d\"} %d\n", s.Node, s.RetainedBytes)
+		}
+		w.WriteString("# HELP geodabsd_node_rerank_scored_total Rerank candidates the node scored with the full exact metric.\n# TYPE geodabsd_node_rerank_scored_total counter\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "geodabsd_node_rerank_scored_total{node=\"%d\"} %d\n", s.Node, s.RerankScored)
+		}
+		w.WriteString("# HELP geodabsd_node_rerank_lb_skipped_total Rerank candidates the node's lower bound pruned without scoring.\n# TYPE geodabsd_node_rerank_lb_skipped_total counter\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "geodabsd_node_rerank_lb_skipped_total{node=\"%d\"} %d\n", s.Node, s.RerankSkipped)
 		}
 		headerDone := false
 		for _, s := range stats {

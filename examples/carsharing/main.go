@@ -41,7 +41,10 @@ func main() {
 	}
 
 	// Point retention keeps the raw drives available for the exact DTW
-	// re-ranking below; rerank-free workloads would omit it.
+	// re-ranking below; rerank-free workloads would omit it. The same two
+	// options work on a *Cluster, where each drive's points live on one
+	// owner shard node and the rerank is scored there — see
+	// examples/cluster.
 	idx, err := geodabs.NewIndex(geodabs.DefaultConfig(), geodabs.WithPointRetention())
 	if err != nil {
 		log.Fatalf("new index: %v", err)

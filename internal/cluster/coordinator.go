@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,7 +43,9 @@ var reconcileInterval = 2 * time.Second
 // deletions, and scatter-gathers ranked queries. It maintains the
 // directory of per-trajectory fingerprint cardinalities needed to turn
 // partial intersection counts into Jaccard distances (plus, when point
-// retention is on, the raw points for exact re-ranking). Each
+// retention is on, which node owns each trajectory's raw points — the
+// points themselves live on that node, and exact re-ranking is pushed
+// down to it via Rerank). Each
 // trajectory's total cardinality is also replicated to the nodes owning
 // its terms, so queries carry their cardinality and distance bound down
 // and the nodes threshold-prune non-qualifying candidates before the
@@ -138,23 +141,30 @@ const (
 )
 
 // docEntry is the coordinator's per-trajectory bookkeeping: the
-// fingerprint cardinality (for Jaccard ranking), the raw points when
-// retention is on (a slice header sharing the caller's backing array),
-// the lifecycle state, and the epoch of the trajectory's last mutation.
+// fingerprint cardinality (for Jaccard ranking), the lifecycle state,
+// the epoch of the trajectory's last mutation, and — under point
+// retention — the index of the shard node that stores the trajectory's
+// raw points (its point owner), or -1 when no node does. The points
+// themselves never live in the coordinator: Add spills them to the
+// owner and exact rerank is pushed down to the owning nodes, so the
+// directory stays a few dozen bytes per trajectory regardless of
+// trajectory length.
 type docEntry struct {
-	card   int
-	points []geo.Point
-	state  entryState
-	epoch  uint64
+	card  int
+	owner int
+	state entryState
+	epoch uint64
 }
 
 // Option configures a Coordinator at construction.
 type Option func(*Coordinator)
 
-// WithRetainPoints makes Add keep each trajectory's raw point slice in
-// the directory so searches can re-rank candidates with an exact
-// distance. Off by default: ingest-heavy workloads that never re-rank no
-// longer pay the pinned point memory.
+// WithRetainPoints makes Add spill each trajectory's raw point slice to
+// the shard node that owns it (one deterministic owner among the nodes
+// holding its terms), so searches can re-rank candidates with an exact
+// distance computed node-side. Off by default: ingest-heavy workloads
+// that never re-rank pay neither the spill bandwidth nor the node
+// memory.
 func WithRetainPoints() Option {
 	return func(c *Coordinator) { c.retain = true }
 }
@@ -423,19 +433,32 @@ func (c *Coordinator) addID(parent context.Context, t *trajectory.Trajectory) er
 		return fmt.Errorf("cluster: trajectory %d already indexed", t.ID)
 	}
 	e := c.beginMutationLocked()
-	c.directory[t.ID] = docEntry{state: statePending, epoch: e}
+	c.directory[t.ID] = docEntry{state: statePending, epoch: e, owner: -1}
 	below := c.watermarkLocked()
 	c.mu.Unlock()
 
 	groups := c.groupByNode(set, nil)
 	nodes := nodesOf(groups)
+	// Under point retention the trajectory's raw points spill to exactly
+	// one deterministic owner among the nodes holding its terms; that node
+	// stores (and logs, and replicates) them so exact rerank can run
+	// node-side. A termless trajectory has no owner — it can never appear
+	// in a fingerprint shortlist, so it never needs reranking either.
+	owner := -1
+	if c.retain && len(nodes) > 0 {
+		owner = pointOwner(uint32(t.ID), nodes)
+	}
 	err := fanOut(parent, nodes, func(ctx context.Context, node int) error {
+		// Card replicates the trajectory's total cardinality |G| so
+		// the node can threshold-prune query candidates locally.
+		add := &addRequest{ID: uint32(t.ID), Terms: groups[node], Epoch: e, Card: card}
+		if node == owner {
+			add.Points = t.Points
+		}
 		_, err := c.clients[node].call(ctx, &request{
 			Op:           opAdd,
 			CompactBelow: below,
-			// Card replicates the trajectory's total cardinality |G| so
-			// the node can threshold-prune query candidates locally.
-			Add: &addRequest{ID: uint32(t.ID), Terms: groups[node], Epoch: e, Card: card},
+			Add:          add,
 		})
 		return err
 	})
@@ -448,14 +471,20 @@ func (c *Coordinator) addID(parent context.Context, t *trajectory.Trajectory) er
 		return err
 	}
 	c.mu.Lock()
-	entry := docEntry{card: card, state: stateLive, epoch: e}
-	if c.retain {
-		entry.points = t.Points
-	}
-	c.directory[t.ID] = entry
+	c.directory[t.ID] = docEntry{card: card, state: stateLive, epoch: e, owner: owner}
 	delete(c.inFlight, e)
 	c.mu.Unlock()
 	return nil
+}
+
+// pointOwner picks the shard node that stores a trajectory's raw points:
+// a deterministic choice among the nodes owning its terms, spread by ID
+// so retention memory balances across the cluster. nodes must be
+// non-empty; it is sorted in place so the choice does not depend on map
+// iteration order.
+func pointOwner(id uint32, nodes []int) int {
+	sort.Ints(nodes)
+	return nodes[int(id)%len(nodes)]
 }
 
 // cleanupFailedAdd reclaims the postings a failed Add already applied by
@@ -722,26 +751,121 @@ func allNodes(n int) []int {
 	return nodes
 }
 
-// PointsOf returns the raw point sequence of a trajectory added through
-// this coordinator with point retention on, or nil when unknown (or
-// discarded, or retention is off).
-func (c *Coordinator) PointsOf(id trajectory.ID) []geo.Point {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.directory[id].points
-}
-
-// DiscardPoints releases every retained raw point sequence, shrinking
-// the directory to the cardinalities Jaccard ranking needs. Exact
-// re-ranking becomes unavailable for the trajectories added so far;
-// with retention on, trajectories added afterwards are retained again.
+// DiscardPoints withdraws exact re-ranking for every trajectory added
+// so far: the coordinator forgets which node owns each trajectory's
+// points, so Rerank fails for them with a clear error. The nodes' own
+// retained copies are released lazily — the next mutation of an ID
+// replaces them, and they never burden the coordinator — rather than
+// through an extra fan-out. With retention on, trajectories added
+// afterwards rerank normally again.
 func (c *Coordinator) DiscardPoints() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for id, entry := range c.directory {
-		entry.points = nil
+		entry.owner = -1
 		c.directory[id] = entry
 	}
+}
+
+// ExactMetric names a built-in exact trajectory metric the shard nodes
+// can evaluate against their retained points. Only built-ins are
+// addressable over the wire: a custom metric is an arbitrary function
+// and cannot cross a process boundary.
+type ExactMetric uint8
+
+const (
+	// MetricDTW selects dynamic time warping; MetricDFD the discrete
+	// Fréchet distance. The node-side implementations are the same
+	// functions the local engines call, so scores are bit-identical.
+	MetricDTW ExactMetric = ExactMetric(metricDTW)
+	MetricDFD ExactMetric = ExactMetric(metricDFD)
+)
+
+// Rerank pushes the exact-refinement pass of a search down to the shard
+// nodes: each node owning points of shortlist members scores its slice
+// locally (DTW or DFD, with lower-bound pruning against limit) and
+// ships back (id, score) pairs; the merged scores are sorted by the
+// engines' shared (distance, ID) contract and truncated to limit. Raw
+// candidate points never cross the wire — only the query does, once per
+// owning node.
+//
+// The result is byte-identical to fetching every candidate's points and
+// scoring them coordinator-side: nodes run the identical metric code on
+// identical float inputs, a node only skips a candidate its lower bound
+// proves outside its own (hence the global) top-limit, and the final
+// merge reuses index.SortResults. limit <= 0 scores and returns the
+// whole shortlist.
+func (c *Coordinator) Rerank(parent context.Context, hits []index.Result, query []geo.Point, metric ExactMetric, limit int) ([]index.Result, error) {
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.checkClosed(); err != nil {
+		return nil, err
+	}
+	if len(hits) == 0 {
+		return hits, nil
+	}
+	groups := make(map[int][]uint32)
+	// shared carries each hit's fingerprint-intersection count through
+	// the remote scoring: the local path keeps the original Result and
+	// only replaces Distance, so the pushed-down path must reattach
+	// Shared for the two to stay byte-identical.
+	shared := make(map[uint32]int, len(hits))
+	var missing []uint32
+	c.mu.RLock()
+	for _, h := range hits {
+		entry, ok := c.directory[h.ID]
+		if !ok || entry.state != stateLive || entry.owner < 0 {
+			missing = append(missing, uint32(h.ID))
+			continue
+		}
+		groups[entry.owner] = append(groups[entry.owner], uint32(h.ID))
+		shared[uint32(h.ID)] = h.Shared
+	}
+	below := c.watermarkLocked()
+	c.mu.RUnlock()
+	if len(missing) == 0 {
+		merged := make([]index.Result, 0, len(hits))
+		var mu sync.Mutex
+		err := fanOut(parent, nodesOf(groups), func(ctx context.Context, node int) error {
+			resp, err := c.readCall(ctx, node, &request{
+				Op:           opRerank,
+				CompactBelow: below,
+				Rerank:       &rerankRequest{IDs: groups[node], Query: query, Metric: rerankMetric(metric), Limit: limit},
+			})
+			if err != nil {
+				return err
+			}
+			rr := resp.Rerank
+			if rr == nil {
+				return errors.New("cluster: node returned no rerank payload")
+			}
+			mu.Lock()
+			if len(rr.Missing) > 0 {
+				// A shortlist member raced a delete/upsert between the
+				// directory check and the node call. Collect rather than
+				// fail fast, so the error names every unavailable ID.
+				missing = append(missing, rr.Missing...)
+			}
+			for i, id := range rr.IDs {
+				merged = append(merged, index.Result{ID: trajectory.ID(id), Distance: rr.Scores[i], Shared: shared[id]})
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(missing) == 0 {
+			index.SortResults(merged)
+			if limit > 0 && len(merged) > limit {
+				merged = merged[:limit]
+			}
+			return merged, nil
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	return nil, fmt.Errorf("cluster: cannot rerank: raw points of %d of %d shortlist trajectories unavailable (IDs %v): cluster built without point retention, DiscardPoints was called, a recovered directory predating the points, or a concurrent delete", len(missing), len(hits), missing)
 }
 
 // QueryStats reports the fan-out of the last analysis of a query set.
@@ -1084,20 +1208,25 @@ func (c *Coordinator) Stats(parent context.Context) ([]NodeStats, error) {
 		}
 		s := resp.Stats
 		out[i] = NodeStats{
-			Node:        i,
-			Terms:       s.Terms,
-			Postings:    s.Postings,
-			Docs:        s.Docs,
-			Tombstones:  s.Tombstones,
-			Epoch:       s.Epoch,
-			StableEpoch: s.StableEpoch,
-			WALBytes:    s.WALBytes,
-			WALSegments: s.WALSegments,
-			WALRecords:  s.WALRecords,
-			WALSyncs:    s.WALSyncs,
-			WALLastSync: time.Duration(s.WALLastSyncNS),
-			FullSyncs:   s.FullSyncs,
-			Subscribers: s.Subscribers,
+			Node:           i,
+			Terms:          s.Terms,
+			Postings:       s.Postings,
+			Docs:           s.Docs,
+			Tombstones:     s.Tombstones,
+			Epoch:          s.Epoch,
+			StableEpoch:    s.StableEpoch,
+			WALBytes:       s.WALBytes,
+			WALSegments:    s.WALSegments,
+			WALRecords:     s.WALRecords,
+			WALSyncs:       s.WALSyncs,
+			WALLastSync:    time.Duration(s.WALLastSyncNS),
+			FullSyncs:      s.FullSyncs,
+			Subscribers:    s.Subscribers,
+			RetainedDocs:   s.RetainedDocs,
+			RetainedPoints: s.RetainedPoints,
+			RetainedBytes:  s.RetainedBytes,
+			RerankScored:   s.RerankScored,
+			RerankSkipped:  s.RerankSkipped,
 		}
 		if c.replicas == nil || len(c.replicas[i]) == 0 {
 			return nil
@@ -1153,6 +1282,15 @@ type NodeStats struct {
 	FullSyncs   uint64
 	Subscribers int
 	Replicas    []ReplicaStats
+	// Point retention and node-side rerank state: trajectories whose raw
+	// points this node owns, the points across them, their in-memory
+	// size, and how many rerank candidates the node has exact-scored vs
+	// settled by the lower bound alone.
+	RetainedDocs   int
+	RetainedPoints int
+	RetainedBytes  int64
+	RerankScored   uint64
+	RerankSkipped  uint64
 }
 
 // ReplicaStats is one read replica's replication state as seen during a

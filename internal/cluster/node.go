@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"geodabs/internal/bitmap"
+	"geodabs/internal/distance"
+	"geodabs/internal/geo"
 	"geodabs/internal/index"
 	"geodabs/internal/wal"
 )
@@ -41,10 +43,19 @@ import (
 // card reset to 0, and the entry lingers only to fence stale adds until
 // the coordinator's compaction watermark passes the epoch; a tombstone
 // has no postings, so it can never surface as a query candidate.
+//
+// When this node is the trajectory's point owner under point retention,
+// points holds the raw trajectory and box its precomputed bounding box
+// (the O(1) input of the rerank lower bound). Both are replaced
+// wholesale by a newer mutation and never mutated in place, so a rerank
+// can snapshot the slice headers under the read lock and score outside
+// it.
 type nodeDoc struct {
-	terms []uint32
-	card  int
-	epoch uint64
+	terms  []uint32
+	card   int
+	epoch  uint64
+	points []geo.Point
+	box    geo.Box
 }
 
 // nodeOptions is the resolved StartNode option set.
@@ -162,6 +173,11 @@ type Node struct {
 	primaryAddr string
 	stableEpoch atomic.Uint64
 
+	// Rerank counters: candidates exact-scored and candidates settled by
+	// the lower bound alone, over the node's lifetime.
+	rerankScored  atomic.Uint64
+	rerankSkipped atomic.Uint64
+
 	connWG    sync.WaitGroup
 	replWG    sync.WaitGroup
 	closing   chan struct{}
@@ -235,6 +251,8 @@ func (n *Node) recover(dir string, opts wal.Options) error {
 		switch r.Op {
 		case wal.OpAdd:
 			n.applyAdd(&addRequest{ID: r.ID, Terms: r.Terms, Epoch: r.Epoch, Card: int(r.Card)})
+		case wal.OpAddPoints:
+			n.applyAdd(&addRequest{ID: r.ID, Terms: r.Terms, Epoch: r.Epoch, Card: int(r.Card), Points: r.Points})
 		case wal.OpDelete:
 			n.applyDelete(&deleteRequest{ID: r.ID, Epoch: r.Epoch})
 		}
@@ -408,6 +426,18 @@ func (n *Node) handle(req *request) *response {
 			return &response{Stale: true}
 		}
 		return &response{Query: n.query(req.Query)}
+	case opRerank:
+		if req.Rerank == nil {
+			return &response{Err: "rerank request missing payload"}
+		}
+		if n.primaryAddr != "" && req.CompactBelow > n.stableEpoch.Load() {
+			return &response{Stale: true}
+		}
+		rr, err := n.rerank(req.Rerank)
+		if err != nil {
+			return &response{Err: err.Error()}
+		}
+		return &response{Rerank: rr}
 	case opStats:
 		return &response{Stats: n.stats()}
 	default:
@@ -423,7 +453,12 @@ func (n *Node) add(req *addRequest) error {
 	n.applyMu.RLock()
 	defer n.applyMu.RUnlock()
 	if n.wal != nil {
-		if err := n.wal.Append(wal.Record{Op: wal.OpAdd, Epoch: req.Epoch, ID: req.ID, Card: uint32(req.Card), Terms: req.Terms}); err != nil {
+		rec := wal.Record{Op: wal.OpAdd, Epoch: req.Epoch, ID: req.ID, Card: uint32(req.Card), Terms: req.Terms}
+		if req.Points != nil {
+			rec.Op = wal.OpAddPoints
+			rec.Points = req.Points
+		}
+		if err := n.wal.Append(rec); err != nil {
 			return err
 		}
 	}
@@ -459,7 +494,7 @@ func (n *Node) applyAdd(req *addRequest) {
 	if req.Epoch > n.maxEpoch {
 		n.maxEpoch = req.Epoch
 	}
-	defer n.publishLocked(replEvent{Op: replAdd, ID: req.ID, Terms: req.Terms, Card: req.Card, Epoch: req.Epoch, Watermark: n.compactedBelow.Load()})
+	defer n.publishLocked(replEvent{Op: replAdd, ID: req.ID, Terms: req.Terms, Card: req.Card, Epoch: req.Epoch, Watermark: n.compactedBelow.Load(), Points: req.Points})
 	if doc, ok := n.docs[req.ID]; ok {
 		if doc.epoch >= req.Epoch {
 			return // stale or duplicate mutation
@@ -474,7 +509,7 @@ func (n *Node) applyAdd(req *addRequest) {
 		}
 		p.Add(req.ID)
 	}
-	n.docs[req.ID] = nodeDoc{terms: req.Terms, card: req.Card, epoch: req.Epoch}
+	n.docs[req.ID] = nodeDoc{terms: req.Terms, card: req.Card, epoch: req.Epoch, points: req.Points, box: geo.NewBox(req.Points...)}
 }
 
 // applyDelete withdraws a trajectory's postings and leaves a tombstone at
@@ -561,7 +596,7 @@ func (n *Node) serveSync(enc *gob.Encoder) {
 	n.mu.RLock()
 	docs := make([]syncDoc, 0, len(n.docs))
 	for id, d := range n.docs {
-		docs = append(docs, syncDoc{ID: id, Terms: d.terms, Card: d.card, Epoch: d.epoch, Tombstone: d.terms == nil})
+		docs = append(docs, syncDoc{ID: id, Terms: d.terms, Card: d.card, Epoch: d.epoch, Tombstone: d.terms == nil, Points: d.points})
 	}
 	watermark := n.compactedBelow.Load()
 	sub := &subscriber{ch: make(chan replEvent, replBacklog)}
@@ -709,19 +744,153 @@ func cardWindow(req *queryRequest) (minCard, maxCard int) {
 	return index.CardinalityWindow(req.QueryCard, req.MaxDistance)
 }
 
+// rerankCandidate is one shortlist member snapshotted under the read
+// lock: the slice headers are safe to score outside it because applied
+// mutations replace a doc's point slice wholesale, never mutate it.
+type rerankCandidate struct {
+	id     uint32
+	points []geo.Point
+	box    geo.Box
+}
+
+// worseScore is the (score asc, ID asc) comparison rerank's pruning heap
+// shares with index.SortResults: a is worse than b when it would sort
+// after b in the final merge.
+func worseScore(aScore float64, aID uint32, bScore float64, bID uint32) bool {
+	if aScore != bScore {
+		return aScore > bScore
+	}
+	return aID > bID
+}
+
+// rerank exact-scores the node's slice of a fingerprint shortlist
+// against its retained points, returning (id, score) pairs — never
+// points. When the request carries a result cap, a candidate whose
+// cheap lower bound proves it cannot enter the node's own top-k is
+// skipped without running the O(n·m) dynamic program; everything
+// actually scored is returned, so the coordinator's merge stays
+// byte-identical to scoring the whole shortlist.
+//
+// The lower bound is metric-aware but safe for both built-ins: DTW and
+// DFD each force the (first, first) and (last, last) alignments, so the
+// larger endpoint haversine bounds both from below; the bounding-box
+// separation geo.Box.MinDistance bounds every matched pair, so it
+// bounds DFD (a max over pairs) directly and DTW (a sum over a monotone
+// path of at least max(n, m) pairs) times max(n, m).
+func (n *Node) rerank(req *rerankRequest) (*rerankResponse, error) {
+	var metric func(a, b []geo.Point) float64
+	switch req.Metric {
+	case metricDTW:
+		metric = distance.DTW
+	case metricDFD:
+		metric = distance.DFD
+	default:
+		return nil, fmt.Errorf("unknown rerank metric %d", req.Metric)
+	}
+	cands := make([]rerankCandidate, 0, len(req.IDs))
+	var missing []uint32
+	n.mu.RLock()
+	for _, id := range req.IDs {
+		doc, ok := n.docs[id]
+		if !ok || doc.points == nil {
+			missing = append(missing, id)
+			continue
+		}
+		cands = append(cands, rerankCandidate{id: id, points: doc.points, box: doc.box})
+	}
+	n.mu.RUnlock()
+	if len(missing) > 0 {
+		return &rerankResponse{Missing: missing}, nil
+	}
+
+	qBox := geo.NewBox(req.Query...)
+	resp := &rerankResponse{IDs: make([]uint32, 0, len(cands)), Scores: make([]float64, 0, len(cands))}
+	// kept is a max-heap (by worseScore) of the k best scores seen so
+	// far; its root is the k-th best — the pruning threshold.
+	type kept struct {
+		score float64
+		id    uint32
+	}
+	var heap []kept
+	for _, c := range cands {
+		if req.Limit > 0 && len(heap) == req.Limit && len(req.Query) > 0 && len(c.points) > 0 {
+			lb := math.Max(
+				geo.Haversine(req.Query[0], c.points[0]),
+				geo.Haversine(req.Query[len(req.Query)-1], c.points[len(c.points)-1]),
+			)
+			boxLB := qBox.MinDistance(c.box)
+			if req.Metric == metricDTW {
+				boxLB *= float64(max(len(req.Query), len(c.points)))
+			}
+			lb = math.Max(lb, boxLB)
+			// Strictly above the k-th best: even a tie must be scored,
+			// because the (score, ID) tiebreak could admit it.
+			if lb > heap[0].score {
+				resp.Skipped++
+				continue
+			}
+		}
+		score := metric(req.Query, c.points)
+		resp.IDs = append(resp.IDs, c.id)
+		resp.Scores = append(resp.Scores, score)
+		if req.Limit <= 0 {
+			continue
+		}
+		if len(heap) < req.Limit {
+			heap = append(heap, kept{score, c.id})
+			for i := len(heap) - 1; i > 0; { // sift up
+				parent := (i - 1) / 2
+				if !worseScore(heap[i].score, heap[i].id, heap[parent].score, heap[parent].id) {
+					break
+				}
+				heap[i], heap[parent] = heap[parent], heap[i]
+				i = parent
+			}
+		} else if worseScore(heap[0].score, heap[0].id, score, c.id) {
+			heap[0] = kept{score, c.id}
+			for i := 0; ; { // sift down
+				worst := i
+				if l := 2*i + 1; l < len(heap) && worseScore(heap[l].score, heap[l].id, heap[worst].score, heap[worst].id) {
+					worst = l
+				}
+				if r := 2*i + 2; r < len(heap) && worseScore(heap[r].score, heap[r].id, heap[worst].score, heap[worst].id) {
+					worst = r
+				}
+				if worst == i {
+					break
+				}
+				heap[i], heap[worst] = heap[worst], heap[i]
+				i = worst
+			}
+		}
+	}
+	n.rerankScored.Add(uint64(len(resp.IDs)))
+	n.rerankSkipped.Add(uint64(resp.Skipped))
+	return resp, nil
+}
+
 func (n *Node) stats() *statsResponse {
 	n.mu.RLock()
 	s := &statsResponse{
-		Terms:       len(n.postings),
-		Docs:        len(n.docs) - n.tombstones,
-		Tombstones:  n.tombstones,
-		Epoch:       n.maxEpoch,
-		StableEpoch: n.compactedBelow.Load(),
-		FullSyncs:   n.fullSyncs.Load(),
+		Terms:         len(n.postings),
+		Docs:          len(n.docs) - n.tombstones,
+		Tombstones:    n.tombstones,
+		Epoch:         n.maxEpoch,
+		StableEpoch:   n.compactedBelow.Load(),
+		FullSyncs:     n.fullSyncs.Load(),
+		RerankScored:  n.rerankScored.Load(),
+		RerankSkipped: n.rerankSkipped.Load(),
 	}
 	for _, p := range n.postings {
 		s.Postings += p.Cardinality()
 	}
+	for _, d := range n.docs {
+		if d.points != nil {
+			s.RetainedDocs++
+			s.RetainedPoints += len(d.points)
+		}
+	}
+	s.RetainedBytes = int64(s.RetainedPoints) * 16 // two float64s per point
 	n.mu.RUnlock()
 	if n.primaryAddr != "" {
 		s.Role = roleReplica

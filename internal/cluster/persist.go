@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"geodabs/internal/bitmap"
+	"geodabs/internal/geo"
 )
 
 const (
@@ -58,7 +59,7 @@ func (n *Node) Snapshot() error {
 	n.mu.RLock()
 	snap := nodeSnapshot{Docs: make([]syncDoc, 0, len(n.docs))}
 	for id, d := range n.docs {
-		snap.Docs = append(snap.Docs, syncDoc{ID: id, Terms: d.terms, Card: d.card, Epoch: d.epoch, Tombstone: d.terms == nil})
+		snap.Docs = append(snap.Docs, syncDoc{ID: id, Terms: d.terms, Card: d.card, Epoch: d.epoch, Tombstone: d.terms == nil, Points: d.points})
 	}
 	n.mu.RUnlock()
 	n.applyMu.Unlock()
@@ -188,7 +189,7 @@ func (n *Node) installDocs(docs []syncDoc) {
 			n.tombstones++
 			continue
 		}
-		n.docs[d.ID] = nodeDoc{terms: d.Terms, card: d.Card, epoch: d.Epoch}
+		n.docs[d.ID] = nodeDoc{terms: d.Terms, card: d.Card, epoch: d.Epoch, points: d.Points, box: geo.NewBox(d.Points...)}
 		for _, term := range d.Terms {
 			p, ok := n.postings[term]
 			if !ok {

@@ -1,12 +1,16 @@
 package cluster
 
+import "geodabs/internal/geo"
+
 // Wire protocol: length-delimited gob over TCP. Each connection carries a
 // sequential stream of request/response pairs; the coordinator serializes
 // requests per connection and fans out across connections (and across the
-// per-node connection pool). Four ops are in service: opAdd routes a
-// trajectory's postings (with its replicated cardinality), opQuery
-// scatters a search, opStats collects shard summaries, and opDelete
-// withdraws postings behind an epoch fence.
+// per-node connection pool). The ops in service: opAdd routes a
+// trajectory's postings (with its replicated cardinality, and — to the
+// point owner only — its raw points), opQuery scatters a search,
+// opStats collects shard summaries, opDelete withdraws postings behind
+// an epoch fence, opSync serves replication, and opRerank exact-scores
+// a shortlist slice against the node's retained points.
 //
 // Searches are plan-path only: the coordinator shards a query's term set
 // into per-node groups once, in a QueryPlan (built by Plan, cached by the
@@ -77,6 +81,7 @@ const (
 	opStats
 	opDelete
 	opSync
+	opRerank
 )
 
 // addRequest routes the terms a node owns for one trajectory. Epoch is
@@ -86,11 +91,17 @@ const (
 // trajectory's total fingerprint cardinality |G| — across all nodes, not
 // just the terms routed here — replicated so the node can threshold-prune
 // query candidates without a round trip to the coordinator's directory.
+// Points is non-nil only on the request sent to the trajectory's point
+// owner (see pointOwner) when the cluster retains points: that one node
+// stores the raw trajectory beside its postings so exact rerank can run
+// node-side. Every other node's request leaves Points nil, so raw
+// points cross the wire exactly once per mutation.
 type addRequest struct {
-	ID    uint32
-	Terms []uint32
-	Epoch uint64
-	Card  int
+	ID     uint32
+	Terms  []uint32
+	Epoch  uint64
+	Card   int
+	Points []geo.Point
 }
 
 // deleteRequest withdraws a trajectory's postings from the node. The node
@@ -136,13 +147,16 @@ type syncRequest struct{}
 // syncDoc is one trajectory's shard state in a full-sync snapshot:
 // everything a replica needs to reconstruct the primary's docs and
 // postings for this node. Tombstones ship too — they fence stale
-// mutations on the replica exactly as on the primary.
+// mutations on the replica exactly as on the primary. Points carries
+// the retained raw trajectory when this node is its point owner, so
+// replicas and snapshots hold retention identically to the primary.
 type syncDoc struct {
 	ID        uint32
 	Terms     []uint32
 	Card      int
 	Epoch     uint64
 	Tombstone bool
+	Points    []geo.Point
 }
 
 // syncResponse is the primary's full-sync answer: the complete shard
@@ -176,6 +190,53 @@ type replEvent struct {
 	Card      int
 	Epoch     uint64
 	Watermark uint64
+	// Points mirrors addRequest.Points: set on replAdd when the primary
+	// retained the trajectory's raw points, so replicas hold them too.
+	Points []geo.Point
+}
+
+// rerankMetric names an exact trajectory metric a node can evaluate
+// locally. Only the library's built-in metrics are addressable over the
+// wire — a custom RerankMetric is an arbitrary function and cannot
+// cross a process boundary, so the public layer keeps those local.
+type rerankMetric uint8
+
+const (
+	metricDTW rerankMetric = iota + 1
+	metricDFD
+)
+
+// rerankRequest asks a node to exact-score its slice of a fingerprint
+// shortlist: IDs are shortlist members whose points the node owns (the
+// coordinator groups by pointOwner before scattering), Query is the raw
+// query trajectory, and Metric selects DTW or discrete Fréchet.
+//
+// Limit enables lower-bound pruning: when > 0 it is the result cap the
+// coordinator will truncate the merged scores to, and the node may skip
+// the full O(n·m) dynamic program for any candidate whose lower bound
+// strictly exceeds the k-th best score among candidates it has already
+// scored (k = Limit). A skipped candidate provably cannot enter the
+// node's own top-k, hence not the global top-k either, so the merged
+// results are byte-identical to scoring everything. Limit = 0 means no
+// cap downstream: every candidate is scored.
+type rerankRequest struct {
+	IDs    []uint32
+	Query  []geo.Point
+	Metric rerankMetric
+	Limit  int
+}
+
+// rerankResponse returns the node's exact scores as parallel ID/score
+// slices — scores only, never points. Candidates skipped by the lower
+// bound are absent from the slices and counted in Skipped. Missing
+// lists shortlist IDs the node holds no points for (retention disabled,
+// torn add, or a stale shortlist racing a delete); the coordinator
+// aggregates Missing across nodes into one error naming them all.
+type rerankResponse struct {
+	IDs     []uint32
+	Scores  []float64
+	Skipped int
+	Missing []uint32
 }
 
 // nodeRole distinguishes primaries from read replicas in stats.
@@ -215,6 +276,17 @@ type statsResponse struct {
 	// tailing this primary's stream.
 	FullSyncs   uint64
 	Subscribers int
+	// Point retention and node-side rerank state. RetainedDocs counts
+	// trajectories whose raw points this node owns, RetainedPoints the
+	// points across them, RetainedBytes their in-memory size. Scored and
+	// skipped count rerank candidates over the node's lifetime:
+	// RerankSkipped of them were settled by the lower bound alone,
+	// without running the full dynamic program.
+	RetainedDocs   int
+	RetainedPoints int
+	RetainedBytes  int64
+	RerankScored   uint64
+	RerankSkipped  uint64
 }
 
 // request is the envelope sent from coordinator to node. CompactBelow is
@@ -235,6 +307,7 @@ type request struct {
 	Delete       *deleteRequest
 	Query        *queryRequest
 	Sync         *syncRequest
+	Rerank       *rerankRequest
 }
 
 // response is the envelope sent back. Err is non-empty on failure.
@@ -242,9 +315,10 @@ type request struct {
 // exceeds the replica's stable epoch: not an error, but a signal for
 // the coordinator to read from the primary instead.
 type response struct {
-	Err   string
-	Stale bool
-	Query *queryResponse
-	Stats *statsResponse
-	Sync  *syncResponse
+	Err    string
+	Stale  bool
+	Query  *queryResponse
+	Stats  *statsResponse
+	Sync   *syncResponse
+	Rerank *rerankResponse
 }

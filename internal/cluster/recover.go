@@ -17,8 +17,11 @@ package cluster
 // others. No node-local record can distinguish that torn add from a
 // complete one, so recovery admits it with the postings that survived
 // (its intersection counts run low until it is re-upserted or deleted).
-// Retained points are not recoverable — they never leave the
-// coordinator — so exact re-ranking covers only post-recovery adds.
+// Retained points ARE recoverable: they live on each trajectory's point
+// owner node (WAL-logged and snapshotted beside its postings), and the
+// owner's full-sync record carries them, so recovery re-learns the
+// owner mapping and exact re-ranking keeps working across a coordinator
+// restart — provided the owner's record won the per-ID epoch merge.
 
 import (
 	"encoding/gob"
@@ -41,9 +44,18 @@ func WithDirectoryRecovery() Option {
 // them into the directory. Called from NewCoordinator before the
 // coordinator is published, so no locking is needed.
 func (c *Coordinator) recoverDirectory(addrs []string) error {
-	winners := make(map[trajectory.ID]syncDoc)
+	type recovered struct {
+		doc syncDoc
+		// owner is the node whose record for the doc's winning epoch
+		// carried retained points, -1 if none did. A points record from a
+		// losing (older) epoch is a stale copy a later mutation replaced
+		// and must not be re-adopted as the owner.
+		owner      int
+		ownerEpoch uint64
+	}
+	winners := make(map[trajectory.ID]recovered)
 	var maxEpoch uint64
-	for _, addr := range addrs {
+	for node, addr := range addrs {
 		sync, err := fetchNodeState(addr)
 		if err != nil {
 			return fmt.Errorf("cluster: recover directory from %s: %w", addr, err)
@@ -56,16 +68,28 @@ func (c *Coordinator) recoverDirectory(addrs []string) error {
 				maxEpoch = d.Epoch
 			}
 			id := trajectory.ID(d.ID)
-			if w, ok := winners[id]; !ok || d.Epoch > w.Epoch {
-				winners[id] = d
+			w, ok := winners[id]
+			if !ok {
+				w = recovered{owner: -1}
 			}
+			if !ok || d.Epoch > w.doc.Epoch {
+				w.doc = d
+			}
+			if len(d.Points) > 0 && d.Epoch >= w.ownerEpoch {
+				w.owner, w.ownerEpoch = node, d.Epoch
+			}
+			winners[id] = w
 		}
 	}
-	for id, d := range winners {
-		if d.Tombstone {
+	for id, w := range winners {
+		if w.doc.Tombstone {
 			continue
 		}
-		c.directory[id] = docEntry{card: d.Card, state: stateLive, epoch: d.Epoch}
+		owner := -1
+		if w.owner >= 0 && w.ownerEpoch == w.doc.Epoch {
+			owner = w.owner
+		}
+		c.directory[id] = docEntry{card: w.doc.Card, state: stateLive, epoch: w.doc.Epoch, owner: owner}
 	}
 	if maxEpoch > c.epoch {
 		c.epoch = maxEpoch

@@ -106,7 +106,7 @@ func (n *Node) installSync(sync *syncResponse) {
 func (n *Node) applyEvent(ev *replEvent) {
 	switch ev.Op {
 	case replAdd:
-		n.applyAdd(&addRequest{ID: ev.ID, Terms: ev.Terms, Epoch: ev.Epoch, Card: ev.Card})
+		n.applyAdd(&addRequest{ID: ev.ID, Terms: ev.Terms, Epoch: ev.Epoch, Card: ev.Card, Points: ev.Points})
 	case replDelete:
 		n.applyDelete(&deleteRequest{ID: ev.ID, Epoch: ev.Epoch})
 	case replHeartbeat:

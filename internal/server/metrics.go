@@ -81,7 +81,7 @@ type opMetrics struct {
 // queue gauges, and per-op latency histograms. All fields are atomics —
 // the hot path never takes a lock to count.
 type Metrics struct {
-	ops [6]opMetrics // indexed by wire.Op (0 unused)
+	ops [7]opMetrics // indexed by wire.Op (0 unused)
 
 	connsOpened   atomic.Uint64
 	connsRejected atomic.Uint64

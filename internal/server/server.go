@@ -462,6 +462,12 @@ func (s *Server) handle(ctx context.Context, req *wire.Request) *wire.Response {
 		return s.search(ctx, req, geodabs.QueryFromFingerprint(&geodabs.Fingerprint{Set: set}))
 	case wire.OpSearch:
 		return s.search(ctx, req, geodabs.NewQuery(toGeoPoints(req.Points)))
+	case wire.OpSearchRerank:
+		metric := rerankMetricOf(req.Metric)
+		if metric == nil {
+			return &wire.Response{Status: wire.StatusBadRequest, Message: fmt.Sprintf("unknown rerank metric %d", req.Metric)}
+		}
+		return s.search(ctx, req, geodabs.NewQuery(toGeoPoints(req.Points)), geodabs.WithExactRerank(metric))
 	case wire.OpUpsert:
 		t := &geodabs.Trajectory{ID: geodabs.ID(req.TrajID), Points: toGeoPoints(req.Points)}
 		if err := s.engine.Upsert(ctx, t); err != nil {
@@ -479,12 +485,14 @@ func (s *Server) handle(ctx context.Context, req *wire.Request) *wire.Response {
 }
 
 // search validates the request's parameters, runs the engine search, and
-// encodes the ranked hits.
-func (s *Server) search(ctx context.Context, req *wire.Request, q *geodabs.Query) *wire.Response {
+// encodes the ranked hits. extra carries op-specific options (the exact
+// rerank of OpSearchRerank) on top of the common wire parameters.
+func (s *Server) search(ctx context.Context, req *wire.Request, q *geodabs.Query, extra ...geodabs.SearchOption) *wire.Response {
 	opts, resp := searchOptions(req)
 	if resp != nil {
 		return resp
 	}
+	opts = append(opts, extra...)
 	res, err := s.engine.SearchQuery(ctx, q, opts...)
 	if err != nil {
 		return errResponse(err)
@@ -530,6 +538,21 @@ func searchOptions(req *wire.Request) ([]geodabs.SearchOption, *wire.Response) {
 		opts = append(opts, geodabs.WithLimit(req.Limit))
 	}
 	return opts, nil
+}
+
+// rerankMetricOf maps a wire metric tag onto the public built-in exact
+// metric, nil for an unknown tag. Only built-ins are addressable over
+// the wire; on a cluster engine the search pushes the scoring down to
+// the shard nodes owning the retained points.
+func rerankMetricOf(m uint8) geodabs.RerankMetric {
+	switch m {
+	case wire.MetricDTW:
+		return geodabs.DTW
+	case wire.MetricDFD:
+		return geodabs.DFD
+	default:
+		return nil
+	}
 }
 
 // errResponse maps an engine error onto a wire status.

@@ -595,3 +595,55 @@ func TestClientCancelAfterReturnDoesNotPoisonPool(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestServeExactRerank drives the remote refinement op end to end: a
+// retaining index behind the server, a client search naming a built-in
+// metric, and hits byte-identical to a local rerank. The fingerprint
+// path must keep rejecting rerank — there are no raw query points to
+// score.
+func TestServeExactRerank(t *testing.T) {
+	w := testWorld()
+	idx, err := geodabs.NewIndex(geodabs.DefaultConfig(), geodabs.WithPointRetention())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range w.dataset.Trajectories {
+		if err := idx.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := startServer(t, idx, server.Config{})
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	q := w.queries[0]
+	want, err := idx.Search(ctx, q, geodabs.WithKNN(5), geodabs.WithExactRerank(geodabs.DTW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Search(ctx, q.Points, client.WithKNN(5), client.WithExactRerank(client.DTW))
+	if err != nil {
+		t.Fatalf("remote rerank search: %v", err)
+	}
+	if len(got.Hits) != len(want.Hits) {
+		t.Fatalf("remote rerank returned %d hits, local %d", len(got.Hits), len(want.Hits))
+	}
+	for i := range want.Hits {
+		if got.Hits[i] != want.Hits[i] {
+			t.Fatalf("hit %d: remote %+v, local %+v", i, got.Hits[i], want.Hits[i])
+		}
+	}
+
+	f, err := geodabs.NewFingerprinter(geodabs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SearchFingerprint(ctx, f.Fingerprint(q.Points), client.WithExactRerank(client.DTW)); err == nil {
+		t.Fatal("fingerprint search accepted WithExactRerank")
+	}
+}

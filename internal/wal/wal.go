@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -45,6 +46,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"geodabs/internal/geo"
 )
 
 // Op discriminates mutation records.
@@ -55,6 +58,13 @@ const (
 	OpAdd Op = 1
 	// OpDelete records a posting withdrawal (a tombstone at the epoch).
 	OpDelete Op = 2
+	// OpAddPoints is OpAdd plus the trajectory's retained raw points —
+	// written when the node is the trajectory's point owner under
+	// WithPointRetention. A separate op (rather than optional trailing
+	// bytes on OpAdd) keeps logs written before point retention strictly
+	// decodable: decodeRecord rejects trailing bytes, and an OpAdd record
+	// never carries points.
+	OpAddPoints Op = 3
 )
 
 // Record is one logged mutation — exactly the information the node needs
@@ -62,11 +72,12 @@ const (
 // key), the trajectory ID, and, for adds, the replicated total
 // cardinality and the terms the node owns for the trajectory.
 type Record struct {
-	Op    Op
-	Epoch uint64
-	ID    uint32
-	Card  uint32   // adds only: the trajectory's total |G|
-	Terms []uint32 // adds only: the terms routed to this node
+	Op     Op
+	Epoch  uint64
+	ID     uint32
+	Card   uint32      // adds only: the trajectory's total |G|
+	Terms  []uint32    // adds only: the terms routed to this node
+	Points []geo.Point // OpAddPoints only: the retained raw trajectory
 }
 
 // Options configures a Log. The zero value gets defaults.
@@ -406,13 +417,15 @@ func (b *byteCounter) Read(p []byte) (int, error) {
 // encodeRecord renders a record payload (no framing): op, epoch, id,
 // then for adds the card, term count, and zigzag-delta-encoded terms —
 // ascending term slices (the common case: they come from bitmap
-// iteration) cost one or two bytes per term.
+// iteration) cost one or two bytes per term. OpAddPoints appends the
+// point count and each point's lat/lon as raw float64 bits, so replayed
+// coordinates are bit-identical to what the coordinator shipped.
 func encodeRecord(r *Record) []byte {
-	buf := make([]byte, 0, 16+5*len(r.Terms))
+	buf := make([]byte, 0, 16+5*len(r.Terms)+16*len(r.Points))
 	buf = append(buf, byte(r.Op))
 	buf = binary.AppendUvarint(buf, r.Epoch)
 	buf = binary.AppendUvarint(buf, uint64(r.ID))
-	if r.Op == OpAdd {
+	if r.Op == OpAdd || r.Op == OpAddPoints {
 		buf = binary.AppendUvarint(buf, uint64(r.Card))
 		buf = binary.AppendUvarint(buf, uint64(len(r.Terms)))
 		prev := int64(0)
@@ -420,6 +433,13 @@ func encodeRecord(r *Record) []byte {
 			delta := int64(t) - prev
 			buf = binary.AppendVarint(buf, delta)
 			prev = int64(t)
+		}
+	}
+	if r.Op == OpAddPoints {
+		buf = binary.AppendUvarint(buf, uint64(len(r.Points)))
+		for _, pt := range r.Points {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pt.Lat))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pt.Lon))
 		}
 	}
 	return buf
@@ -450,7 +470,7 @@ func decodeRecord(p []byte) (*Record, error) {
 			return nil, errors.New("trailing bytes in delete record")
 		}
 		return r, nil
-	case OpAdd:
+	case OpAdd, OpAddPoints:
 	default:
 		return nil, fmt.Errorf("unknown record op %d", r.Op)
 	}
@@ -482,6 +502,24 @@ func decodeRecord(p []byte) (*Record, error) {
 			return nil, errors.New("term out of range")
 		}
 		r.Terms = append(r.Terms, uint32(prev))
+	}
+	if r.Op == OpAddPoints {
+		if v, n = binary.Uvarint(p); n <= 0 {
+			return nil, errors.New("bad point count")
+		}
+		p = p[n:]
+		// Each point is exactly 16 bytes, so the remaining length pins the
+		// count — reject before allocating from a corrupt prefix.
+		if v != uint64(len(p))/16 || uint64(len(p))%16 != 0 {
+			return nil, errors.New("implausible point count")
+		}
+		r.Points = make([]geo.Point, 0, v)
+		for i := uint64(0); i < v; i++ {
+			lat := math.Float64frombits(binary.LittleEndian.Uint64(p[0:8]))
+			lon := math.Float64frombits(binary.LittleEndian.Uint64(p[8:16]))
+			p = p[16:]
+			r.Points = append(r.Points, geo.Point{Lat: lat, Lon: lon})
+		}
 	}
 	if len(p) != 0 {
 		return nil, errors.New("trailing bytes in add record")

@@ -64,6 +64,19 @@ const (
 	OpUpsert Op = 4
 	// OpDelete removes a trajectory by ID.
 	OpDelete Op = 5
+	// OpSearchRerank is the raw-trajectory search with exact refinement:
+	// the server re-ranks the fingerprint shortlist with the named
+	// built-in metric (Request.Metric) before replying, like
+	// geodabs.WithExactRerank. Requires an engine built with point
+	// retention; only built-in metrics are addressable on the wire.
+	OpSearchRerank Op = 6
+)
+
+// Built-in exact rerank metrics addressable on the wire
+// (Request.Metric of OpSearchRerank).
+const (
+	MetricDTW uint8 = 1
+	MetricDFD uint8 = 2
 )
 
 // String names the op for metrics labels and errors.
@@ -79,6 +92,8 @@ func (o Op) String() string {
 		return "upsert"
 	case OpDelete:
 		return "delete"
+	case OpSearchRerank:
+		return "search_rerank"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -172,8 +187,11 @@ type Request struct {
 	// Terms is the prepared fingerprint term set, sorted ascending
 	// (OpSearchFP).
 	Terms []uint32
-	// Points is the raw trajectory (OpSearch, OpUpsert).
+	// Points is the raw trajectory (OpSearch, OpSearchRerank, OpUpsert).
 	Points []Point
+	// Metric names the built-in exact metric of an OpSearchRerank:
+	// MetricDTW or MetricDFD.
+	Metric uint8
 	// TrajID identifies the trajectory (OpUpsert, OpDelete).
 	TrajID uint32
 }
@@ -252,6 +270,10 @@ func AppendRequest(dst []byte, req *Request) []byte {
 		dst = appendTerms(dst, req.Terms)
 	case OpSearch:
 		dst = appendSearchParams(dst, req)
+		dst = appendPoints(dst, req.Points)
+	case OpSearchRerank:
+		dst = appendSearchParams(dst, req)
+		dst = append(dst, req.Metric)
 		dst = appendPoints(dst, req.Points)
 	case OpUpsert:
 		dst = binary.AppendUvarint(dst, uint64(req.TrajID))
@@ -377,6 +399,19 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	case OpSearch:
 		if err := decodeSearchParams(&d, req); err != nil {
 			return nil, err
+		}
+		if req.Points, err = decodePoints(&d); err != nil {
+			return nil, err
+		}
+	case OpSearchRerank:
+		if err := decodeSearchParams(&d, req); err != nil {
+			return nil, err
+		}
+		if req.Metric, err = d.byte(); err != nil {
+			return nil, err
+		}
+		if req.Metric != MetricDTW && req.Metric != MetricDFD {
+			return nil, fmt.Errorf("wire: unknown rerank metric %d", req.Metric)
 		}
 		if req.Points, err = decodePoints(&d); err != nil {
 			return nil, err

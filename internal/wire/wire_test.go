@@ -30,6 +30,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{ID: 4, Op: OpSearch, MaxDistance: 0.9, Limit: 3, Points: []Point{{51.5, -0.1}, {51.6, -0.2}}},
 		{ID: 5, Op: OpUpsert, TrajID: 42, Points: []Point{{1, 2}, {3, 4}, {5, 6}}},
 		{ID: 6, Op: OpDelete, TrajID: 4242},
+		{ID: 8, Op: OpSearchRerank, MaxDistance: 0.99, KNN: 5, Metric: MetricDTW, Points: []Point{{51.5, -0.1}, {51.6, -0.2}}},
+		{ID: 9, Op: OpSearchRerank, MaxDistance: 1, Limit: 10, Metric: MetricDFD, Points: []Point{{1, 2}}},
 	}
 	for _, req := range reqs {
 		got := roundTripRequest(t, req)
@@ -153,6 +155,13 @@ func TestDecodeRequestMalformed(t *testing.T) {
 		if _, err := DecodeRequest(tc.payload); err == nil {
 			t.Errorf("%s: decoded without error", tc.name)
 		}
+	}
+}
+
+func TestDecodeRequestRejectsUnknownRerankMetric(t *testing.T) {
+	payload := AppendRequest(nil, &Request{ID: 1, Op: OpSearchRerank, MaxDistance: 1, KNN: 3, Metric: 99, Points: []Point{{1, 2}}})
+	if _, err := DecodeRequest(payload); err == nil {
+		t.Fatal("unknown rerank metric decoded without error")
 	}
 }
 

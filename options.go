@@ -36,11 +36,18 @@ func newEngineOptions(opts []Option) (engineOptions, error) {
 }
 
 // WithPointRetention makes Add/AddAll/Upsert keep each trajectory's raw
-// point slice (a header sharing the caller's backing array, not a copy)
-// so searches can refine candidates with WithExactRerank. Retention is
-// off by default: workloads that never re-rank no longer pay the pinned
-// point memory, and WithExactRerank fails with a clear error unless the
-// engine was constructed with this option.
+// point sequence so searches can refine candidates with WithExactRerank.
+// On a local Index the points stay in process (a slice header sharing
+// the caller's backing array, not a copy). On a Cluster each
+// trajectory's points spill to one deterministic owner among the shard
+// nodes holding its terms: the owner stores them beside its postings
+// (WAL-logged when durable, carried by snapshots, full syncs and the
+// replication stream), the coordinator remembers only who owns what,
+// and WithExactRerank pushes the scoring down to the owners — raw
+// points cross the wire once at ingest and never at query time.
+// Retention is off by default: workloads that never re-rank no longer
+// pay the pinned point memory, and WithExactRerank fails with a clear
+// error unless the engine was constructed with this option.
 func WithPointRetention() Option {
 	return func(o *engineOptions) error {
 		o.retainPoints = true
@@ -117,9 +124,11 @@ func WithShards(n int) Option {
 
 // WithDirectoryRecovery makes NewCluster rebuild its ranking directory
 // from the shard nodes' current state before serving — the restart path
-// for a coordinator fronting durable (WithWALDir) nodes. Retained points
-// are not recoverable, so exact re-ranking covers only trajectories
-// added after recovery.
+// for a coordinator fronting durable (WithWALDir) nodes. Retained
+// points are recovered too: they live on each trajectory's owner node,
+// whose full-sync record carries them, so the rebuilt directory
+// re-learns the ownership map and exact re-ranking keeps working across
+// the coordinator restart.
 func WithDirectoryRecovery() Option {
 	return func(o *engineOptions) error {
 		o.recoverDir = true

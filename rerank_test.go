@@ -1,0 +1,196 @@
+package geodabs_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"geodabs"
+)
+
+// TestClusterRerankDifferential pins the pushed-down rerank to the
+// coordinator-retention contract: for both built-in metrics and every
+// option shape, a cluster scoring candidates on its shard nodes must
+// return hits byte-identical — scores, order, ID tiebreaks, Shared
+// counts — to a local index scoring its own retained points.
+func TestClusterRerankDifferential(t *testing.T) {
+	_, w := testWorld()
+	idx := builtTestIndex(t)
+	cl := builtTestCluster(t, 3)
+	ctx := context.Background()
+	metrics := map[string]geodabs.RerankMetric{"dtw": geodabs.DTW, "dfd": geodabs.DFD}
+	optionSets := map[string][]geodabs.SearchOption{
+		"knn":          {geodabs.WithKNN(5)},
+		"limit":        {geodabs.WithLimit(7)},
+		"ranged knn":   {geodabs.WithMaxDistance(0.9), geodabs.WithKNN(3)},
+		"ranged limit": {geodabs.WithMaxDistance(0.95), geodabs.WithLimit(4)},
+		// No cap: every candidate is scored, no lower-bound skipping.
+		"unbounded": {geodabs.WithMaxDistance(0.99)},
+	}
+	for mName, metric := range metrics {
+		for oName, base := range optionSets {
+			opts := append(append([]geodabs.SearchOption(nil), base...), geodabs.WithExactRerank(metric))
+			for _, q := range w.Queries {
+				want, err := idx.Search(ctx, q, opts...)
+				if err != nil {
+					t.Fatalf("%s/%s query %d: index: %v", mName, oName, q.ID, err)
+				}
+				got, err := cl.Search(ctx, q, opts...)
+				if err != nil {
+					t.Fatalf("%s/%s query %d: cluster: %v", mName, oName, q.ID, err)
+				}
+				if !reflect.DeepEqual(got.Hits, want.Hits) {
+					t.Fatalf("%s/%s query %d: cluster hits %+v, index hits %+v", mName, oName, q.ID, got.Hits, want.Hits)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterRerankDuringChurn races rerank fan-outs against concurrent
+// Upsert/Delete churn. A search may cleanly fail when a shortlist
+// member is deleted between the fingerprint ranking and the node-side
+// scoring — that error must name the rerank — but it must never panic,
+// race, or return a corrupt ranking. Run under -race in CI.
+func TestClusterRerankDuringChurn(t *testing.T) {
+	_, w := testWorld()
+	cl := builtTestCluster(t, 2)
+	ctx := context.Background()
+	trajs := w.Dataset.Trajectories
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr := trajs[i%len(trajs)]
+			if i%3 == 0 {
+				cl.Delete(ctx, tr.ID)
+				cl.Upsert(ctx, tr)
+			} else {
+				cl.Upsert(ctx, tr)
+			}
+		}
+	}()
+	for i := 0; i < 60; i++ {
+		q := w.Queries[i%len(w.Queries)]
+		res, err := cl.Search(ctx, q, geodabs.WithKNN(5), geodabs.WithExactRerank(geodabs.DTW))
+		if err != nil {
+			if !strings.Contains(err.Error(), "rerank") {
+				t.Fatalf("search %d: unexpected error: %v", i, err)
+			}
+			continue
+		}
+		for j := 1; j < len(res.Hits); j++ {
+			prev, cur := res.Hits[j-1], res.Hits[j]
+			if prev.Distance > cur.Distance || (prev.Distance == cur.Distance && prev.ID > cur.ID) {
+				t.Fatalf("search %d: ranking out of order at %d: %+v", i, j, res.Hits)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestClusterRerankSurvivesNodeRestart is the durability criterion for
+// point retention: WAL-backed nodes are hard-killed (no flush — the
+// in-process stand-in for SIGKILL) and restarted from their logs, and
+// the pushed-down rerank must still return results byte-identical to a
+// local index. A second phase restarts the coordinator too, rebuilding
+// the point-ownership map through directory recovery.
+func TestClusterRerankSurvivesNodeRestart(t *testing.T) {
+	_, w := testWorld()
+	idx := builtTestIndex(t)
+	ctx := context.Background()
+
+	const nodeCount = 2
+	nodes := make([]*geodabs.ShardNode, nodeCount)
+	addrs := make([]string, nodeCount)
+	dirs := make([]string, nodeCount)
+	for i := range nodes {
+		dirs[i] = t.TempDir()
+		n, err := geodabs.StartShardNode("127.0.0.1:0", geodabs.WithWALDir(dirs[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	cfg := geodabs.DefaultConfig()
+	strategy := geodabs.ShardStrategy{PrefixBits: cfg.PrefixBits, Shards: 1000, Nodes: nodeCount}
+	cl, err := geodabs.NewCluster(cfg, strategy, addrs, geodabs.WithPointRetention())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	for _, tr := range w.Dataset.Trajectories {
+		if err := cl.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := w.Queries[0]
+	opts := []geodabs.SearchOption{geodabs.WithKNN(5), geodabs.WithExactRerank(geodabs.DTW)}
+	want, err := idx.Search(ctx, q, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range nodes {
+		nodes[i].Kill()
+	}
+	for i := range nodes {
+		n, err := geodabs.StartShardNode(addrs[i], geodabs.WithWALDir(dirs[i]))
+		if err != nil {
+			t.Fatalf("restart node %d: %v", i, err)
+		}
+		nodes[i] = n
+	}
+	got := rerankWithRetry(t, cl, q, opts)
+	if !reflect.DeepEqual(got.Hits, want.Hits) {
+		t.Fatalf("after node restart: cluster hits %+v, index hits %+v", got.Hits, want.Hits)
+	}
+
+	// Coordinator restart: a fresh coordinator re-learns who owns which
+	// points from the nodes' full-sync records.
+	cl2, err := geodabs.NewCluster(cfg, strategy, addrs,
+		geodabs.WithPointRetention(), geodabs.WithDirectoryRecovery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl2.Close() })
+	got2 := rerankWithRetry(t, cl2, q, opts)
+	if !reflect.DeepEqual(got2.Hits, want.Hits) {
+		t.Fatalf("after coordinator recovery: cluster hits %+v, index hits %+v", got2.Hits, want.Hits)
+	}
+}
+
+// rerankWithRetry searches with retries: a restarted node leaves dead
+// pooled connections behind, and the pool redials on the next attempt.
+func rerankWithRetry(t *testing.T, cl *geodabs.Cluster, q *geodabs.Trajectory, opts []geodabs.SearchOption) *geodabs.SearchResult {
+	t.Helper()
+	var res *geodabs.SearchResult
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		res, err = cl.Search(context.Background(), q, opts...)
+		if err == nil {
+			return res
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("rerank search did not recover: %v", err)
+	return nil
+}

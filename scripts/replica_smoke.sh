@@ -12,6 +12,13 @@
 # replica, one to the primary — wait for replica lag 0 on /metrics, and
 # assert both route byte-identical rankings.
 #
+# Phase 3 — retained-point durability: front two durable shard nodes
+# with a point-retaining geodabsd (-retain-points), ingest, capture an
+# exact-rerank ranking (remote-query -rerank dtw, scored on the nodes),
+# SIGKILL one node mid-churn, restart it from its WAL on the same
+# address, and assert the pushed-down rerank recovers the reference
+# ranking — the retained raw points must come back through WAL replay.
+#
 # Usage: scripts/replica_smoke.sh
 #   RACE=1 scripts/replica_smoke.sh   # build everything with -race
 #
@@ -209,5 +216,84 @@ query_into "$FRONT_P" "$TMP/primary.hits"
 diff -u "$TMP/primary.hits" "$TMP/replica.hits" \
   || fail "replica-routed ranking differs from primary-routed"
 echo "   rankings match"
+
+echo "== phase 3: retained points survive a node SIGKILL"
+start_retained_node() { # ADDR WALDIR LOG — starts a durable shard node, sets RNODE_PID
+  "$TMP/geodabs" serve -addr "$1" -wal-dir "$2" >"$3" 2>&1 &
+  RNODE_PID=$!
+  PIDS+=("$RNODE_PID")
+}
+mkdir -p "$TMP/rn0-wal" "$TMP/rn1-wal"
+start_retained_node 127.0.0.1:0 "$TMP/rn0-wal" "$TMP/rnode0.log"
+RN0_PID=$RNODE_PID
+RN0=$(wait_line "$TMP/rnode0.log" 's/^durable shard node listening on \([^,]*\),.*/\1/p' "$RN0_PID") \
+  || fail "retained node 0 never reported its address"
+start_retained_node 127.0.0.1:0 "$TMP/rn1-wal" "$TMP/rnode1.log"
+RN1_PID=$RNODE_PID
+RN1=$(wait_line "$TMP/rnode1.log" 's/^durable shard node listening on \([^,]*\),.*/\1/p' "$RN1_PID") \
+  || fail "retained node 1 never reported its address"
+
+"$TMP/geodabsd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+  -nodes "$RN0,$RN1" -retain-points >"$TMP/front-retain.log" 2>&1 &
+FRONT_RR_PID=$!
+PIDS+=("$FRONT_RR_PID")
+FRONT_RR=$(wait_line "$TMP/front-retain.log" 's/^geodabsd listening on //p' "$FRONT_RR_PID") \
+  || fail "retaining geodabsd never reported a listen address"
+FRONT_RR_METRICS=$(wait_line "$TMP/front-retain.log" 's/^metrics on //p' "$FRONT_RR_PID") \
+  || fail "retaining geodabsd never reported a metrics address"
+echo "   nodes $RN0 + $RN1, front $FRONT_RR"
+
+"$TMP/geodabs" remote-upsert -addr "$FRONT_RR" -data "$TMP/data/dataset.bin" >/dev/null \
+  || fail "ingest through retaining front"
+
+rerank_into() { # OUT — pinned query, exact DTW rerank, ranked hits only
+  "$TMP/geodabs" remote-query -addr "$FRONT_RR" -queries "$TMP/data/queries.bin" \
+    -q 0 -knn 5 -rerank dtw >"$1.raw" || return 1
+  hits "$1.raw" >"$1"
+  [ -s "$1" ]
+}
+rerank_into "$TMP/rerank-pre.hits" || fail "pre-kill rerank query"
+grep -q 'dtw m=' "$TMP/rerank-pre.hits" || fail "rerank output not scored in meters"
+curl -sSf "$FRONT_RR_METRICS" >"$TMP/m3.out"
+grep -E '^geodabsd_node_retained_points\{' "$TMP/m3.out" | grep -qv ' 0$' \
+  || fail "metrics report no retained points after ingest"
+
+# Churn mutations while node 1 dies: recovery must replay the retained
+# points from the WAL, not just the postings.
+(
+  while :; do
+    "$TMP/geodabs" remote-upsert -addr "$FRONT_RR" -data "$TMP/data/dataset.bin" || break
+  done
+) >/dev/null 2>&1 &
+CHURN3_PID=$!
+PIDS+=("$CHURN3_PID")
+sleep 1
+kill -9 "$RN1_PID" || fail "could not SIGKILL retained node 1"
+wait "$RN1_PID" 2>/dev/null || true
+kill "$CHURN3_PID" 2>/dev/null || true
+wait "$CHURN3_PID" 2>/dev/null || true
+
+echo "== restart node 1 from its WAL"
+start_retained_node "$RN1" "$TMP/rn1-wal" "$TMP/rnode1b.log"
+RN1B_PID=$RNODE_PID
+wait_line "$TMP/rnode1b.log" 's/^durable shard node listening on \([^,]*\),.*/\1/p' "$RN1B_PID" >/dev/null \
+  || fail "restarted retained node never came up"
+
+# Heal the (at most one) torn upsert, then the node-side rerank must
+# reproduce the pre-kill ranking — retries cover the front's dead
+# pooled connections to the restarted node.
+RERANK_OK=""
+for _ in $(seq 1 50); do
+  if "$TMP/geodabs" remote-upsert -addr "$FRONT_RR" -data "$TMP/data/dataset.bin" >/dev/null 2>&1 \
+      && rerank_into "$TMP/rerank-post.hits" 2>/dev/null; then
+    RERANK_OK=1
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$RERANK_OK" ] || fail "rerank never succeeded after node restart"
+diff -u "$TMP/rerank-pre.hits" "$TMP/rerank-post.hits" \
+  || fail "post-restart rerank ranking differs from pre-kill reference"
+echo "   rerank rankings match"
 
 echo "PASS: replica smoke"

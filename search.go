@@ -4,9 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"geodabs/internal/cluster"
 	"geodabs/internal/index"
 	"math"
+	"reflect"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -162,6 +167,12 @@ func WithLimit(n int) SearchOption {
 // points of every hit, so it requires an engine constructed with
 // WithPointRetention and fails on indexes loaded from a snapshot, after
 // DiscardPoints, and on trajectories inserted as bare fingerprints.
+//
+// On a *Cluster the refinement runs on the shard nodes: each
+// trajectory's raw points live on its owner node, the shortlist is
+// pushed down, and only (ID, score) pairs return — so the metric must
+// be one of the built-ins (DTW or DFD), which the nodes can run by
+// name. A custom metric function cannot cross the wire and is rejected.
 func WithExactRerank(metric RerankMetric) SearchOption {
 	return func(o *searchOptions) error {
 		if metric == nil {
@@ -322,7 +333,7 @@ func (c *Cluster) searchPrepared(ctx context.Context, q *Query, o searchOptions)
 	if err != nil {
 		return nil, translateClusterErr(err)
 	}
-	if hits, err = rerankHits(ctx, o, hits, q.Points(), c.coord.PointsOf); err != nil {
+	if hits, err = c.rerankRemote(ctx, o, hits, q.Points()); err != nil {
 		return nil, err
 	}
 	return &SearchResult{
@@ -386,28 +397,109 @@ func wrapQueries(ts []*Trajectory) []*Query {
 	return qs
 }
 
-// rerankHits applies the exact refinement pass: score every hit with the
-// metric, re-sort ascending (ties by ID), truncate to the result limit.
-// A no-op when no rerank was requested.
+// rerankHits applies the exact refinement pass on the local engine:
+// score every hit with the metric, re-sort ascending (ties by ID),
+// truncate to the result limit. The shortlist is scored on bounded
+// parallel workers — the DP metrics are CPU-bound, so parallelism is
+// capped at GOMAXPROCS. A no-op when no rerank was requested.
 func rerankHits(ctx context.Context, o searchOptions, hits []Result, query []Point, pointsOf func(ID) []Point) ([]Result, error) {
 	if o.rerank == nil {
 		return hits, nil
 	}
+	// Resolve every hit's points before scoring any, so a failure names
+	// the complete set of unavailable trajectories instead of whichever
+	// one a worker tripped over first.
+	pts := make([][]Point, len(hits))
+	var missing []ID
 	for i := range hits {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		if pts[i] = pointsOf(hits[i].ID); pts[i] == nil {
+			missing = append(missing, hits[i].ID)
 		}
-		pts := pointsOf(hits[i].ID)
-		if pts == nil {
-			return nil, fmt.Errorf("geodabs: cannot rerank: raw points of trajectory %d unavailable (index built without WithPointRetention, DiscardPoints was called, snapshot-loaded index, or fingerprint-only insertion)", hits[i].ID)
-		}
-		hits[i].Distance = o.rerank(query, pts)
+	}
+	if len(missing) > 0 {
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		return nil, fmt.Errorf("geodabs: cannot rerank: raw points of %d of %d shortlist trajectories unavailable (IDs %v): index built without WithPointRetention, DiscardPoints was called, snapshot-loaded index, or fingerprint-only insertion", len(missing), len(hits), missing)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(hits) {
+		workers = len(hits)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg      sync.WaitGroup
+		next    atomic.Int64
+		stopped atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(hits) || stopped.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stopped.Store(true)
+					return
+				}
+				hits[i].Distance = o.rerank(query, pts[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	index.SortResults(hits)
 	if limit := o.resultLimit(); limit > 0 && len(hits) > limit {
 		hits = hits[:limit]
 	}
 	return hits, nil
+}
+
+// rerankRemote is the distributed refinement pass: instead of pulling
+// every candidate's raw points to the coordinator, the shortlist is
+// pushed down to the shard nodes that retain them. Each node scores its
+// slice with the identical metric implementation (so scores are
+// bit-identical to a local rerank), prunes candidates a cheap lower
+// bound proves cannot enter the top-limit, and ships back (ID, score)
+// pairs — raw points never cross the wire at query time. The
+// coordinator merges the scores into the final ranking.
+//
+// Only the built-in metrics (DTW, DFD) can be named over the wire; a
+// custom RerankMetric function cannot be shipped to the nodes, and the
+// coordinator no longer retains points to run it locally.
+func (c *Cluster) rerankRemote(ctx context.Context, o searchOptions, hits []Result, query []Point) ([]Result, error) {
+	if o.rerank == nil {
+		return hits, nil
+	}
+	metric, ok := builtinMetric(o.rerank)
+	if !ok {
+		return nil, errors.New("geodabs: WithExactRerank on a cluster requires a built-in metric (geodabs.DTW or geodabs.DFD): candidates are scored remotely on the shard nodes that retain their raw points, and a custom RerankMetric function cannot cross the wire")
+	}
+	reranked, err := c.coord.Rerank(ctx, hits, query, metric, o.resultLimit())
+	if err != nil {
+		return nil, translateClusterErr(err)
+	}
+	return reranked, nil
+}
+
+// builtinMetric maps a RerankMetric to its wire tag when it is one of
+// the package's built-in metrics. Comparison is by function pointer:
+// DTW and DFD are package-level bindings of the internal
+// implementations, so any alias of them resolves to the same code
+// pointer.
+func builtinMetric(m RerankMetric) (cluster.ExactMetric, bool) {
+	switch reflect.ValueOf(m).Pointer() {
+	case reflect.ValueOf(DTW).Pointer():
+		return cluster.MetricDTW, true
+	case reflect.ValueOf(DFD).Pointer():
+		return cluster.MetricDFD, true
+	}
+	return 0, false
 }
 
 // searchBatch fans qs out over a worker pool against either engine's
