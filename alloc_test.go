@@ -1,0 +1,70 @@
+package geodabs_test
+
+import (
+	"context"
+	"runtime/debug"
+	"testing"
+
+	"geodabs/internal/index"
+)
+
+// TestSearchCoreZeroAlloc is the runtime half of the noalloc gate: the
+// geodabs-vet noalloc analyzer proves the annotated search core has no
+// escaping allocation sites at compile time, and this test pins the
+// steady-state behavior with testing.AllocsPerRun — a warm scratch pool
+// plus a recycled result buffer must search without touching the heap.
+// GC is disabled for the measurement so a collection cannot empty the
+// scratch pool mid-run and charge the refill to a search.
+func TestSearchCoreZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	ix := index.NewInverted(geodabEx())
+	if err := ix.AddAll(context.Background(), benchWorkload().Dataset, 8); err != nil {
+		t.Fatal(err)
+	}
+	set := geodabEx().Extract(benchWorkload().Queries[0].Points)
+	qc := set.Cardinality()
+	ctx := context.Background()
+	buf := make([]index.Result, 0, 4096)
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"AppendSearchFingerprints/wide", func() error {
+			results, _, err := ix.AppendSearchFingerprints(ctx, buf[:0], set, 1, 10)
+			buf = results[:0]
+			return err
+		}},
+		{"AppendSearchFingerprints/knn", func() error {
+			results, _, err := ix.AppendSearchFingerprints(ctx, buf[:0], set, 0.5, 5)
+			buf = results[:0]
+			return err
+		}},
+		{"AppendSearchSet/prepared", func() error {
+			results, _, err := ix.AppendSearchSet(ctx, buf[:0], set, qc, 0.9, 0)
+			buf = results[:0]
+			return err
+		}},
+	}
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, tc := range cases {
+		// Warm the scratch pool and size the counter chunks before
+		// measuring; the first search pays one-time growth by design.
+		for i := 0; i < 3; i++ {
+			if err := tc.run(); err != nil {
+				t.Fatalf("%s: warmup: %v", tc.name, err)
+			}
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := tc.run(); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.2f allocs/op in steady state, want 0", tc.name, allocs)
+		}
+	}
+}

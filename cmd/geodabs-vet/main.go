@@ -1,0 +1,131 @@
+// Command geodabs-vet runs the project-specific analyzer suite over
+// the repository: lockhold (no blocking ops under a mutex), ctxflow
+// (no dropped contexts), errlatch (no ignored write-side file errors),
+// and noalloc (annotated hot paths stay heap-allocation free, checked
+// against compiler escape analysis).
+//
+// Usage:
+//
+//	go run ./cmd/geodabs-vet ./...
+//
+// It prints findings as file:line:col: analyzer: message and exits
+// non-zero if any survive the //geodabs:vet-ignore directives. The
+// enforced invariants are catalogued in docs/invariants.md. CI runs
+// this as a blocking lint step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"geodabs/internal/analysis"
+	"geodabs/internal/analysis/ctxflow"
+	"geodabs/internal/analysis/errlatch"
+	"geodabs/internal/analysis/load"
+	"geodabs/internal/analysis/lockhold"
+	"geodabs/internal/analysis/noalloc"
+)
+
+var analyzers = []*analysis.Analyzer{
+	lockhold.Analyzer,
+	ctxflow.Analyzer,
+	errlatch.Analyzer,
+}
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-package and per-target progress")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: geodabs-vet [-v] [packages]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", "noalloc", noalloc.Doc)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if err := run(".", patterns, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "geodabs-vet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(dir string, patterns []string, verbose bool) error {
+	pkgs, fset, err := load.Dir(dir, patterns...)
+	if err != nil {
+		return err
+	}
+	if len(pkgs) == 0 {
+		return fmt.Errorf("no packages match %v", patterns)
+	}
+
+	exit := 0
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if verbose {
+			fmt.Fprintf(os.Stderr, "geodabs-vet: checking %s\n", pkg.ImportPath)
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "geodabs-vet: %s: type error: %v\n", pkg.ImportPath, terr)
+			exit = 1
+		}
+		for _, pos := range pkg.Suppress.Bare {
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      pos,
+				Analyzer: "directive",
+				Message:  "//geodabs:vet-ignore requires a reason",
+			})
+		}
+		for _, a := range analyzers {
+			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info, pkg.Suppress)
+			if err := a.Run(pass); err != nil {
+				return fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+	}
+
+	nd, err := noalloc.Check(dir, patterns, pkgs, fset)
+	if err != nil {
+		return err
+	}
+	diags = append(diags, nd...)
+	if verbose {
+		for _, name := range noalloc.Targets(fset, pkgs) {
+			fmt.Fprintf(os.Stderr, "geodabs-vet: noalloc target %s\n", name)
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil {
+				name = rel
+			}
+		}
+		if pos.IsValid() {
+			fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+		} else {
+			fmt.Printf("%s: %s\n", d.Analyzer, d.Message)
+		}
+		exit = 1
+	}
+
+	if exit != 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "geodabs-vet: ok (%d packages, %d noalloc targets)\n",
+		len(pkgs), len(noalloc.Targets(fset, pkgs)))
+	return nil
+}

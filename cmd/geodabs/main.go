@@ -204,11 +204,13 @@ func cmdStats(args []string) error {
 		if err != nil {
 			return err
 		}
-		if _, err := idx.ReadFrom(f); err != nil {
-			f.Close()
-			return err
+		_, rerr := idx.ReadFrom(f)
+		if cerr := f.Close(); rerr == nil {
+			rerr = cerr
 		}
-		f.Close()
+		if rerr != nil {
+			return rerr
+		}
 	}
 	start := time.Now()
 	if *upsert {
@@ -515,7 +517,9 @@ func cmdDelete(args []string) error {
 		return err
 	}
 	idx, err := geodabs.ReadIndex(geodabs.DefaultConfig(), f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
@@ -536,7 +540,7 @@ func cmdDelete(args []string) error {
 	}
 	tmp := w.Name()
 	if _, err := idx.WriteTo(w); err != nil {
-		w.Close()
+		_ = w.Close() // the write error is the one worth reporting
 		os.Remove(tmp)
 		return err
 	}

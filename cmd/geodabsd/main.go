@@ -110,7 +110,9 @@ func run(args []string) error {
 			return err
 		}
 		idx, err := geodabs.ReadIndex(cfg, f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return fmt.Errorf("read snapshot %s: %w", *snapshot, err)
 		}

@@ -1,0 +1,134 @@
+// Package ctxflow flags library code that drops an in-scope
+// context.Context by passing context.Background() or context.TODO() to
+// a callee instead.
+//
+// The PR 1 cancellation plumbing threads one ctx from the public
+// Searcher/Mutator API down through coordinator fan-out to per-node
+// RPCs; a single Background() in that chain detaches everything below
+// it from deadlines and client disconnects. The analyzer fires only
+// when a ctx parameter is actually in scope (the enclosing function or
+// a parent closure takes one), so constructors and background
+// maintenance loops stay quiet. Function literals launched directly
+// with `go` are treated as detached — spawning deliberately
+// independent work with Background() from inside a request path is a
+// lifetime decision, not a dropped context.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"geodabs/internal/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context.Background/TODO passed onward while a ctx parameter is in scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			check(pass, fd.Body, hasCtxParam(pass.TypesInfo, fd.Type))
+		}
+	}
+	return nil
+}
+
+// check walks one function body. ctxInScope reports whether this
+// function or an enclosing one binds a context.Context parameter.
+func check(pass *analysis.Pass, body *ast.BlockStmt, ctxInScope bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				checkExpr(pass, arg, ctxInScope)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				// Detached goroutine: only its own ctx param counts.
+				check(pass, lit.Body, hasCtxParam(pass.TypesInfo, lit.Type))
+			} else {
+				checkExpr(pass, n.Call.Fun, ctxInScope)
+			}
+			return false
+		case *ast.FuncLit:
+			check(pass, n.Body, ctxInScope || hasCtxParam(pass.TypesInfo, n.Type))
+			return false
+		case *ast.CallExpr:
+			if ctxInScope {
+				for _, arg := range n.Args {
+					if name := freshContextCall(pass.TypesInfo, arg); name != "" {
+						callee := analysis.CalleeFullName(pass.TypesInfo, n)
+						if callee == "" {
+							callee = types.ExprString(n.Fun)
+						}
+						pass.Reportf(arg.Pos(), "%s passed to %s with a ctx parameter in scope; thread the caller's ctx", name, callee)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkExpr(pass *analysis.Pass, e ast.Expr, ctxInScope bool) {
+	if !ctxInScope {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			check(pass, lit.Body, ctxInScope || hasCtxParam(pass.TypesInfo, lit.Type))
+			return false
+		}
+		return true
+	})
+}
+
+// freshContextCall reports whether e is a direct context.Background()
+// or context.TODO() call, returning its name for the diagnostic.
+func freshContextCall(info *types.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	switch analysis.CalleeFullName(info, call) {
+	case "context.Background":
+		return "context.Background()"
+	case "context.TODO":
+		return "context.TODO()"
+	}
+	return ""
+}
+
+// hasCtxParam reports whether ft binds a parameter of type
+// context.Context.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isContext(tv.Type) && len(field.Names) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

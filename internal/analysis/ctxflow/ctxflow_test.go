@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"geodabs/internal/analysis/analyzertest"
+	"geodabs/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxflow.Analyzer, "./...")
+}

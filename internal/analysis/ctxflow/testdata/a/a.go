@@ -1,0 +1,56 @@
+// Package a seeds ctxflow violations and clean patterns.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func lookup(ctx context.Context, id int) error {
+	_ = ctx
+	_ = id
+	return nil
+}
+
+func badDropsCtx(ctx context.Context, id int) error {
+	return lookup(context.Background(), id) // want `context.Background\(\) passed to .*lookup`
+}
+
+func badTODO(ctx context.Context, id int) error {
+	return lookup(context.TODO(), id) // want `context.TODO\(\) passed to .*lookup`
+}
+
+func badWithTimeout(ctx context.Context) error {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want `context.Background\(\) passed to context.WithTimeout`
+	defer cancel()
+	return lookup(c, 1)
+}
+
+func badClosureInheritsCtx(ctx context.Context) func() error {
+	return func() error {
+		return lookup(context.Background(), 2) // want `context.Background\(\) passed to .*lookup`
+	}
+}
+
+func goodThreadsCtx(ctx context.Context, id int) error {
+	return lookup(ctx, id)
+}
+
+// goodNoCtxInScope has no ctx parameter, so Background is the only
+// honest choice.
+func goodNoCtxInScope(id int) error {
+	return lookup(context.Background(), id)
+}
+
+// goodDetachedGoroutine launches deliberately independent work; its
+// lifetime is not the request's.
+func goodDetachedGoroutine(ctx context.Context) {
+	go func() {
+		_ = lookup(context.Background(), 3)
+	}()
+}
+
+func ignoredDeliberateDetach(ctx context.Context) error {
+	//geodabs:vet-ignore fixture: cleanup must outlive the request
+	return lookup(context.Background(), 4)
+}

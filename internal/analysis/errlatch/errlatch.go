@@ -1,0 +1,75 @@
+// Package errlatch flags ignored error returns from write-side file
+// operations — the fsyncgate class from the PR 7 WAL review, where one
+// unchecked fsync error path silently dropped acked records.
+//
+// Flagged: a statement-position call to Sync, Write, WriteString,
+// WriteAt, Truncate, or Close on an *os.File (or the WAL's segmentFile
+// interface) whose error result is discarded, and a deferred Sync,
+// Write, or Truncate (whose error can never be observed). Two idioms
+// are deliberately allowed: `defer f.Close()` on read paths, and an
+// explicit `_ = f.Sync()` assignment, which documents the discard at
+// the call site (crash-simulation helpers use it). Everything else
+// either checks the error or carries a //geodabs:vet-ignore reason.
+package errlatch
+
+import (
+	"go/ast"
+	"strings"
+
+	"geodabs/internal/analysis"
+)
+
+// Analyzer is the errlatch check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errlatch",
+	Doc:  "flag discarded error returns from write-side file operations",
+	Run:  run,
+}
+
+// watched maps callee full names whose error result must be used.
+var watched = map[string]bool{
+	"(*os.File).Sync":        true,
+	"(*os.File).Write":       true,
+	"(*os.File).WriteString": true,
+	"(*os.File).WriteAt":     true,
+	"(*os.File).Truncate":    true,
+	"(*os.File).Close":       true,
+
+	"(geodabs/internal/wal.segmentFile).Sync":     true,
+	"(geodabs/internal/wal.segmentFile).Write":    true,
+	"(geodabs/internal/wal.segmentFile).Truncate": true,
+	"(geodabs/internal/wal.segmentFile).Close":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if name := watchedCallee(pass, call); name != "" {
+						pass.Reportf(call.Pos(), "error return of %s discarded; check it or assign to _ with a reason", name)
+					}
+				}
+			case *ast.DeferStmt:
+				name := watchedCallee(pass, s.Call)
+				if name == "" || strings.HasSuffix(name, ".Close") {
+					// defer f.Close() is idiomatic on read paths; write
+					// paths close explicitly and check.
+					return true
+				}
+				pass.Reportf(s.Call.Pos(), "deferred %s discards its error; call it explicitly and check", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func watchedCallee(pass *analysis.Pass, call *ast.CallExpr) string {
+	name := analysis.CalleeFullName(pass.TypesInfo, call)
+	if watched[name] {
+		return name
+	}
+	return ""
+}

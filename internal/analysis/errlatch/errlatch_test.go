@@ -1,0 +1,12 @@
+package errlatch_test
+
+import (
+	"testing"
+
+	"geodabs/internal/analysis/analyzertest"
+	"geodabs/internal/analysis/errlatch"
+)
+
+func TestErrlatch(t *testing.T) {
+	analyzertest.Run(t, "testdata", errlatch.Analyzer, "./...")
+}

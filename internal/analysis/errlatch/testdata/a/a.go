@@ -1,0 +1,53 @@
+// Package a seeds errlatch violations and clean patterns.
+package a
+
+import "os"
+
+func badSync(f *os.File) {
+	f.Sync() // want `error return of \(\*os.File\).Sync discarded`
+}
+
+func badWrite(f *os.File, b []byte) {
+	f.Write(b) // want `error return of \(\*os.File\).Write discarded`
+}
+
+func badTruncate(f *os.File) {
+	f.Truncate(0) // want `error return of \(\*os.File\).Truncate discarded`
+}
+
+func badClose(f *os.File) {
+	f.Close() // want `error return of \(\*os.File\).Close discarded`
+}
+
+func badDeferSync(f *os.File) {
+	defer f.Sync() // want `deferred \(\*os.File\).Sync discards its error`
+}
+
+func goodChecked(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// goodDeferClose is the idiomatic read-path cleanup.
+func goodDeferClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// goodExplicitDiscard documents the discard at the call site.
+func goodExplicitDiscard(f *os.File) {
+	_ = f.Sync()
+}
+
+func ignoredCrashSim(f *os.File) {
+	f.Close() //geodabs:vet-ignore fixture: crash simulation discards close error
+}

@@ -1,0 +1,145 @@
+// Package load type-checks Go packages for the geodabs-vet analyzer
+// suite without golang.org/x/tools/go/packages.
+//
+// It shells out to `go list -e -export -deps -json`, which both
+// enumerates the packages matching the given patterns and compiles
+// export data for every dependency into the build cache. Target
+// packages (the non-dep, in-module matches) are then parsed from source
+// and type-checked with the standard gc importer, whose lookup function
+// serves each dependency's export data from the path `go list`
+// reported. This keeps the loader hermetic: it needs only the Go
+// toolchain and the module being analyzed, never a network fetch.
+//
+// Test files are not loaded; the vet suite covers production code.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"geodabs/internal/analysis"
+)
+
+// A Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checker errors; analyzers still run on
+	// packages with errors (best effort), but the driver reports them.
+	TypeErrors []error
+	// Suppress indexes the package's vet-ignore directives.
+	Suppress *analysis.Suppressions
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Dir runs `go list` and all file parsing relative to dir, so patterns
+// like ./... resolve against the module rooted there.
+func Dir(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("parsing go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Module != nil {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (build error in a dependency?)", path)
+		}
+		return os.Open(exp)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil && len(t.GoFiles) == 0 {
+			return nil, nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg, err := typecheck(fset, imp, t)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, fset, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, t listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		path := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{ImportPath: t.ImportPath, Dir: t.Dir, Files: files}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	// Errors are collected via conf.Error; the returned error restates
+	// the first one, so it is deliberately dropped here.
+	pkg.Types, _ = conf.Check(t.ImportPath, fset, files, pkg.Info)
+	pkg.Suppress = analysis.CollectSuppressions(fset, files)
+	return pkg, nil
+}

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"geodabs/internal/analysis/analyzertest"
+	"geodabs/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analyzertest.Run(t, "testdata", lockhold.Analyzer, "./...")
+}

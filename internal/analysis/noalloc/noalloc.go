@@ -1,0 +1,196 @@
+// Package noalloc checks functions annotated //geodabs:noalloc against
+// the compiler's escape analysis, turning the PR 3 "0 allocs/op"
+// search-core claim into a build-time gate instead of a benchmark
+// artifact.
+//
+// Unlike the AST analyzers, this check consults the compiler: it runs
+// `go build -gcflags=-m` over the analyzed patterns and attributes
+// every "escapes to heap" / "moved to heap" report that falls inside
+// the body of an annotated function. Escape reports are positions, so
+// line-level //geodabs:vet-ignore directives suppress the deliberate
+// cold-path allocations (a first-touch counter chunk, a function's
+// documented result allocation) while anything new fails the vet run.
+//
+// The gate is only as strong as the annotation set; the annotated
+// functions themselves are listed in docs/invariants.md and re-proven
+// at runtime by the testing.AllocsPerRun regression tests.
+package noalloc
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"geodabs/internal/analysis"
+	"geodabs/internal/analysis/load"
+)
+
+// Doc summarizes the check for the driver's usage output.
+const Doc = "check //geodabs:noalloc functions against escape analysis"
+
+// target is one annotated function's body extent.
+type target struct {
+	name      string
+	file      string // absolute path
+	startLine int
+	endLine   int
+	suppress  *analysis.Suppressions
+}
+
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*)$`)
+
+// Check runs escape analysis for the packages matching patterns
+// (relative to dir) and reports heap allocations inside annotated
+// functions. The packages must be the ones load.Dir returned for the
+// same dir and patterns.
+func Check(dir string, patterns []string, pkgs []*load.Package, fset *token.FileSet) ([]analysis.Diagnostic, error) {
+	targets := collectTargets(fset, pkgs)
+	if len(targets) == 0 {
+		return nil, nil
+	}
+
+	reports, err := escapeReports(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []analysis.Diagnostic
+	for _, r := range reports {
+		for _, t := range targets {
+			if r.file != t.file || r.line < t.startLine || r.line > t.endLine {
+				continue
+			}
+			if t.suppress != nil && t.suppress.CoversLine(r.file, r.line) {
+				continue
+			}
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      posOnLine(fset, r.file, r.line),
+				Analyzer: "noalloc",
+				Message:  fmt.Sprintf("heap allocation in //geodabs:noalloc function %s: %s", t.name, r.msg),
+			})
+		}
+	}
+	return diags, nil
+}
+
+// Targets returns the names of all annotated functions, for the
+// driver's verbose accounting.
+func Targets(fset *token.FileSet, pkgs []*load.Package) []string {
+	var names []string
+	for _, t := range collectTargets(fset, pkgs) {
+		names = append(names, t.name)
+	}
+	return names
+}
+
+func collectTargets(fset *token.FileSet, pkgs []*load.Package) []target {
+	var targets []target
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !analysis.HasNoallocDirective(fd) {
+					continue
+				}
+				start := fset.Position(fd.Body.Pos())
+				end := fset.Position(fd.Body.End())
+				name := fd.Name.Name
+				if fd.Recv != nil && len(fd.Recv.List) > 0 {
+					name = recvString(fd.Recv.List[0].Type) + "." + name
+				}
+				targets = append(targets, target{
+					name:      pkg.Types.Name() + "." + name,
+					file:      start.Filename,
+					startLine: start.Line,
+					endLine:   end.Line,
+					suppress:  pkg.Suppress,
+				})
+			}
+		}
+	}
+	return targets
+}
+
+func recvString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return recvString(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return recvString(e.X)
+	case *ast.IndexListExpr:
+		return recvString(e.X)
+	}
+	return "?"
+}
+
+// escapeReport is one compiler escape-analysis line we care about.
+type escapeReport struct {
+	file string // absolute path
+	line int
+	msg  string
+}
+
+// escapeReports builds the target patterns with -gcflags=-m and parses
+// the heap-allocation reports out of the compiler chatter. The build
+// cache replays compiler diagnostics, so this is cheap when the tree
+// is already built.
+func escapeReports(dir string, patterns []string) ([]escapeReport, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = absDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+
+	var reports []escapeReport
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := escapeLineRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(absDir, file)
+		}
+		n, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		reports = append(reports, escapeReport{file: filepath.Clean(file), line: n, msg: msg})
+	}
+	return reports, nil
+}
+
+// posOnLine recovers a token.Pos for file:line so noalloc findings sort
+// and print alongside AST-analyzer diagnostics.
+func posOnLine(fset *token.FileSet, file string, line int) token.Pos {
+	var pos token.Pos = token.NoPos
+	fset.Iterate(func(f *token.File) bool {
+		if f.Name() != file {
+			return true
+		}
+		if line <= f.LineCount() {
+			pos = f.LineStart(line)
+		}
+		return false
+	})
+	return pos
+}

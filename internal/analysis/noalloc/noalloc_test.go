@@ -1,0 +1,39 @@
+package noalloc_test
+
+import (
+	"go/token"
+	"testing"
+
+	"geodabs/internal/analysis"
+	"geodabs/internal/analysis/analyzertest"
+	"geodabs/internal/analysis/load"
+	"geodabs/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analyzertest.RunDiagnostics(t, "testdata", []string{"./..."},
+		func(pkgs []*load.Package, fset *token.FileSet) []analysis.Diagnostic {
+			diags, err := noalloc.Check("testdata", []string{"./..."}, pkgs, fset)
+			if err != nil {
+				t.Fatalf("noalloc.Check: %v", err)
+			}
+			return diags
+		})
+}
+
+func TestNoallocTargets(t *testing.T) {
+	pkgs, fset, err := load.Dir("testdata", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := noalloc.Targets(fset, pkgs)
+	want := map[string]bool{"a.Sum": true, "a.Leak": true, "a.Tolerated": true}
+	if len(names) != len(want) {
+		t.Fatalf("targets = %v, want %d annotated functions", names, len(want))
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected noalloc target %q", n)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package a seeds noalloc violations and clean patterns.
+package a
+
+// Sum is escape-clean: everything stays on the stack.
+//
+//geodabs:noalloc
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Leak returns a pointer to a heap allocation; the gate must flag it.
+//
+//geodabs:noalloc
+func Leak() *int {
+	x := new(int) // want `heap allocation in //geodabs:noalloc function a.Leak`
+	return x
+}
+
+// Tolerated allocates its documented result; the line-level ignore
+// keeps it out of the report.
+//
+//geodabs:noalloc
+func Tolerated() []byte {
+	buf := make([]byte, 64) //geodabs:vet-ignore fixture: documented result allocation
+	return buf
+}
+
+// Unannotated allocates freely; without the directive nothing fires.
+func Unannotated() *[128]byte {
+	return &[128]byte{}
+}

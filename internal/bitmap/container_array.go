@@ -55,6 +55,7 @@ func (a *arrayContainer) iterate(f func(uint16) bool) bool {
 	return true
 }
 
+//geodabs:noalloc
 func (a *arrayContainer) countInto(base uint32, counts []uint16, cands []uint32) []uint32 {
 	for _, v := range a.values {
 		if counts[v] == 0 {

@@ -81,6 +81,7 @@ func (b *bitmapContainer) clone() container {
 	return &out
 }
 
+//geodabs:noalloc
 func (b *bitmapContainer) countInto(base uint32, counts []uint16, cands []uint32) []uint32 {
 	for w, word := range b.words {
 		for word != 0 {

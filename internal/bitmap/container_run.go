@@ -150,6 +150,7 @@ func (r *runContainer) andCardinalityRuns(o *runContainer) int {
 	return n
 }
 
+//geodabs:noalloc
 func (r *runContainer) countInto(base uint32, counts []uint16, cands []uint32) []uint32 {
 	for _, iv := range r.runs {
 		for v := int(iv.start); v <= int(iv.last()); v++ {

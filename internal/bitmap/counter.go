@@ -38,6 +38,8 @@ func NewCounter() *Counter {
 
 // chunkFor returns the count array of the chunk with the given key,
 // creating it on first touch.
+//
+//geodabs:noalloc
 func (c *Counter) chunkFor(key uint16) []uint16 {
 	if i := c.slot[key]; i >= 0 {
 		return c.chunks[i]
@@ -48,7 +50,7 @@ func (c *Counter) chunkFor(key uint16) []uint16 {
 		c.free[n-1] = nil
 		c.free = c.free[:n-1]
 	} else {
-		counts = make([]uint16, 1<<16)
+		counts = make([]uint16, 1<<16) //geodabs:vet-ignore first-touch chunk allocation, recycled across Reset via the free list
 	}
 	c.slot[key] = int32(len(c.chunks))
 	c.keys = append(c.keys, key)
@@ -57,6 +59,8 @@ func (c *Counter) chunkFor(key uint16) []uint16 {
 }
 
 // Add bumps the count of every value in b by one.
+//
+//geodabs:noalloc
 func (c *Counter) Add(b *Bitmap) {
 	for i, key := range b.keys {
 		c.cands = b.containers[i].countInto(uint32(key)<<16, c.chunkFor(key), c.cands)

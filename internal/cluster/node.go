@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -458,6 +459,7 @@ func (n *Node) add(req *addRequest) error {
 			rec.Op = wal.OpAddPoints
 			rec.Points = req.Points
 		}
+		//geodabs:vet-ignore durability contract: append-then-apply must hold the shared apply lock so a crash never acks an unlogged mutation (docs/durability.md)
 		if err := n.wal.Append(rec); err != nil {
 			return err
 		}
@@ -473,6 +475,7 @@ func (n *Node) delete(req *deleteRequest) error {
 	n.applyMu.RLock()
 	defer n.applyMu.RUnlock()
 	if n.wal != nil {
+		//geodabs:vet-ignore durability contract: append-then-apply must hold the shared apply lock so a crash never acks an unlogged mutation (docs/durability.md)
 		if err := n.wal.Append(wal.Record{Op: wal.OpDelete, Epoch: req.Epoch, ID: req.ID}); err != nil {
 			return err
 		}
@@ -805,68 +808,162 @@ func (n *Node) rerank(req *rerankRequest) (*rerankResponse, error) {
 
 	qBox := geo.NewBox(req.Query...)
 	resp := &rerankResponse{IDs: make([]uint32, 0, len(cands)), Scores: make([]float64, 0, len(cands))}
-	// kept is a max-heap (by worseScore) of the k best scores seen so
-	// far; its root is the k-th best — the pruning threshold.
-	type kept struct {
-		score float64
-		id    uint32
+	h := &keptHeap{limit: req.Limit}
+
+	// lowerBound cheaply bounds metric(req.Query, c.points) from below;
+	// callers only invoke it with a non-empty query and points.
+	lowerBound := func(c rerankCandidate) float64 {
+		lb := math.Max(
+			geo.Haversine(req.Query[0], c.points[0]),
+			geo.Haversine(req.Query[len(req.Query)-1], c.points[len(c.points)-1]),
+		)
+		boxLB := qBox.MinDistance(c.box)
+		if req.Metric == metricDTW {
+			boxLB *= float64(max(len(req.Query), len(c.points)))
+		}
+		return math.Max(lb, boxLB)
 	}
-	var heap []kept
-	for _, c := range cands {
-		if req.Limit > 0 && len(heap) == req.Limit && len(req.Query) > 0 && len(c.points) > 0 {
-			lb := math.Max(
-				geo.Haversine(req.Query[0], c.points[0]),
-				geo.Haversine(req.Query[len(req.Query)-1], c.points[len(c.points)-1]),
-			)
-			boxLB := qBox.MinDistance(c.box)
-			if req.Metric == metricDTW {
-				boxLB *= float64(max(len(req.Query), len(c.points)))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 || len(cands) < rerankParallelMin {
+		for _, c := range cands {
+			if thr, full := h.threshold(); full && len(req.Query) > 0 && len(c.points) > 0 {
+				// Strictly above the k-th best: even a tie must be
+				// scored, because the (score, ID) tiebreak could admit
+				// it.
+				if lowerBound(c) > thr {
+					resp.Skipped++
+					continue
+				}
 			}
-			lb = math.Max(lb, boxLB)
-			// Strictly above the k-th best: even a tie must be scored,
-			// because the (score, ID) tiebreak could admit it.
-			if lb > heap[0].score {
+			score := metric(req.Query, c.points)
+			resp.IDs = append(resp.IDs, c.id)
+			resp.Scores = append(resp.Scores, score)
+			h.offer(score, c.id)
+		}
+	} else {
+		// Long shortlist: score candidates on a bounded worker pool
+		// (mirroring the coordinator-side rerankHits pool). The pruning
+		// heap is shared under a mutex; reading a stale threshold is
+		// safe because the k-th best only tightens as scores land — a
+		// looser value can admit an extra scoring, never skip a
+		// candidate that belongs in the top k. Results land in
+		// per-candidate slots and are compacted in candidate order, so
+		// the response layout is identical to the serial path.
+		scores := make([]float64, len(cands))
+		skipped := make([]bool, len(cands))
+		var heapMu sync.Mutex
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for range workers {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cands) {
+						return
+					}
+					c := cands[i]
+					if len(req.Query) > 0 && len(c.points) > 0 {
+						heapMu.Lock()
+						thr, full := h.threshold()
+						heapMu.Unlock()
+						if full && lowerBound(c) > thr {
+							skipped[i] = true
+							continue
+						}
+					}
+					score := metric(req.Query, c.points)
+					scores[i] = score
+					heapMu.Lock()
+					h.offer(score, c.id)
+					heapMu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		for i, c := range cands {
+			if skipped[i] {
 				resp.Skipped++
 				continue
 			}
-		}
-		score := metric(req.Query, c.points)
-		resp.IDs = append(resp.IDs, c.id)
-		resp.Scores = append(resp.Scores, score)
-		if req.Limit <= 0 {
-			continue
-		}
-		if len(heap) < req.Limit {
-			heap = append(heap, kept{score, c.id})
-			for i := len(heap) - 1; i > 0; { // sift up
-				parent := (i - 1) / 2
-				if !worseScore(heap[i].score, heap[i].id, heap[parent].score, heap[parent].id) {
-					break
-				}
-				heap[i], heap[parent] = heap[parent], heap[i]
-				i = parent
-			}
-		} else if worseScore(heap[0].score, heap[0].id, score, c.id) {
-			heap[0] = kept{score, c.id}
-			for i := 0; ; { // sift down
-				worst := i
-				if l := 2*i + 1; l < len(heap) && worseScore(heap[l].score, heap[l].id, heap[worst].score, heap[worst].id) {
-					worst = l
-				}
-				if r := 2*i + 2; r < len(heap) && worseScore(heap[r].score, heap[r].id, heap[worst].score, heap[worst].id) {
-					worst = r
-				}
-				if worst == i {
-					break
-				}
-				heap[i], heap[worst] = heap[worst], heap[i]
-				i = worst
-			}
+			resp.IDs = append(resp.IDs, c.id)
+			resp.Scores = append(resp.Scores, scores[i])
 		}
 	}
 	n.rerankScored.Add(uint64(len(resp.IDs)))
 	n.rerankSkipped.Add(uint64(resp.Skipped))
 	return resp, nil
+}
+
+// rerankParallelMin is the shortlist length below which rerank scores
+// serially; a pool is not worth its goroutine startup for a handful of
+// DTW calls.
+const rerankParallelMin = 16
+
+// kept is one retained (score, ID) pair in the pruning heap.
+type kept struct {
+	score float64
+	id    uint32
+}
+
+// keptHeap is a max-heap (by worseScore) of the limit best scores seen
+// so far; its root is the k-th best — the pruning threshold. A limit of
+// zero or less disables it.
+type keptHeap struct {
+	limit int
+	items []kept
+}
+
+// threshold returns the k-th best score so far and whether the heap is
+// full — only a full heap prunes.
+func (h *keptHeap) threshold() (float64, bool) {
+	if h.limit <= 0 || len(h.items) < h.limit {
+		return 0, false
+	}
+	return h.items[0].score, true
+}
+
+// offer records a scored candidate, evicting the current worst if the
+// newcomer beats it under the (score, ID) tiebreak.
+func (h *keptHeap) offer(score float64, id uint32) {
+	if h.limit <= 0 {
+		return
+	}
+	if len(h.items) < h.limit {
+		h.items = append(h.items, kept{score, id})
+		for i := len(h.items) - 1; i > 0; { // sift up
+			parent := (i - 1) / 2
+			if !worseScore(h.items[i].score, h.items[i].id, h.items[parent].score, h.items[parent].id) {
+				break
+			}
+			h.items[i], h.items[parent] = h.items[parent], h.items[i]
+			i = parent
+		}
+		return
+	}
+	if !worseScore(h.items[0].score, h.items[0].id, score, id) {
+		return
+	}
+	h.items[0] = kept{score, id}
+	for i := 0; ; { // sift down
+		worst := i
+		if l := 2*i + 1; l < len(h.items) && worseScore(h.items[l].score, h.items[l].id, h.items[worst].score, h.items[worst].id) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h.items) && worseScore(h.items[r].score, h.items[r].id, h.items[worst].score, h.items[worst].id) {
+			worst = r
+		}
+		if worst == i {
+			break
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
 }
 
 func (n *Node) stats() *statsResponse {

@@ -51,6 +51,7 @@ func (n *Node) Snapshot() error {
 	n.snapMu.Lock()
 	defer n.snapMu.Unlock()
 	n.applyMu.Lock()
+	//geodabs:vet-ignore snapshot barrier: the seal must fence every append so the snapshot covers exactly the sealed segments
 	boundary, err := n.wal.Seal()
 	if err != nil {
 		n.applyMu.Unlock()
@@ -128,9 +129,20 @@ func writeSnapshot(path string, snap *nodeSnapshot) error {
 		os.Remove(tmp)
 		return fmt.Errorf("cluster: install snapshot: %w", err)
 	}
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync()
-		dir.Close()
+	// Sync the directory so the rename itself survives a crash; a
+	// snapshot that vanishes with its truncated WAL segments loses
+	// acked mutations, so a failed directory fsync must fail the
+	// snapshot rather than pass silently.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("cluster: open snapshot dir: %w", err)
+	}
+	serr := dir.Sync()
+	if cerr := dir.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("cluster: sync snapshot dir: %w", serr)
 	}
 	return nil
 }

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+
+	"geodabs/internal/geo"
+)
+
+// buildRerankNode starts a node holding count synthetic retained
+// trajectories and returns it with the shortlist of their IDs.
+func buildRerankNode(t *testing.T, count int) (*Node, []uint32) {
+	t.Helper()
+	n, err := StartNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	ids := make([]uint32, 0, count)
+	for i := 0; i < count; i++ {
+		id := uint32(i + 1)
+		// Spread the routes so lower bounds genuinely prune: each
+		// trajectory is a short diagonal offset from the origin by i.
+		base := float64(i) * 0.01
+		pts := []geo.Point{
+			{Lat: base, Lon: base},
+			{Lat: base + 0.005, Lon: base + 0.004},
+			{Lat: base + 0.010, Lon: base + 0.009},
+		}
+		req := &addRequest{ID: id, Terms: []uint32{uint32(i)}, Epoch: uint64(i + 1), Card: 3, Points: pts}
+		if err := n.add(req); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return n, ids
+}
+
+// topK reduces a rerank response to its k best (score, ID) pairs under
+// the worseScore order — the only part of the response the coordinator
+// merge depends on.
+func topK(resp *rerankResponse, k int) []kept {
+	pairs := make([]kept, len(resp.IDs))
+	for i := range resp.IDs {
+		pairs[i] = kept{score: resp.Scores[i], id: resp.IDs[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		return worseScore(pairs[j].score, pairs[j].id, pairs[i].score, pairs[i].id)
+	})
+	if k > 0 && len(pairs) > k {
+		pairs = pairs[:k]
+	}
+	return pairs
+}
+
+// TestRerankParallelMatchesSerial pins the worker-pool rerank to the
+// serial contract: with GOMAXPROCS forced above one and a shortlist
+// beyond rerankParallelMin, the parallel path's surviving top-k must be
+// identical to serially scoring everything — any interleaving of the
+// shared pruning heap may only skip candidates that provably cannot
+// place.
+func TestRerankParallelMatchesSerial(t *testing.T) {
+	const count = 3 * rerankParallelMin
+	const limit = 5
+	n, ids := buildRerankNode(t, count)
+	query := []geo.Point{{Lat: 0.02, Lon: 0.02}, {Lat: 0.025, Lon: 0.024}, {Lat: 0.03, Lon: 0.029}}
+
+	for _, metric := range []rerankMetric{metricDTW, metricDFD} {
+		// Ground truth: score every candidate (Limit 0 disables the
+		// pruning heap entirely, on the serial path or not).
+		full, err := n.rerank(&rerankRequest{IDs: ids, Query: query, Metric: metric})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Skipped != 0 || len(full.IDs) != count {
+			t.Fatalf("unbounded rerank skipped %d of %d", full.Skipped, count)
+		}
+		want := topK(full, limit)
+
+		prev := runtime.GOMAXPROCS(4)
+		got, err := n.rerank(&rerankRequest{IDs: ids, Query: query, Metric: metric, Limit: limit})
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.IDs)+got.Skipped != count {
+			t.Fatalf("metric %d: %d scored + %d skipped != %d candidates", metric, len(got.IDs), got.Skipped, count)
+		}
+		pairs := topK(got, limit)
+		if len(pairs) != len(want) {
+			t.Fatalf("metric %d: parallel top-%d has %d entries, want %d", metric, limit, len(pairs), len(want))
+		}
+		for i := range want {
+			if pairs[i] != want[i] {
+				t.Fatalf("metric %d: parallel top-%d diverges at %d: got %+v, want %+v", metric, limit, i, pairs[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRerankSerialPathUnchanged covers the short-shortlist serial path
+// with a limit, including the skip accounting invariant.
+func TestRerankSerialPathUnchanged(t *testing.T) {
+	const count = rerankParallelMin - 2
+	const limit = 3
+	n, ids := buildRerankNode(t, count)
+	query := []geo.Point{{Lat: 0.01, Lon: 0.01}, {Lat: 0.015, Lon: 0.014}}
+
+	full, err := n.rerank(&rerankRequest{IDs: ids, Query: query, Metric: metricDTW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := topK(full, limit)
+	got, err := n.rerank(&rerankRequest{IDs: ids, Query: query, Metric: metricDTW, Limit: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs)+got.Skipped != count {
+		t.Fatalf("%d scored + %d skipped != %d candidates", len(got.IDs), got.Skipped, count)
+	}
+	pairs := topK(got, limit)
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("serial top-%d diverges at %d: got %+v, want %+v", limit, i, pairs[i], want[i])
+		}
+	}
+}

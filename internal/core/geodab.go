@@ -364,6 +364,8 @@ func (f *Fingerprinter) Fingerprint(points []geo.Point) *Fingerprint {
 // strategy never reads, and allocates only the returned bitmap.
 // PrefixCentroid configurations (an ablation) fall back to the full
 // pipeline, which has the cell centers at hand.
+//
+//geodabs:noalloc
 func (f *Fingerprinter) FingerprintSet(points []geo.Point) *bitmap.Bitmap {
 	if f.cfg.Strategy != PrefixCover {
 		return f.Fingerprint(points).Set
@@ -384,7 +386,7 @@ func (f *Fingerprinter) FingerprintSet(points []geo.Point) *bitmap.Bitmap {
 	} else {
 		sc.positions = winnow.SelectInto(sc.positions[:0], sc.candidates, f.cfg.Window())
 	}
-	set := bitmap.New()
+	set := bitmap.New() //geodabs:vet-ignore the documented result allocation: FingerprintSet allocates only the returned bitmap
 	for _, p := range sc.positions {
 		set.Add(sc.candidates[p])
 	}

@@ -59,6 +59,8 @@ func resultLess(a, b Result) bool {
 // SortResults orders by ascending distance, breaking ties by ID — the
 // ranking contract shared by the local index, the cluster coordinator,
 // and the exact-rerank refinement.
+//
+//geodabs:noalloc
 func SortResults(results []Result) {
 	slices.SortFunc(results, func(a, b Result) int {
 		switch {
@@ -171,6 +173,8 @@ func (r *Ranker) raiseBar() {
 // cardinality sharing `shared` fingerprints with the query. Candidates
 // outside the threshold bounds are skipped before scoring and counted as
 // pruned.
+//
+//geodabs:noalloc
 func (r *Ranker) Consider(id trajectory.ID, card, shared int) {
 	if !InWindow(card, r.minCard, r.maxCard) {
 		r.pruned++
@@ -217,6 +221,8 @@ func (r *Ranker) Pruned() int { return r.pruned }
 // Finish appends the ranked results to dst and returns it. The output is
 // byte-identical to sorting every in-range candidate by (distance, ID)
 // and truncating to the cap.
+//
+//geodabs:noalloc
 func (r *Ranker) Finish(dst []Result) []Result {
 	src := r.results
 	if r.limit > 0 {
@@ -301,6 +307,8 @@ func (ix *Inverted) SearchFingerprints(ctx context.Context, set *bitmap.Bitmap, 
 // which callers on the hot path recycle across queries: with a warm
 // scratch pool and a dst of sufficient capacity a search performs zero
 // heap allocations.
+//
+//geodabs:noalloc
 func (ix *Inverted) AppendSearchFingerprints(ctx context.Context, dst []Result, set *bitmap.Bitmap, maxDistance float64, limit int) ([]Result, SearchStats, error) {
 	return ix.AppendSearchSet(ctx, dst, set, set.Cardinality(), maxDistance, limit)
 }
@@ -308,6 +316,8 @@ func (ix *Inverted) AppendSearchFingerprints(ctx context.Context, dst []Result, 
 // AppendSearchSet is AppendSearchFingerprints for callers that already
 // hold the set's cardinality (a prepared query caches it alongside the
 // set), skipping the per-call recount. qc must equal set.Cardinality().
+//
+//geodabs:noalloc
 func (ix *Inverted) AppendSearchSet(ctx context.Context, dst []Result, set *bitmap.Bitmap, qc int, maxDistance float64, limit int) ([]Result, SearchStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, SearchStats{}, err

@@ -312,11 +312,11 @@ func (l *Log) openFreshSegment(seq uint64) error {
 	binary.LittleEndian.PutUint32(hdr[0:4], segmentMagic)
 	hdr[4] = segmentVersion
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
+		_ = f.Close() // the header write error is the one worth reporting
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the header fsync error is the one worth reporting
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.active = f
@@ -698,6 +698,7 @@ func (l *Log) commit(batch []appendReq) {
 		// torn record. Cut the file back to the last good boundary; if
 		// even that fails, latch the log failed so no later append can
 		// land beyond bytes we cannot account for.
+		//geodabs:vet-ignore torn-write repair must run under l.mu before any later append lands past the bad bytes
 		if terr := l.active.Truncate(l.activeSz); terr != nil {
 			l.failed = fmt.Errorf("wal: failed (torn write not truncatable: %v): %w", terr, err)
 		}
@@ -841,6 +842,7 @@ func (l *Log) Kill() {
 		l.writerWG.Wait()
 		l.mu.Lock()
 		defer l.mu.Unlock()
+		//geodabs:vet-ignore crash simulation: discarding the close error is the point
 		l.active.Close() // releases the fd; OS discards nothing already written
 	})
 }
